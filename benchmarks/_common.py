@@ -1,0 +1,47 @@
+"""Shared helpers for the experiment-reproduction benchmarks.
+
+Every ``bench_*.py`` file regenerates one table or figure from the
+paper's evaluation (see DESIGN.md's per-experiment index).  Benches
+print the same rows/series the paper reports and save them under
+``benchmarks/results/`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Cycle counts are scaled relative to the paper (see DESIGN.md): the
+# paper runs 10^8..10^11 cycles on an FPGA; this reproduction runs
+# 10^3..10^5 cycles in simulation.  The statistics are scale-invariant.
+SCALE_NOTE = ("[scaled reproduction: cycle counts ~10^4-10^6x smaller "
+              "than the paper's FPGA runs; shapes, not magnitudes]")
+
+
+def save_result(name, text):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    return path
+
+
+def emit(name, lines):
+    """Print and persist one experiment's output."""
+    text = "\n".join(lines)
+    print()
+    print(f"==== {name} {SCALE_NOTE}")
+    print(text)
+    save_result(name, text)
+    return text
+
+
+def fmt_table(headers, rows):
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    def line(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return out

@@ -1,0 +1,75 @@
+"""Figure 9a: power breakdown with error bounds, 3 cores x 3 workloads.
+
+30 random snapshots per (core, workload) are replayed on gate level;
+average power is decomposed into the paper's functional groups (fetch,
+rename, issue, integer, LSU, FPU, ROB, caches, uncore) plus DRAM power
+from the activity counters.
+"""
+
+from repro.core import run_strober
+
+from _common import emit, fmt_table
+
+DESIGNS = ["rocket_mini", "boom-1w_mini", "boom-2w_mini"]
+WORKLOADS = {
+    "coremark_lite": {"iterations": 2},
+    "boot": {},
+    "gcc_phases": {"rounds": 1},
+}
+SAMPLE_SIZE = 20
+REPLAY_LENGTH = 64
+
+
+def test_fig9a_power_breakdown(benchmark):
+    def run_all():
+        table = {}
+        for workload, kwargs in WORKLOADS.items():
+            for design in DESIGNS:
+                run = run_strober(design, workload,
+                                  workload_kwargs=kwargs,
+                                  sample_size=SAMPLE_SIZE,
+                                  replay_length=REPLAY_LENGTH,
+                                  backend="auto", seed=21)
+                table[(workload, design)] = run.energy
+        return table
+
+    table = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    groups = sorted({g for e in table.values() for g in e.breakdown})
+    lines = []
+    for workload in WORKLOADS:
+        lines.append(f"--- {workload}")
+        headers = ["group (mW)"] + DESIGNS
+        rows = []
+        for group in groups:
+            rows.append([group] + [
+                f"{table[(workload, d)].breakdown.get(group).mean:.2f}"
+                f"±{table[(workload, d)].breakdown[group].half_width:.2f}"
+                if group in table[(workload, d)].breakdown else "-"
+                for d in DESIGNS])
+        rows.append(["DRAM"] + [
+            f"{table[(workload, d)].dram_power_mw:.2f}" for d in DESIGNS])
+        rows.append(["TOTAL"] + [
+            f"{table[(workload, d)].total_power_mw:.2f}" for d in DESIGNS])
+        lines.extend(fmt_table(headers, rows))
+        lines.append("")
+    emit("fig9a_power_breakdown", lines)
+
+    for workload in WORKLOADS:
+        rocket = table[(workload, "rocket_mini")]
+        boom1 = table[(workload, "boom-1w_mini")]
+        boom2 = table[(workload, "boom-2w_mini")]
+        # paper shape: the wider OoO core burns the most core power
+        assert boom2.power.mean > rocket.power.mean, workload
+        assert boom2.power.mean > boom1.power.mean, workload
+        # OoO-only structures draw power only on BOOM
+        assert "Issue Logic" in boom2.breakdown
+        assert boom2.breakdown["Issue Logic"].mean > \
+            rocket.breakdown.get("Issue Logic",
+                                 boom2.breakdown["Issue Logic"]).mean \
+            or "Issue Logic" not in rocket.breakdown
+        # every estimate carries an error bound
+        for design in DESIGNS:
+            energy = table[(workload, design)]
+            assert energy.power.half_width >= 0
+            assert energy.sample_size >= 10

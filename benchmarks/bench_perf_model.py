@@ -1,0 +1,37 @@
+"""Section IV-E: the analytic simulation-performance model.
+
+Regenerates the paper's worked example (two-way BOOM, 100-billion-cycle
+benchmark, 100 snapshots, replay length 1000, 10 parallel gate-level
+instances) and the two baselines it quotes.
+"""
+
+import pytest
+
+from repro.core import (
+    strober_time, uarch_sim_time, gate_sim_time, PAPER_PARAMS,
+)
+
+from _common import emit, fmt_table
+
+
+def test_perf_model_worked_example(benchmark):
+    model = benchmark.pedantic(
+        lambda: strober_time(100e9, 100, 1000, PAPER_PARAMS),
+        rounds=1, iterations=1)
+    paper_sum = model.t_run_s + model.t_sample_s + model.t_replay_s
+    rows = [
+        ["T_FPGAsyn", f"{model.t_fpga_syn_s:.0f} s", "3600 s"],
+        ["T_run", f"{model.t_run_s:.0f} s", "27778 s"],
+        ["T_sample", f"{model.t_sample_s:.0f} s", "3592 s"],
+        ["T_replay", f"{model.t_replay_s:.0f} s", "2333 s"],
+        ["T_run+T_sample+T_replay",
+         f"{paper_sum / 3600:.2f} h", "9.4 h"],
+        ["uarch sw sim baseline",
+         f"{uarch_sim_time(100e9) / 86400:.2f} days", "3.86 days"],
+        ["gate-level sim baseline",
+         f"{gate_sim_time(100e9) / (86400 * 365):.0f} years",
+         "264 years"],
+    ]
+    emit("perf_model", fmt_table(["quantity", "model", "paper"], rows))
+    assert paper_sum / 3600 == pytest.approx(9.4, abs=0.2)
+    assert model.t_run_s == pytest.approx(27778, rel=1e-3)

@@ -1,0 +1,36 @@
+"""Table II: target processor parameters.
+
+Prints the parameter table for Rocket / BOOM-1w / BOOM-2w, checking the
+reproduction keeps the paper's parameters (with the documented scaling
+of physical register count — see DESIGN.md substitutions).
+"""
+
+from repro.core import CONFIGS
+
+from _common import emit, fmt_table
+
+
+def test_table2_processor_parameters(benchmark):
+    designs = ["rocket", "boom-1w", "boom-2w"]
+
+    def build():
+        rows = {}
+        for name in designs:
+            rows[name] = CONFIGS[name].table2_row()
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    fields = list(next(iter(rows.values())))
+    table = fmt_table([""] + designs,
+                      [[f] + [rows[d][f] for d in designs]
+                       for f in fields])
+    emit("table2_configs", table)
+
+    assert rows["boom-2w"]["Fetch-width"] == 2
+    assert rows["boom-1w"]["Issue slots"] == 12
+    assert rows["boom-2w"]["Issue slots"] == 16
+    assert rows["boom-1w"]["ROB size"] == 24
+    assert rows["boom-2w"]["ROB size"] == 32
+    assert rows["rocket"]["Issue slots"] == "-"
+    assert rows["rocket"]["L1 I$ and D$"] == "16KiB/16KiB"
+    assert all(rows[d]["DRAM latency"] == "100 cycles" for d in designs)

@@ -1,0 +1,15 @@
+"""repro — a from-scratch reproduction of Strober (ISCA 2016).
+
+Sample-based energy simulation for arbitrary RTL: a hardware DSL with a
+transformable IR, a fast compiled RTL simulator, a FAME1 decoupled
+simulator with scan-chain snapshot capture, a gate-level CAD substrate
+(synthesis, placement, gate simulation, power analysis, formal matching),
+statistical sampling with confidence intervals, a DRAM power model, and
+two RISC-V target cores (in-order "Rocket-like" and out-of-order
+"BOOM-like").
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "0.1.0"

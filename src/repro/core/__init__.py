@@ -1,0 +1,28 @@
+"""Strober core: the paper's primary contribution, end to end."""
+
+from .compiler import StroberCompiler, StroberOutput
+from .configs import DesignConfig, CONFIGS, get_config
+from .replay import (
+    ReplayEngine, ReplayResult, ReplayError, AsicFlow, run_asic_flow,
+)
+from .energy import EnergyEstimate, estimate_energy
+from .attribution import soc_grouping, refine_attribution
+from .perf_model import (
+    StroberPerfParams, PAPER_PARAMS, PerfBreakdown, strober_time,
+    uarch_sim_time, gate_sim_time, speedup_over_uarch,
+    speedup_over_gate_sim, measured_params,
+)
+from .flow import run_strober, StroberRun, get_circuits, get_replay_engine
+
+__all__ = [
+    "StroberCompiler", "StroberOutput",
+    "DesignConfig", "CONFIGS", "get_config",
+    "ReplayEngine", "ReplayResult", "ReplayError", "AsicFlow",
+    "run_asic_flow",
+    "EnergyEstimate", "estimate_energy",
+    "soc_grouping", "refine_attribution",
+    "StroberPerfParams", "PAPER_PARAMS", "PerfBreakdown", "strober_time",
+    "uarch_sim_time", "gate_sim_time", "speedup_over_uarch",
+    "speedup_over_gate_sim", "measured_params",
+    "run_strober", "StroberRun", "get_circuits", "get_replay_engine",
+]

@@ -1,0 +1,82 @@
+"""Power attribution: map netlist origins to Figure 9a report groups.
+
+Synthesis tags DFFs/SRAMs with full register/memory paths and comb gates
+with their module prefix; :func:`refine_attribution` then pushes each
+state element's fine-grained origin backwards through the cone of logic
+that feeds it, so combinational power lands in the right unit too.
+:func:`soc_grouping` classifies the refined origins into the categories
+the paper's power-breakdown figure uses.
+"""
+
+from __future__ import annotations
+
+import re
+
+_CORE_PATTERNS = [
+    (re.compile(r"core\.(pc_f|fetch|kill_fetch|gb|dbuf|pc_d|inst_d|v_d)"),
+     "Fetch Unit"),
+    (re.compile(r"core\.(map_|cmap_|free_|cfree_|busy_)"),
+     "Rename + Decode"),
+    (re.compile(r"core\.regfile"), "Register File"),
+    (re.compile(r"core\.iw\d"), "Issue Logic"),
+    (re.compile(r"core\.rob"), "ROB"),
+    (re.compile(r"core\.(lsq|dmem_)"), "LSU"),
+    (re.compile(r"core\.fpu_mul"), "FPU"),
+    (re.compile(r"core\.(div_unit|muldiv)"), "Integer Unit"),
+    (re.compile(r"core\.(ex\d|v_x|pc_x|rd_x|f3_x|op1_x|op2_x|rs2val_x"
+                r"|imm_x|c_\w+_x|v_m|rd_m|f3_m|res_m|addr_m|c_\w+_m"
+                r"|v_w|rd_w|res_w|c_wen_w|mul_wait|div_wait|mw_|div_)"),
+     "Integer Unit"),
+    (re.compile(r"core\.(misp|cycle_ctr|instret)"), "Misc"),
+]
+
+
+def soc_grouping(origin):
+    """Classify a (refined) origin path into a Figure 9a group."""
+    if not origin:
+        return "Uncore"
+    if origin.startswith("icache"):
+        return "L1 I-cache"
+    if origin.startswith("dcache"):
+        if ".tags" in origin or ".data" in origin:
+            return "D-cache meta+data"
+        return "D-cache control"
+    if origin.startswith("uncore"):
+        return "Uncore"
+    if origin.startswith("core"):
+        for pattern, group in _CORE_PATTERNS:
+            if pattern.match(origin):
+                return group
+        return "Misc"
+    return "Uncore"
+
+
+def refine_attribution(netlist):
+    """Backward-propagate state-element origins through comb logic.
+
+    Every DFF carries the full path of its RTL register and every SRAM
+    its memory path; gates inherit the origin of (one of) their
+    consumers, walking the netlist once in reverse topological order.
+    Modifies gate origins in place and returns the netlist.
+    """
+    fine = {}
+    for dff in netlist.dffs:
+        fine.setdefault(dff.d, dff.origin)
+    for macro in netlist.srams:
+        for addr, _data in macro.read_ports:
+            for net in addr:
+                fine.setdefault(net, macro.name)
+        for en, addr, data in macro.write_ports:
+            fine.setdefault(en, macro.name)
+            for net in list(addr) + list(data):
+                fine.setdefault(net, macro.name)
+    for gate in reversed(netlist.gates):
+        origin = fine.get(gate.output)
+        if origin is not None:
+            gate.origin = origin
+            for net in gate.inputs:
+                fine.setdefault(net, origin)
+        else:
+            for net in gate.inputs:
+                fine.setdefault(net, gate.origin)
+    return netlist

@@ -1,0 +1,56 @@
+"""StroberCompiler: the Figure 4 tool flow as one object.
+
+Takes any elaborated design and produces (a) the FAME1 FPGA-simulator
+circuit with scan-chain instrumentation metadata and (b) the untouched
+"tapeout" circuit for the ASIC flow, keeping the two in sync (the paper
+builds both from the same Chisel source).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from ..fame.transform import fame1_transform, is_fame1
+from ..scan.chains import build_scan_chain_spec, insert_scan_chains
+
+
+@dataclass
+class StroberOutput:
+    """Everything Figure 4 emits for one design."""
+
+    simulator_circuit: object    # FAME1-transformed, for the FPGA side
+    target_circuit: object       # plain RTL, for the gate-level side
+    scan_spec: object            # chain layout + Trec cost model
+    channels: dict               # FAME1 I/O channel metadata
+
+
+class StroberCompiler:
+    """Drive the custom-transform pipeline of Figure 4.
+
+    ``build_fn`` must construct a *fresh* elaborated circuit on each
+    call (module objects are single-use, like Chisel module instances).
+    """
+
+    def __init__(self, build_fn, scan_width=32,
+                 hardware_scan_chains=False):
+        self.build_fn = build_fn
+        self.scan_width = scan_width
+        self.hardware_scan_chains = hardware_scan_chains
+
+    def compile(self):
+        simulator = self.build_fn()
+        target = self.build_fn()
+        if is_fame1(simulator):
+            raise ValueError("build_fn must return a plain circuit")
+        channels = fame1_transform(simulator)
+        if self.hardware_scan_chains:
+            scan_spec = insert_scan_chains(simulator, self.scan_width)
+        else:
+            scan_spec = build_scan_chain_spec(simulator, self.scan_width)
+        return StroberOutput(
+            simulator_circuit=simulator,
+            target_circuit=target,
+            scan_spec=scan_spec,
+            channels=channels,
+        )

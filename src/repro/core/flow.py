@@ -1,0 +1,146 @@
+"""End-to-end Strober flow: one call from design + workload to energy.
+
+Ties the whole methodology together (Figures 2, 4, 5):
+
+1. build the design twice (FPGA-simulator circuit + tapeout circuit);
+2. run the workload on the FAME1 simulator, reservoir-sampling
+   replayable snapshots;
+3. run the ASIC flow (synthesis, placement, formal matching) on the
+   tapeout circuit;
+4. replay every snapshot on gate level (with output verification and
+   retimed-datapath warm-up) and aggregate power with confidence
+   intervals, DRAM power from the activity counters, and CPI/EPI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..targets.soc import run_workload
+from ..isa.programs import ALL_PROGRAMS
+from .configs import get_config
+from .replay import ReplayEngine, run_asic_flow
+from .energy import estimate_energy
+from .attribution import refine_attribution, soc_grouping
+from ..gatelevel import synthesize, place, match_netlist
+from ..gatelevel.formal import NameMap
+
+
+@dataclass
+class StroberRun:
+    """Everything one flow invocation produced."""
+
+    design: str
+    workload: str
+    result: object               # WorkloadResult (performance side)
+    replays: list
+    energy: object               # EnergyEstimate
+    engine: ReplayEngine
+    wall_seconds: float = 0.0
+
+    @property
+    def cycles(self):
+        return self.result.cycles
+
+    @property
+    def snapshots(self):
+        return self.result.snapshots
+
+
+_CIRCUIT_CACHE = {}
+_ENGINE_CACHE = {}
+
+
+def _soc_asic_flow(circuit):
+    """ASIC flow with functional-unit attribution and floorplanning."""
+    t0 = time.perf_counter()
+    netlist, hints = synthesize(circuit)
+    refine_attribution(netlist)
+    placement = place(netlist, cluster_fn=soc_grouping)
+    name_map = match_netlist(circuit, netlist, hints)
+    from .replay import AsicFlow
+    return AsicFlow(netlist=netlist, hints=hints, placement=placement,
+                    name_map=name_map,
+                    synthesis_seconds=time.perf_counter() - t0)
+
+
+def get_circuits(design):
+    """(simulator_circuit, target_circuit) for a named configuration.
+
+    Cached: the FAME1 transform happens lazily inside run_workload on
+    the simulator circuit; the target circuit stays untouched.
+    """
+    if design not in _CIRCUIT_CACHE:
+        config = get_config(design)
+        _CIRCUIT_CACHE[design] = (config.build_circuit(),
+                                  config.build_circuit())
+    return _CIRCUIT_CACHE[design]
+
+
+def get_replay_engine(design, freq_hz=None):
+    if design not in _ENGINE_CACHE:
+        _, target = get_circuits(design)
+        flow = _soc_asic_flow(target)
+        _ENGINE_CACHE[design] = ReplayEngine(
+            target, flow=flow, grouping=soc_grouping, freq_hz=freq_hz)
+    return _ENGINE_CACHE[design]
+
+
+def run_strober(design, workload, sample_size=30, replay_length=128,
+                max_cycles=2_000_000, backend="auto", seed=0,
+                confidence=0.99, workload_kwargs=None, strict_replay=True,
+                record_full_io=False):
+    """The headline API: energy-evaluate ``workload`` on ``design``.
+
+    ``workload`` is a benchmark name from :data:`ALL_PROGRAMS` or a
+    literal assembly source string.
+    """
+    t0 = time.perf_counter()
+    config = get_config(design)
+    sim_circuit, _target = get_circuits(design)
+    if workload in ALL_PROGRAMS:
+        source = ALL_PROGRAMS[workload](**(workload_kwargs or {}))
+        workload_name = workload
+    else:
+        source = workload
+        workload_name = "(custom)"
+
+    result = run_workload(
+        sim_circuit, source,
+        max_cycles=max_cycles,
+        mem_latency=config.dram_latency,
+        line_words=config.line_words,
+        backend=backend,
+        sample_size=sample_size,
+        replay_length=replay_length,
+        seed=seed,
+        record_full_io=record_full_io,
+    )
+    if not result.passed:
+        raise RuntimeError(
+            f"workload {workload_name} failed on {design}: "
+            f"exit={result.exit_code}")
+
+    engine = get_replay_engine(design, freq_hz=config.freq_hz)
+    replays = engine.replay_all(result.snapshots, strict=strict_replay)
+    energy = estimate_energy(
+        replays,
+        total_cycles=result.cycles,
+        replay_length=replay_length,
+        instructions=result.instret,
+        confidence=confidence,
+        workload=workload_name,
+        design=design,
+        dram_counters=result.memory.counters,
+        freq_hz=config.freq_hz,
+    )
+    return StroberRun(
+        design=design,
+        workload=workload_name,
+        result=result,
+        replays=replays,
+        energy=energy,
+        engine=engine,
+        wall_seconds=time.perf_counter() - t0,
+    )

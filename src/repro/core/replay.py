@@ -1,0 +1,174 @@
+"""Replay engine: snapshots -> gate-level power (Section IV-C, Figure 5).
+
+For each replayable snapshot: warm up designer-annotated retimed
+datapaths by forcing their inputs for ``latency`` cycles (IV-C3), load
+the RTL register state through the formal name-mapping table using the
+VPI-style bulk loader (IV-C2), load SRAM contents, then drive the
+recorded input trace while verifying every output token against the
+recorded output trace.  The collected switching activity feeds the
+power-analysis tool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..gatelevel import (
+    synthesize, place, match_netlist, verify_equivalence,
+    GateLevelSimulator, analyze_power, default_grouping,
+)
+from ..fame.transform import HOST_ENABLE
+
+
+class ReplayError(Exception):
+    pass
+
+
+@dataclass
+class ReplayResult:
+    snapshot_cycle: int
+    power: "PowerReport"
+    cycles: int
+    mismatches: int
+    load_commands: int
+    wall_seconds: float
+
+
+@dataclass
+class AsicFlow:
+    """Synthesis + placement + formal matching artifacts for one design."""
+
+    netlist: object
+    hints: object
+    placement: object
+    name_map: object
+    equivalence: object = None
+    synthesis_seconds: float = 0.0
+
+
+def run_asic_flow(circuit, verify=False, verify_cycles=24):
+    """The 'ASIC tool chain' half of the methodology (T_ASIC)."""
+    t0 = time.perf_counter()
+    netlist, hints = synthesize(circuit)
+    placement = place(netlist)
+    name_map = match_netlist(circuit, netlist, hints)
+    equivalence = None
+    if verify:
+        equivalence = verify_equivalence(circuit, netlist,
+                                         n_cycles=verify_cycles)
+        if not equivalence.equivalent:
+            raise ReplayError(
+                f"gate-level netlist is not equivalent to the RTL: "
+                f"{equivalence.counterexample}")
+    return AsicFlow(netlist=netlist, hints=hints, placement=placement,
+                    name_map=name_map, equivalence=equivalence,
+                    synthesis_seconds=time.perf_counter() - t0)
+
+
+class ReplayEngine:
+    """Gate-level replay of snapshots for one (plain, non-FAME) design.
+
+    ``circuit`` must be the un-transformed RTL circuit — the gate-level
+    netlist corresponds to the tapeout design, not the FPGA simulator.
+    """
+
+    def __init__(self, circuit, flow=None, grouping=default_grouping,
+                 freq_hz=None, verify_equiv=False):
+        self.circuit = circuit
+        self.flow = flow or run_asic_flow(circuit, verify=verify_equiv)
+        self.grouping = grouping
+        self.freq_hz = freq_hz
+        self.gl = GateLevelSimulator(self.flow.netlist)
+        self._port_names = [node.name for node in circuit.inputs
+                            if node.name != HOST_ENABLE]
+
+    def _warm_up_retimed(self, reg_state):
+        """Force retimed-block inputs from the history registers."""
+        for block in self.flow.name_map.retimed:
+            for k in range(block.latency, 0, -1):
+                for _name, _width, label, hist_paths in block.inputs:
+                    self.gl.force_label(label, reg_state[hist_paths[k - 1]])
+                self.gl.step()
+            self.gl.release_all()
+
+    def replay(self, snapshot, strict=True):
+        """Replay one snapshot; returns a :class:`ReplayResult`."""
+        snapshot.validate()
+        t0 = time.perf_counter()
+        gl = self.gl
+        gl.reset()
+        self._warm_up_retimed(snapshot.state.regs)
+        commands = self.flow.name_map.load_commands(snapshot.state.regs)
+        gl.load_dffs(commands)
+        for mem_path, contents in snapshot.state.mems.items():
+            gl.load_sram(mem_path, contents)
+        gl.clear_activity()
+
+        mismatches = 0
+        for inputs, expected in zip(snapshot.input_trace,
+                                    snapshot.output_trace):
+            for port in self._port_names:
+                if port in inputs:
+                    gl.poke(port, inputs[port])
+            gl.eval()
+            for name, value in expected.items():
+                if gl.peek(name) != value:
+                    mismatches += 1
+                    if strict:
+                        raise ReplayError(
+                            f"replay mismatch at snapshot cycle "
+                            f"{snapshot.cycle}: output {name} = "
+                            f"{gl.peek(name):#x}, trace has {value:#x}")
+            gl.step()
+
+        power = analyze_power(self.flow.netlist, gl.activity(),
+                              self.flow.placement,
+                              freq_hz=self.freq_hz,
+                              grouping=self.grouping)
+        return ReplayResult(
+            snapshot_cycle=snapshot.cycle,
+            power=power,
+            cycles=gl.cycles,
+            mismatches=mismatches,
+            load_commands=len(commands),
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+    def replay_all(self, snapshots, strict=True):
+        """Replay every snapshot (the paper parallelizes this step; the
+        results are identical since replays are independent)."""
+        return [self.replay(s, strict=strict) for s in snapshots]
+
+    def replay_full_trace(self, io_trace, from_reset=True, strict=False):
+        """Ground-truth run: replay an *entire* execution's I/O trace on
+        gate level from reset (no state loading needed — gate-level reset
+        state equals RTL reset state).  This is the slow full-benchmark
+        gate-level simulation the Figure 8 validation compares against.
+
+        ``io_trace`` is a list of (inputs, outputs) dicts per cycle.
+        Returns ``(PowerReport, mismatches)``.
+        """
+        gl = self.gl
+        if from_reset:
+            for macro in self.flow.netlist.srams:
+                gl.load_sram(macro.name, [0] * macro.depth)
+            gl.reset()
+        gl.clear_activity()
+        mismatches = 0
+        for inputs, expected in io_trace:
+            for port in self._port_names:
+                if port in inputs:
+                    gl.poke(port, inputs[port])
+            gl.eval()
+            for name, value in expected.items():
+                if gl.peek(name) != value:
+                    mismatches += 1
+                    if strict:
+                        raise ReplayError(
+                            f"full-trace mismatch on output {name}")
+            gl.step()
+        power = analyze_power(self.flow.netlist, gl.activity(),
+                              self.flow.placement, freq_hz=self.freq_hz,
+                              grouping=self.grouping)
+        return power, mismatches

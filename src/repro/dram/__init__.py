@@ -1,0 +1,11 @@
+"""DRAM substrate: timing model, activity counters, power calculator."""
+
+from .timing import MemoryEndpoint, make_memory_endpoint
+from .counters import DramActivityCounters, counter_delta
+from .power_calc import Lpddr2Params, Lpddr2PowerCalculator, DramPowerReport
+
+__all__ = [
+    "MemoryEndpoint", "make_memory_endpoint",
+    "DramActivityCounters", "counter_delta",
+    "Lpddr2Params", "Lpddr2PowerCalculator", "DramPowerReport",
+]

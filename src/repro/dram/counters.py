@@ -1,0 +1,80 @@
+"""DRAM activity counters (Section IV-D).
+
+Strober attaches counters to the memory request ports; knowing the
+physical address mapping (bank-interleaved), the controller policy
+(open page), and the request stream is enough to reconstruct the DRAM's
+internal operations.  These counters track per-bank open rows and count
+row activations, reads, and writes — the inputs to the Micron-style
+power calculator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DramActivityCounters:
+    """Bank/row state tracking with open-page policy.
+
+    Address mapping is bank-interleaved: consecutive *line* addresses hit
+    consecutive banks, matching the paper's experimental setup (Micron
+    LPDDR2 S4, 8 banks, 16K rows per bank).
+    """
+
+    n_banks: int = 8
+    n_rows: int = 16 * 1024
+    line_words: int = 8
+
+    activations: int = 0
+    reads: int = 0
+    writes: int = 0
+    read_words: int = 0
+    write_words: int = 0
+    requests: int = 0
+    open_rows: dict = field(default_factory=dict)   # bank -> row
+    per_bank_activations: dict = field(default_factory=dict)
+
+    def map_address(self, word_addr):
+        """word address -> (bank, row) under bank interleaving."""
+        line = word_addr // self.line_words
+        bank = line % self.n_banks
+        row = (line // self.n_banks) % self.n_rows
+        return bank, row
+
+    def record(self, word_addr, is_write, burst_words):
+        """Account one accepted memory request."""
+        bank, row = self.map_address(word_addr)
+        self.requests += 1
+        if self.open_rows.get(bank) != row:
+            # open-page policy: a different row forces an activate
+            self.activations += 1
+            self.per_bank_activations[bank] = \
+                self.per_bank_activations.get(bank, 0) + 1
+            self.open_rows[bank] = row
+        if is_write:
+            self.writes += 1
+            self.write_words += burst_words
+        else:
+            self.reads += 1
+            self.read_words += burst_words
+
+    def row_hit_rate(self):
+        if self.requests == 0:
+            return 0.0
+        return 1.0 - self.activations / self.requests
+
+    def snapshot(self):
+        """Copy of the raw counter values (for per-window deltas)."""
+        return {
+            "activations": self.activations,
+            "reads": self.reads,
+            "writes": self.writes,
+            "read_words": self.read_words,
+            "write_words": self.write_words,
+            "requests": self.requests,
+        }
+
+
+def counter_delta(before, after):
+    return {key: after[key] - before[key] for key in after}

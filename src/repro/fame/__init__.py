@@ -1,0 +1,13 @@
+"""FAME1 transform and host-decoupled simulation."""
+
+from .transform import fame1_transform, is_fame1, Fame1Error, HOST_ENABLE
+from .channel import Channel, TraceBuffer, ChannelError
+from .simulator import (
+    Endpoint, ConstantEndpoint, Fame1Simulator, SimulationStats,
+)
+
+__all__ = [
+    "fame1_transform", "is_fame1", "Fame1Error", "HOST_ENABLE",
+    "Channel", "TraceBuffer", "ChannelError",
+    "Endpoint", "ConstantEndpoint", "Fame1Simulator", "SimulationStats",
+]

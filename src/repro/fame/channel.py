@@ -1,0 +1,81 @@
+"""Token channels for FAME1 decoupled simulation (Section IV-B1).
+
+A FAME1 simulator communicates with its host environment through
+latency-insensitive channels that carry *timing tokens*: one token per
+port per target cycle.  The target may only fire a cycle when every
+input channel has a token and every output channel has buffer space.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class ChannelError(Exception):
+    pass
+
+
+class Channel:
+    """A single-direction token queue attached to one top-level port."""
+
+    def __init__(self, name, width, direction, depth=8):
+        if direction not in ("input", "output"):
+            raise ValueError("direction must be 'input' or 'output'")
+        self.name = name
+        self.width = width
+        self.direction = direction
+        self.depth = depth
+        self._queue = deque()
+
+    def __len__(self):
+        return len(self._queue)
+
+    @property
+    def full(self):
+        return len(self._queue) >= self.depth
+
+    @property
+    def empty(self):
+        return not self._queue
+
+    def push(self, token):
+        if self.full:
+            raise ChannelError(f"channel {self.name} overflow")
+        self._queue.append(token)
+
+    def pop(self):
+        if self.empty:
+            raise ChannelError(f"channel {self.name} underflow")
+        return self._queue.popleft()
+
+    def peek(self):
+        if self.empty:
+            raise ChannelError(f"channel {self.name} empty")
+        return self._queue[0]
+
+
+class TraceBuffer:
+    """Ring buffer recording the last ``capacity`` tokens of a channel.
+
+    This is the I/O trace buffer Strober attaches to every channel so a
+    replayable snapshot can carry the design's exact I/O over the replay
+    window (Section IV-B2).
+    """
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self._buf = deque(maxlen=capacity)
+
+    def record(self, token):
+        self._buf.append(token)
+
+    def contents(self):
+        return list(self._buf)
+
+    def clear(self):
+        self._buf.clear()
+
+    def __len__(self):
+        return len(self._buf)

@@ -1,0 +1,206 @@
+"""FAME1 decoupled simulator with snapshot capture (Sections III-B, IV-B).
+
+Plays the role of the Strober-generated FPGA simulator: runs the
+FAME1-transformed target, services its I/O through host endpoints
+(memory timing model, HTIF), and captures replayable RTL snapshots via
+reservoir sampling at replay-window boundaries.
+
+Host-time accounting follows the paper's Section IV-E model: the target
+stalls while a snapshot is scanned out (``Trec``), and every
+``io_stall_period`` target cycles the host/FPGA communication costs
+``io_stall_cycles`` of host time (the paper's "stalls every 256 cycles").
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..sim import make_simulator
+from ..sampling import ReservoirSampler
+from ..scan.chains import build_scan_chain_spec
+from ..scan.snapshot import ReplayableSnapshot
+from .transform import fame1_transform, is_fame1, HOST_ENABLE
+
+
+class Endpoint:
+    """Host-side model servicing some of the target's I/O channels.
+
+    Subclasses implement :meth:`tick`, which receives the target's output
+    token from the previous target cycle and returns the input token
+    (a dict of port values) for the next one.
+    """
+
+    def tick(self, outputs):
+        raise NotImplementedError
+
+    def reset(self):
+        """Called when the simulation (re)starts."""
+
+
+class ConstantEndpoint(Endpoint):
+    """Drives fixed values; useful for tying off unused inputs."""
+
+    def __init__(self, values):
+        self._values = dict(values)
+
+    def tick(self, outputs):
+        return self._values
+
+
+class SimulationStats:
+    """Cycle and wall-clock accounting for one simulation run."""
+
+    def __init__(self):
+        self.target_cycles = 0
+        self.host_cycles = 0
+        self.snapshot_host_cycles = 0
+        self.io_stall_host_cycles = 0
+        self.record_count = 0
+        self.wall_seconds = 0.0
+        self.snapshot_wall_seconds = 0.0
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+    def simulated_rate_hz(self, host_freq_hz):
+        """Modeled target rate given an FPGA host frequency."""
+        if self.host_cycles == 0:
+            return 0.0
+        return host_freq_hz * self.target_cycles / self.host_cycles
+
+
+class Fame1Simulator:
+    """Run a FAME1-transformed circuit against host endpoints.
+
+    Args:
+        circuit: an elaborated Circuit; transformed in place unless it
+            already carries the FAME1 host-enable.
+        endpoints: list of :class:`Endpoint` whose ticks collectively
+            drive every target input port.
+        replay_length: L, the snapshot replay window in target cycles.
+        sample_size: reservoir size n (None disables sampling).
+        scan_width: scan chain word width (cost model input).
+        host_freq_hz: modeled FPGA host clock for time estimates.
+        io_stall_period / io_stall_cycles: host/target communication
+            overhead model.
+    """
+
+    def __init__(self, circuit, endpoints, replay_length=128,
+                 sample_size=None, seed=0, backend="auto", scan_width=32,
+                 host_freq_hz=50e6, io_stall_period=256, io_stall_cycles=16,
+                 sim=None):
+        if not is_fame1(circuit):
+            fame1_transform(circuit)
+        self.circuit = circuit
+        self.endpoints = list(endpoints)
+        self.replay_length = replay_length
+        self.sample_size = sample_size
+        self.scan_spec = build_scan_chain_spec(circuit, scan_width)
+        self.host_freq_hz = host_freq_hz
+        self.io_stall_period = io_stall_period
+        self.io_stall_cycles = io_stall_cycles
+        if sim is not None:
+            # Reusing a compiled simulator across runs: clear all state
+            # (including cache tag/data memories) for a clean boot.
+            self.sim = sim
+            self.sim.reset(clear_mems=True)
+        else:
+            self.sim = make_simulator(circuit, backend=backend)
+        self.sim.poke(HOST_ENABLE, 1)
+        self.stats = SimulationStats()
+        self.sampler = (ReservoirSampler(sample_size, seed=seed)
+                        if sample_size else None)
+        self._pending = []          # snapshots still recording their window
+        self._last_outputs = {}
+        self.record_full_io = False
+        self.full_io_trace = []     # (inputs, outputs) per target cycle
+        for endpoint in self.endpoints:
+            endpoint.reset()
+
+    # -- core loop -----------------------------------------------------------
+
+    def _capture_snapshot(self):
+        """Scan out the full RTL state (charges Trec host cycles)."""
+        t0 = time.perf_counter()
+        state = self.sim.snapshot()
+        snapshot = ReplayableSnapshot(
+            cycle=self.stats.target_cycles,
+            state=state,
+            replay_length=self.replay_length,
+            perf_counters=dict(self._last_outputs),
+        )
+        readout = self.scan_spec.readout_cycles()
+        self.stats.snapshot_host_cycles += readout
+        self.stats.host_cycles += readout
+        self.stats.record_count += 1
+        elapsed = time.perf_counter() - t0
+        self.stats.snapshot_wall_seconds += elapsed
+        self._pending.append(snapshot)
+        if len(self._pending) > 4:
+            self._pending = [s for s in self._pending if not s.complete]
+        return snapshot
+
+    def step_target(self):
+        """Advance the target by exactly one cycle."""
+        inputs = {}
+        for endpoint in self.endpoints:
+            produced = endpoint.tick(self._last_outputs)
+            if produced:
+                inputs.update(produced)
+        self.sim.poke_all(inputs)
+        self.sim.step()
+        outputs = self.sim.peek_all()
+        self._last_outputs = outputs
+
+        for snapshot in self._pending:
+            snapshot.record_cycle(inputs, outputs)
+        if self.record_full_io:
+            self.full_io_trace.append((inputs, outputs))
+
+        self.stats.target_cycles += 1
+        self.stats.host_cycles += 1
+        if (self.io_stall_period
+                and self.stats.target_cycles % self.io_stall_period == 0):
+            self.stats.host_cycles += self.io_stall_cycles
+            self.stats.io_stall_host_cycles += self.io_stall_cycles
+
+        if (self.sampler is not None
+                and self.stats.target_cycles % self.replay_length == 0):
+            self.sampler.offer(make_item=self._capture_snapshot)
+        return outputs
+
+    def run(self, max_cycles, stop_fn=None, progress_fn=None,
+            progress_interval=None):
+        """Run until ``stop_fn(outputs)`` is truthy or ``max_cycles``.
+
+        Returns the final outputs dict.  Wall-clock time is accumulated
+        into ``self.stats``.
+        """
+        t0 = time.perf_counter()
+        outputs = self._last_outputs
+        start = self.stats.target_cycles
+        while self.stats.target_cycles - start < max_cycles:
+            outputs = self.step_target()
+            if stop_fn is not None and stop_fn(outputs):
+                break
+            if (progress_fn is not None and progress_interval
+                    and self.stats.target_cycles % progress_interval == 0):
+                progress_fn(self)
+        self.stats.wall_seconds += time.perf_counter() - t0
+        return outputs
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def snapshots(self):
+        """The reservoir contents, restricted to complete snapshots."""
+        if self.sampler is None:
+            return []
+        return [s for s in self.sampler.sample if s.complete]
+
+    def sampling_overhead_seconds(self):
+        return self.stats.snapshot_wall_seconds
+
+    def modeled_sim_seconds(self):
+        """Host wall time predicted by the Section IV-E model."""
+        return self.stats.host_cycles / self.host_freq_hz

@@ -1,0 +1,57 @@
+"""The FAME1 transform (Figure 3 of the paper).
+
+Rewrites an elaborated circuit so the whole design can stall under host
+control: a global ``host_en`` input gates every register update and
+memory write (the "globally enabled mux before each register").  The
+token-channel wrapping itself lives in :mod:`repro.fame.simulator`; this
+pass provides the hardware half.
+"""
+
+from __future__ import annotations
+
+from ..hdl.ir import Node, mux
+
+HOST_ENABLE = "host_en"
+
+
+class Fame1Error(Exception):
+    pass
+
+
+def fame1_transform(circuit):
+    """Apply the FAME1 transform in place and return channel metadata.
+
+    Returns a dict describing the I/O channels (one per original port)
+    that a host-side simulator must service.
+    """
+    for node in circuit.inputs:
+        if node.name == HOST_ENABLE:
+            raise Fame1Error("circuit already FAME1-transformed")
+
+    host_en = Node("input", 1, name=HOST_ENABLE)
+    host_en.path = HOST_ENABLE
+
+    channels = {"inputs": [], "outputs": []}
+    for node in circuit.inputs:
+        channels["inputs"].append((node.name, node.width))
+    for name, driver in circuit.outputs:
+        channels["outputs"].append((name, driver.width))
+
+    # Enable mux in front of every register.
+    for reg in circuit.regs:
+        nxt = circuit.reg_next[reg]
+        circuit.reg_next[reg] = mux(host_en, nxt, reg)
+
+    # Gate every memory write.
+    for mem in circuit.mems:
+        mem.writes = [(addr, data, en & host_en)
+                      for addr, data, en in mem.writes]
+
+    circuit.inputs.append(host_en)
+    circuit.retopo()
+    circuit.fame1_channels = channels
+    return channels
+
+
+def is_fame1(circuit):
+    return any(node.name == HOST_ENABLE for node in circuit.inputs)

@@ -1,0 +1,33 @@
+"""Gate-level CAD substrate: synthesis, placement, simulation, power.
+
+The stand-in for the commercial tool chain of Figure 5:
+Design Compiler -> :mod:`synthesis`, IC Compiler -> :mod:`placement`,
+VCS -> :mod:`gl_sim`, Formality -> :mod:`formal`,
+PrimeTime PX -> :mod:`power`.
+"""
+
+from .library import CELLS, TECH_45NM, TechParams, SramSpec, CellSpec
+from .netlist import GateNetlist, Gate, Dff, SramMacro, CONST0, CONST1
+from .synthesis import (
+    synthesize, SynthesisError, SynthesisHints, DffHint, RetimedHint,
+    mangle,
+)
+from .placement import place, Placement, ClusterBox
+from .gl_sim import GateLevelSimulator, GateSimError
+from .formal import (
+    match_netlist, verify_equivalence, NameMap, MatchPoint, MatchError,
+    EquivalenceResult,
+)
+from .power import analyze_power, PowerReport, default_grouping
+
+__all__ = [
+    "CELLS", "TECH_45NM", "TechParams", "SramSpec", "CellSpec",
+    "GateNetlist", "Gate", "Dff", "SramMacro", "CONST0", "CONST1",
+    "synthesize", "SynthesisError", "SynthesisHints", "DffHint",
+    "RetimedHint", "mangle",
+    "place", "Placement", "ClusterBox",
+    "GateLevelSimulator", "GateSimError",
+    "match_netlist", "verify_equivalence", "NameMap", "MatchPoint",
+    "MatchError", "EquivalenceResult",
+    "analyze_power", "PowerReport", "default_grouping",
+]

@@ -1,0 +1,296 @@
+"""Gate-level simulation with switching-activity collection (VCS analog).
+
+Levelized zero-delay simulation over the synthesized netlist.  Gates are
+grouped by (level, cell) and evaluated with vectorized numpy ops; per-net
+toggle counts (the SAIF input to power analysis) and SRAM access counts
+are collected as the simulation runs.
+
+Supports net *forcing* (the Verilog ``force`` used to warm up retimed
+datapaths during replay, Section IV-C3) and direct DFF state loading via
+the VPI-style bulk loader interface (Section IV-C2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .netlist import CONST0, CONST1
+
+
+class GateSimError(Exception):
+    pass
+
+
+class GateLevelSimulator:
+    """Simulate a GateNetlist cycle by cycle, counting activity."""
+
+    def __init__(self, netlist):
+        self.netlist = netlist
+        self._values = np.zeros(netlist.n_nets, dtype=np.uint8)
+        self._values[CONST1] = 1
+        self._prev = self._values.copy()
+        self._levels = []          # list of level descriptors
+        self._dff_d = np.zeros(max(len(netlist.dffs), 1), dtype=np.int64)
+        self._dff_q = np.zeros(max(len(netlist.dffs), 1), dtype=np.int64)
+        self._dff_init = np.zeros(max(len(netlist.dffs), 1), dtype=np.uint8)
+        self._dff_index = {}
+        self._forces = {}          # net -> value
+        self._force_nets = None
+        self._force_vals = None
+        self.cycles = 0
+        self.toggles = np.zeros(netlist.n_nets, dtype=np.int64)
+        self.sram_reads = [0] * len(netlist.srams)
+        self.sram_writes = [0] * len(netlist.srams)
+        self._sram_data = [[0] * macro.depth for macro in netlist.srams]
+        self._sram_last_addr = {}
+        self._build_schedule()
+        self.reset()
+
+    # -- construction -----------------------------------------------------
+
+    def _build_schedule(self):
+        netlist = self.netlist
+        level_of = np.zeros(netlist.n_nets, dtype=np.int32)
+
+        producers = []
+        for gate in netlist.gates:
+            producers.append((gate.output, "gate", gate))
+        for macro_idx, macro in enumerate(netlist.srams):
+            for port_idx, (addr, data) in enumerate(macro.read_ports):
+                key = min(data) if data else 0
+                producers.append((key, "ram", (macro_idx, port_idx)))
+        producers.sort(key=lambda item: item[0])
+
+        schedule = {}  # level -> {"gates": {cell: [...]}, "rams": [...]}
+
+        def at_level(level):
+            return schedule.setdefault(level, {"gates": {}, "rams": []})
+
+        for _, kind, payload in producers:
+            if kind == "gate":
+                gate = payload
+                level = 1 + max((level_of[n] for n in gate.inputs),
+                                default=0)
+                level_of[gate.output] = level
+                at_level(level)["gates"].setdefault(gate.cell, []).append(
+                    gate)
+            else:
+                macro_idx, port_idx = payload
+                macro = self.netlist.srams[macro_idx]
+                addr, data = macro.read_ports[port_idx]
+                level = 1 + max((level_of[n] for n in addr), default=0)
+                for n in data:
+                    level_of[n] = level
+                at_level(level)["rams"].append((macro_idx, port_idx))
+
+        self.depth = max(schedule) if schedule else 0
+        self._levels = []
+        for level in sorted(schedule):
+            entry = schedule[level]
+            groups = []
+            for cell, gates in entry["gates"].items():
+                outs = np.array([g.output for g in gates], dtype=np.int64)
+                in0 = np.array([g.inputs[0] for g in gates], dtype=np.int64)
+                in1 = (np.array([g.inputs[1] for g in gates],
+                                dtype=np.int64)
+                       if cell not in ("INV", "BUF") else None)
+                in2 = (np.array([g.inputs[2] for g in gates],
+                                dtype=np.int64)
+                       if cell == "MUX2" else None)
+                groups.append((cell, outs, in0, in1, in2))
+            self._levels.append((groups, entry["rams"]))
+
+        for i, dff in enumerate(self.netlist.dffs):
+            self._dff_d[i] = dff.d
+            self._dff_q[i] = dff.q
+            self._dff_init[i] = dff.init
+            self._dff_index[dff.name] = i
+
+        # precompute read-port bit weights for address assembly
+        self._ram_ports = []
+        for macro_idx, macro in enumerate(self.netlist.srams):
+            ports = []
+            for addr, data in macro.read_ports:
+                addr_arr = np.array(addr, dtype=np.int64)
+                addr_w = np.array([1 << i for i in range(len(addr))],
+                                  dtype=np.int64)
+                data_arr = np.array(data, dtype=np.int64)
+                ports.append((addr_arr, addr_w, data_arr))
+            self._ram_ports.append(ports)
+
+    # -- state ---------------------------------------------------------------
+
+    def reset(self):
+        """Registers to init values, memories preserved, counters kept."""
+        if len(self.netlist.dffs):
+            self._values[self._dff_q[:len(self.netlist.dffs)]] = \
+                self._dff_init[:len(self.netlist.dffs)]
+
+    def clear_activity(self):
+        self.toggles[:] = 0
+        self.cycles = 0
+        self.sram_reads = [0] * len(self.netlist.srams)
+        self.sram_writes = [0] * len(self.netlist.srams)
+        self._prev = self._values.copy()
+
+    def load_dff(self, name, value):
+        """Direct state load (the VPI bulk-loader path)."""
+        idx = self._dff_index.get(name)
+        if idx is None:
+            raise GateSimError(f"no DFF named {name!r}")
+        self._values[self.netlist.dffs[idx].q] = value & 1
+
+    def load_dffs(self, values):
+        """Bulk load {name: bit}; returns number of commands executed."""
+        for name, value in values.items():
+            self.load_dff(name, value)
+        return len(values)
+
+    def load_sram(self, name, contents):
+        for idx, macro in enumerate(self.netlist.srams):
+            if macro.name == name:
+                if len(contents) != macro.depth:
+                    raise GateSimError(f"SRAM {name} depth mismatch")
+                self._sram_data[idx][:] = contents
+                return
+        raise GateSimError(f"no SRAM named {name!r}")
+
+    def read_sram(self, name, addr):
+        for idx, macro in enumerate(self.netlist.srams):
+            if macro.name == name:
+                return self._sram_data[idx][addr]
+        raise GateSimError(f"no SRAM named {name!r}")
+
+    # -- forcing ----------------------------------------------------------------
+
+    def force_label(self, label, value):
+        """Force a preserved multi-bit net group to an integer value."""
+        nets = self.netlist.preserved_nets.get(label)
+        if nets is None:
+            raise GateSimError(f"no preserved nets labelled {label!r}")
+        for i, net in enumerate(nets):
+            self._forces[net] = (value >> i) & 1
+        self._rebuild_force_arrays()
+
+    def release_all(self):
+        self._forces.clear()
+        self._rebuild_force_arrays()
+
+    def _rebuild_force_arrays(self):
+        if self._forces:
+            self._force_nets = np.array(list(self._forces), dtype=np.int64)
+            self._force_vals = np.array(
+                [self._forces[n] for n in self._forces], dtype=np.uint8)
+        else:
+            self._force_nets = None
+            self._force_vals = None
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def poke(self, port, value):
+        nets = self.netlist.inputs.get(port)
+        if nets is None:
+            raise GateSimError(f"no input port {port!r}")
+        for i, net in enumerate(nets):
+            self._values[net] = (value >> i) & 1
+
+    def peek(self, port):
+        nets = self.netlist.outputs.get(port)
+        if nets is None:
+            raise GateSimError(f"no output port {port!r}")
+        value = 0
+        for i, net in enumerate(nets):
+            value |= int(self._values[net]) << i
+        return value
+
+    def peek_all(self):
+        return {name: self.peek(name) for name in self.netlist.outputs}
+
+    def peek_net(self, net):
+        return int(self._values[net])
+
+    def eval(self):
+        """Settle combinational logic for the current inputs/state."""
+        v = self._values
+        if self._force_nets is not None:
+            v[self._force_nets] = self._force_vals
+        for groups, rams in self._levels:
+            for cell, outs, in0, in1, in2 in groups:
+                if cell == "INV":
+                    v[outs] = v[in0] ^ 1
+                elif cell == "BUF":
+                    v[outs] = v[in0]
+                elif cell == "AND2":
+                    v[outs] = v[in0] & v[in1]
+                elif cell == "OR2":
+                    v[outs] = v[in0] | v[in1]
+                elif cell == "XOR2":
+                    v[outs] = v[in0] ^ v[in1]
+                elif cell == "XNOR2":
+                    v[outs] = (v[in0] ^ v[in1]) ^ 1
+                elif cell == "NAND2":
+                    v[outs] = (v[in0] & v[in1]) ^ 1
+                elif cell == "NOR2":
+                    v[outs] = (v[in0] | v[in1]) ^ 1
+                elif cell == "MUX2":
+                    sel = v[in0]
+                    v[outs] = np.where(sel, v[in1], v[in2])
+                else:
+                    raise GateSimError(f"unknown cell {cell}")
+            for macro_idx, port_idx in rams:
+                addr_arr, addr_w, data_arr = \
+                    self._ram_ports[macro_idx][port_idx]
+                addr = int(v[addr_arr] @ addr_w)
+                macro = self.netlist.srams[macro_idx]
+                word = (self._sram_data[macro_idx][addr]
+                        if addr < macro.depth else 0)
+                v[data_arr] = (word >> np.arange(len(data_arr))) & 1
+                key = (macro_idx, port_idx)
+                if self._sram_last_addr.get(key) != addr:
+                    self._sram_last_addr[key] = addr
+                    self.sram_reads[macro_idx] += 1
+            if self._force_nets is not None:
+                v[self._force_nets] = self._force_vals
+
+    def step(self, n=1):
+        """Advance n clock cycles (eval, count activity, commit state)."""
+        for _ in range(n):
+            self.eval()
+            self.toggles += self._values != self._prev
+            np.copyto(self._prev, self._values)
+            self._commit()
+            self.cycles += 1
+
+    def _commit(self):
+        # SRAM writes sample their nets before DFF outputs change: a write
+        # port's address/data may be a register output net directly.
+        v = self._values
+        for macro_idx, macro in enumerate(self.netlist.srams):
+            data_store = self._sram_data[macro_idx]
+            for en, addr_nets, data_nets in macro.write_ports:
+                if not v[en]:
+                    continue
+                addr = 0
+                for i, net in enumerate(addr_nets):
+                    addr |= int(v[net]) << i
+                if addr >= macro.depth:
+                    continue
+                word = 0
+                for i, net in enumerate(data_nets):
+                    word |= int(v[net]) << i
+                data_store[addr] = word
+                self.sram_writes[macro_idx] += 1
+        n_dff = len(self.netlist.dffs)
+        if n_dff:
+            v[self._dff_q[:n_dff]] = v[self._dff_d[:n_dff]]
+
+    # -- activity export -------------------------------------------------------------
+
+    def activity(self):
+        """Return a SAIF-style activity summary for power analysis."""
+        return {
+            "cycles": self.cycles,
+            "toggles": self.toggles.copy(),
+            "sram_reads": list(self.sram_reads),
+            "sram_writes": list(self.sram_writes),
+        }

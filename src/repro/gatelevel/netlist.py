@@ -1,0 +1,105 @@
+"""Gate-level netlist data structures.
+
+A :class:`GateNetlist` is the synthesis output: single-bit nets, simple
+gates, DFFs, SRAM macros, and primary I/O.  Net 0 is constant 0 and net
+1 is constant 1.  Every gate and DFF carries an ``origin`` attribution
+path (the RTL hierarchy it came from) so power can be broken down by
+module as in the paper's Figure 9a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CONST0 = 0
+CONST1 = 1
+
+
+@dataclass
+class Gate:
+    cell: str            # key into library.CELLS (not DFF)
+    inputs: tuple        # net ids; MUX2 order (sel, a, b)
+    output: int          # net id
+    origin: str = ""     # RTL hierarchical path for power attribution
+
+
+@dataclass
+class Dff:
+    d: int               # data input net
+    q: int               # output net
+    init: int            # reset value bit
+    name: str            # mangled gate-level instance name
+    origin: str = ""
+
+
+@dataclass
+class SramMacro:
+    """One memory macro with async read ports and sync write ports."""
+
+    name: str
+    depth: int
+    width: int
+    origin: str = ""
+    # read ports: (addr_nets lsb-first, data_nets lsb-first)
+    read_ports: list = field(default_factory=list)
+    # write ports: (en_net, addr_nets, data_nets)
+    write_ports: list = field(default_factory=list)
+
+
+class GateNetlist:
+    """Flat single-bit netlist with attribution and name tables."""
+
+    def __init__(self, name):
+        self.name = name
+        self.n_nets = 2                      # const0, const1 pre-allocated
+        self.gates = []                      # list[Gate]
+        self.dffs = []                       # list[Dff]
+        self.srams = []                      # list[SramMacro]
+        self.inputs = {}                     # port name -> [net ids] lsb0
+        self.outputs = {}                    # port name -> [net ids] lsb0
+        self.net_names = {}                  # net id -> mangled name
+        self.preserved_nets = {}             # label -> [net ids]
+
+    def new_net(self, name=None):
+        net = self.n_nets
+        self.n_nets += 1
+        if name is not None:
+            self.net_names[net] = name
+        return net
+
+    def new_nets(self, count):
+        start = self.n_nets
+        self.n_nets += count
+        return list(range(start, start + count))
+
+    def add_gate(self, cell, inputs, origin=""):
+        out = self.new_net()
+        self.gates.append(Gate(cell, tuple(inputs), out, origin))
+        return out
+
+    def add_dff(self, d, init, name, origin=""):
+        q = self.new_net(name)
+        self.dffs.append(Dff(d, q, init, name, origin))
+        return q
+
+    def cell_histogram(self):
+        counts = {}
+        for gate in self.gates:
+            counts[gate.cell] = counts.get(gate.cell, 0) + 1
+        counts["DFF"] = len(self.dffs)
+        return counts
+
+    def stats(self):
+        return {
+            "nets": self.n_nets,
+            "gates": len(self.gates),
+            "dffs": len(self.dffs),
+            "srams": len(self.srams),
+            "cells": self.cell_histogram(),
+        }
+
+    def dff_by_name(self, name):
+        for dff in self.dffs:
+            if dff.name == name:
+                return dff
+        raise KeyError(name)

@@ -1,0 +1,141 @@
+"""Power analysis from switching activity (the PrimeTime PX analog).
+
+Consumes a SAIF-style activity summary (per-net toggle counts + SRAM
+access counts) plus the placed netlist, and produces total and
+per-module-group power:
+
+* switching power: per net, ``toggles/cycle × ½·C_net·V² × f`` where
+  ``C_net`` = driver output cap + fanout input pin caps + wire cap;
+* clock tree power: every DFF clock pin toggles twice per cycle;
+* SRAM power: per-access read/write energy from the macro model;
+* leakage: per-cell and per-macro static power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .library import CELLS, SramSpec, TECH_45NM
+
+
+@dataclass
+class PowerReport:
+    """Average power over one activity window, in watts."""
+
+    total_w: float
+    switching_w: float
+    clock_w: float
+    sram_dynamic_w: float
+    leakage_w: float
+    cycles: int
+    freq_hz: float
+    by_group: dict = field(default_factory=dict)   # group -> watts
+
+    @property
+    def total_mw(self):
+        return self.total_w * 1e3
+
+    def group_mw(self, group):
+        return self.by_group.get(group, 0.0) * 1e3
+
+    def scaled_breakdown_mw(self):
+        return {g: w * 1e3 for g, w in sorted(self.by_group.items())}
+
+
+def default_grouping(origin):
+    """Map an RTL hierarchy path to a report group (first segment)."""
+    if not origin:
+        return "(top)"
+    return origin.split(".")[0]
+
+
+def analyze_power(netlist, activity, placement=None, tech=TECH_45NM,
+                  freq_hz=None, grouping=default_grouping):
+    """Compute a :class:`PowerReport` for one activity window."""
+    freq_hz = freq_hz or tech.default_freq_hz
+    cycles = activity["cycles"]
+    if cycles <= 0:
+        raise ValueError("activity window has zero cycles")
+    toggles = activity["toggles"]
+    seconds = cycles / freq_hz
+    vdd2 = tech.vdd * tech.vdd
+
+    # Per-net capacitance: driver output + sink input pins + wire.
+    net_cap = np.zeros(netlist.n_nets)
+    if placement is not None and placement.net_wire_cap_ff is not None:
+        net_cap += placement.net_wire_cap_ff
+    driver_group = [None] * netlist.n_nets
+
+    for gate in netlist.gates:
+        spec = CELLS[gate.cell]
+        net_cap[gate.output] += spec.output_cap_ff
+        for net in gate.inputs:
+            net_cap[net] += spec.input_cap_ff
+        driver_group[gate.output] = grouping(gate.origin)
+    dff_spec = CELLS["DFF"]
+    for dff in netlist.dffs:
+        net_cap[dff.q] += dff_spec.output_cap_ff
+        net_cap[dff.d] += dff_spec.input_cap_ff
+        driver_group[dff.q] = grouping(dff.origin)
+
+    # Switching energy, attributed to each net's driver.
+    energy_fj = toggles * net_cap * 0.5 * vdd2
+    by_group = {}
+
+    def add(group, femtojoules):
+        watts = femtojoules * 1e-15 / seconds
+        by_group[group] = by_group.get(group, 0.0) + watts
+        return watts
+
+    switching_w = 0.0
+    nonzero = np.nonzero(energy_fj)[0]
+    for net in nonzero:
+        group = driver_group[net] or "(io)"
+        switching_w += add(group, float(energy_fj[net]))
+
+    # Clock tree: two transitions per cycle into every DFF clock pin.
+    clock_w = 0.0
+    clk_cap = tech.clock_pin_cap_ff * tech.clock_wire_factor
+    clk_energy_per_ff_fj = 2 * 0.5 * clk_cap * vdd2 * cycles
+    for dff in netlist.dffs:
+        clock_w += add(grouping(dff.origin), clk_energy_per_ff_fj)
+
+    # SRAM access energy.
+    sram_dynamic_w = 0.0
+    for idx, macro in enumerate(netlist.srams):
+        spec = SramSpec(macro.depth, macro.width)
+        fj = (activity["sram_reads"][idx] * spec.read_energy_fj
+              + activity["sram_writes"][idx] * spec.write_energy_fj)
+        sram_dynamic_w += add(grouping(macro.origin), fj)
+
+    # Leakage (time-invariant).
+    leakage_w = 0.0
+    for gate in netlist.gates:
+        nw = CELLS[gate.cell].leakage_nw
+        group = grouping(gate.origin)
+        by_group[group] = by_group.get(group, 0.0) + nw * 1e-9
+        leakage_w += nw * 1e-9
+    for dff in netlist.dffs:
+        nw = dff_spec.leakage_nw
+        group = grouping(dff.origin)
+        by_group[group] = by_group.get(group, 0.0) + nw * 1e-9
+        leakage_w += nw * 1e-9
+    for macro in netlist.srams:
+        nw = SramSpec(macro.depth, macro.width).leakage_nw
+        group = grouping(macro.origin)
+        by_group[group] = by_group.get(group, 0.0) + nw * 1e-9
+        leakage_w += nw * 1e-9
+
+    total = switching_w + clock_w + sram_dynamic_w + leakage_w
+    return PowerReport(
+        total_w=total,
+        switching_w=switching_w,
+        clock_w=clock_w,
+        sram_dynamic_w=sram_dynamic_w,
+        leakage_w=leakage_w,
+        cycles=cycles,
+        freq_hz=freq_hz,
+        by_group=by_group,
+    )

@@ -1,0 +1,18 @@
+"""Hardware construction DSL (the Chisel analog).
+
+Public surface:
+
+* :class:`Module` — subclass and define ``build()``.
+* :func:`elaborate` — flatten a module tree into a :class:`Circuit`.
+* Node constructors/combinators: :func:`const`, :func:`mux`, :func:`cat`.
+"""
+
+from .ir import Node, MemDecl, const, lift, mux, cat, mask, MAX_WIDTH
+from .dsl import Module, Instance, current_module
+from .elaborate import elaborate, Circuit, ElaborationError
+
+__all__ = [
+    "Node", "MemDecl", "const", "lift", "mux", "cat", "mask", "MAX_WIDTH",
+    "Module", "Instance", "current_module",
+    "elaborate", "Circuit", "ElaborationError",
+]

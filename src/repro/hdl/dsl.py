@@ -1,0 +1,274 @@
+"""Module builder layer of the hardware DSL (the Chisel frontend analog).
+
+A hardware design is a tree of :class:`Module` objects.  Subclasses define
+structure in :meth:`Module.build` using ``self.input/output/reg/wire/mem``
+plus ``when``/``elsewhen``/``otherwise`` conditional assignment blocks.
+Connections use ``target <<= value`` (last connect wins, like Chisel).
+"""
+
+from __future__ import annotations
+
+from . import ir
+from .ir import Node, MemDecl, lift, mux
+
+_BUILD_STACK = []
+
+
+def _module_hook():
+    return _BUILD_STACK[-1] if _BUILD_STACK else None
+
+
+ir.CURRENT_MODULE_HOOK = _module_hook
+
+
+def current_module():
+    """The module currently executing its ``build()`` body."""
+    if not _BUILD_STACK:
+        raise RuntimeError("no module is being built; `<<=` is only legal "
+                           "inside Module.build()")
+    return _BUILD_STACK[-1]
+
+
+class _CondBlock:
+    """Context manager implementing when/elsewhen/otherwise."""
+
+    def __init__(self, module, cond):
+        self._module = module
+        self._cond = cond
+
+    def __enter__(self):
+        self._module._cond_stack.append(self._cond)
+        self._module._chain_stack.append(None)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._module._cond_stack.pop()
+        self._module._chain_stack.pop()
+        if exc_type is None:
+            self._module._merge_chain(self._cond)
+        return False
+
+
+class Instance:
+    """Handle to an instantiated child module; index by port name."""
+
+    def __init__(self, module):
+        self.module = module
+
+    def __getitem__(self, port_name):
+        return self.module.port(port_name)
+
+    def __setitem__(self, port_name, value):
+        port = self.module.port(port_name)
+        if value is port:
+            return  # `inst["a"] <<= x` already recorded the connection
+        current_module().assign(port, value)
+
+    def __getattr__(self, port_name):
+        try:
+            return self.module.port(port_name)
+        except KeyError:
+            raise AttributeError(port_name) from None
+
+
+class Module:
+    """Base class for hardware modules.
+
+    Subclasses set their parameters in ``__init__`` (calling
+    ``super().__init__(name)``) and create hardware in ``build()``.
+    Building is lazy: it happens the first time the module is instanced
+    into a parent or elaborated as a design top.
+    """
+
+    def __init__(self, name=None):
+        self.name = name or type(self).__name__
+        self._inputs = {}      # name -> Node('input')
+        self._outputs = {}     # name -> assignable Node('wire')
+        self._regs = []
+        self._mems = []
+        self._wires = []
+        self._instances = []   # (inst_name, Module)
+        self._assigns = {}     # target Node -> [(cond Node|None, value Node)]
+        self._assign_order = []
+        self._cond_stack = []
+        self._chain_stack = [None]   # pending elsewhen chain per depth
+        self._built = False
+        self._building = False
+        self._retime_latency = None
+
+    # -- construction helpers --------------------------------------------
+
+    def _ensure_built(self):
+        if self._built:
+            return
+        if self._building:
+            raise RuntimeError(f"recursive build of module {self.name}")
+        self._building = True
+        _BUILD_STACK.append(self)
+        try:
+            self.build()
+        finally:
+            _BUILD_STACK.pop()
+            self._building = False
+        self._built = True
+
+    def build(self):
+        raise NotImplementedError(
+            f"{type(self).__name__} must define build()")
+
+    def input(self, name, width):
+        """Declare an input port."""
+        self._check_port_name(name)
+        node = Node("input", width, name=name)
+        node._module = self
+        self._inputs[name] = node
+        return node
+
+    def output(self, name, width, value=None):
+        """Declare an output port; optionally drive it immediately."""
+        self._check_port_name(name)
+        node = Node("wire", width, (lift(0, width=width),), name=name)
+        node._module = self
+        node.params = "output"
+        self._outputs[name] = node
+        if value is not None:
+            self.assign(node, value)
+        return node
+
+    def _check_port_name(self, name):
+        if name in self._inputs or name in self._outputs:
+            raise ValueError(f"duplicate port name {name!r} in {self.name}")
+
+    def reg(self, name, width, init=0):
+        """Declare a register with the given reset value."""
+        node = Node("reg", width, name=name)
+        node.init = init & ((1 << width) - 1)
+        node._module = self
+        self._regs.append(node)
+        return node
+
+    def wire(self, name, width, default=None):
+        """Declare a named combinational wire (assign with ``<<=``)."""
+        node = Node("wire", width, (lift(0, width=width),), name=name)
+        node._module = self
+        self._wires.append(node)
+        if default is not None:
+            self.assign(node, default)
+        return node
+
+    def mem(self, name, depth, width):
+        """Declare a memory array."""
+        decl = MemDecl(name, depth, width)
+        decl._module = self
+        self._mems.append(decl)
+        return decl
+
+    def mem_read_sync(self, memory, addr, name=None):
+        """Registered-address read: data valid one cycle after ``addr``.
+
+        Models SRAM/BRAM read latency (read-during-write sees new data).
+        """
+        addr = lift(addr)
+        addr_reg = self.reg(name or f"{memory.name}_raddr_r",
+                            memory.addr_width)
+        self.assign(addr_reg, addr)
+        return memory.read(addr_reg)
+
+    def mem_write(self, memory, addr, data, en=1):
+        """Write port; enable is ANDed with the enclosing when conditions."""
+        addr = lift(addr)
+        data = lift(data, hint_width=memory.width).resize(memory.width)
+        en = lift(en)
+        cond = self._current_condition()
+        if cond is not None:
+            en = en & cond
+        memory.writes.append((addr.resize(memory.addr_width), data, en))
+
+    def instance(self, child, name=None):
+        """Instantiate a child module; returns an :class:`Instance`."""
+        child._ensure_built()
+        inst_name = name or f"{child.name}_{len(self._instances)}"
+        child.name = inst_name
+        self._instances.append((inst_name, child))
+        return Instance(child)
+
+    def port(self, name):
+        """Look up one of this module's ports by name."""
+        if name in self._inputs:
+            return self._inputs[name]
+        if name in self._outputs:
+            return self._outputs[name]
+        raise KeyError(f"module {self.name} has no port {name!r}")
+
+    # -- conditional assignment -------------------------------------------
+
+    def when(self, cond):
+        self._chain_stack[-1] = None   # start a new chain at this depth
+        return _CondBlock(self, lift(cond))
+
+    def elsewhen(self, cond):
+        chain = self._chain_stack[-1]
+        if chain is None:
+            raise RuntimeError("elsewhen without a preceding when")
+        eff = ~chain & lift(cond)
+        return _CondBlock(self, eff)
+
+    def otherwise(self):
+        chain = self._chain_stack[-1]
+        if chain is None:
+            raise RuntimeError("otherwise without a preceding when")
+        block = _CondBlock(self, ~chain)
+        self._chain_stack[-1] = None
+        return block
+
+    def _merge_chain(self, cond):
+        chain = self._chain_stack[-1]
+        self._chain_stack[-1] = cond if chain is None else (chain | cond)
+
+    def _current_condition(self):
+        cond = None
+        for c in self._cond_stack:
+            cond = c if cond is None else (cond & c)
+        return cond
+
+    def assign(self, target, value):
+        """Connect ``value`` to ``target`` under the current conditions."""
+        if not isinstance(target, Node):
+            raise TypeError("assignment target must be a reg/wire/port node")
+        if target.op == "input":
+            if target._module is self:
+                raise ValueError(
+                    f"cannot drive own input port {target.name!r}")
+        elif target.op not in ("reg", "wire"):
+            raise TypeError(f"cannot assign to op {target.op!r}")
+        value = lift(value, hint_width=target.width).resize(target.width)
+        cond = self._current_condition()
+        if target not in self._assigns:
+            self._assigns[target] = []
+            self._assign_order.append(target)
+        self._assigns[target].append((cond, value))
+
+    def mark_retimed(self, latency):
+        """Declare this module a retimed datapath of the given latency.
+
+        Mirrors the designer annotation of Strober Section IV-C3: CAD
+        tools may freely rebalance the module's internal registers, so
+        gate-level replays must recover its state by forcing its inputs
+        for ``latency`` cycles.  Elaboration adds the input history shift
+        registers the paper describes.
+        """
+        if latency < 1:
+            raise ValueError("retime latency must be >= 1")
+        self._retime_latency = latency
+
+    # -- misc ---------------------------------------------------------------
+
+    def all_modules(self):
+        """This module and all transitive children, depth first."""
+        result = [self]
+        for _, child in self._instances:
+            result.extend(child.all_modules())
+        return result
+
+
+__all__ = ["Module", "Instance", "current_module", "mux"]

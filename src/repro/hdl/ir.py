@@ -1,0 +1,378 @@
+"""Intermediate representation for the repro hardware construction DSL.
+
+This is the analog of Chisel's backend IR (FIRRTL): a dataflow graph of
+``Node`` objects plus ``MemDecl`` memories.  Custom transforms (the FAME1
+transform, scan-chain insertion, synthesis) manipulate this IR, which is
+the property of Chisel the Strober paper leans on (Section IV-A).
+
+Signals are unsigned bit vectors up to 64 bits wide.  Signed behaviour is
+expressed through dedicated ops (``lts``, ``sra``) or by explicit sign
+extension in the DSL layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+MAX_WIDTH = 64
+
+# Source ops: no combinational arguments.
+SOURCE_OPS = frozenset({"const", "input", "reg"})
+
+# op -> number of arguments (None: variable)
+OP_ARITY = {
+    "const": 0,
+    "input": 0,
+    "reg": 0,
+    "wire": 1,  # alias; eliminated at elaboration
+    "memread": 1,
+    "not": 1,
+    "orr": 1,
+    "andr": 1,
+    "xorr": 1,
+    "add": 2,
+    "sub": 2,
+    "mul": 2,
+    "divu": 2,
+    "modu": 2,
+    "and": 2,
+    "or": 2,
+    "xor": 2,
+    "shl": 2,
+    "shr": 2,
+    "sra": 2,
+    "eq": 2,
+    "neq": 2,
+    "ltu": 2,
+    "leu": 2,
+    "lts": 2,
+    "les": 2,
+    "cat": 2,
+    "bits": 1,
+    "mux": 3,
+}
+
+_uid_counter = itertools.count()
+
+# Set by the DSL layer so every node remembers the module whose build()
+# created it (used for per-module power attribution downstream).
+CURRENT_MODULE_HOOK = None
+
+
+def mask(width):
+    """All-ones mask for a bit vector of the given width."""
+    return (1 << width) - 1
+
+
+class Node:
+    """A single IR node: a constant, port, register, or operator result.
+
+    Nodes form a DAG through ``args``.  Identity (not structure) defines
+    equality so nodes can be used as dict keys while the graph is being
+    rewritten by transform passes.
+    """
+
+    __slots__ = (
+        "uid", "op", "width", "args", "params", "name", "path",
+        "init", "mem", "_module",
+    )
+
+    def __init__(self, op, width, args=(), params=None, name=None):
+        if op not in OP_ARITY:
+            raise ValueError(f"unknown op {op!r}")
+        if width < 1 or width > MAX_WIDTH:
+            raise ValueError(
+                f"node width {width} out of range 1..{MAX_WIDTH} (op={op})")
+        arity = OP_ARITY[op]
+        if arity is not None and len(args) != arity:
+            raise ValueError(f"op {op!r} expects {arity} args, got {len(args)}")
+        self.uid = next(_uid_counter)
+        self.op = op
+        self.width = width
+        self.args = tuple(args)
+        self.params = params
+        self.name = name
+        self.path = None      # hierarchical name, filled at elaboration
+        self.init = 0         # reset value, for regs
+        self.mem = None       # MemDecl, for memread nodes
+        self._module = None   # owning Module, for regs/wires/ports
+        if CURRENT_MODULE_HOOK is not None:
+            self._module = CURRENT_MODULE_HOOK()
+
+    def __repr__(self):
+        label = self.name or f"_{self.uid}"
+        return f"<{self.op}:{self.width} {label}>"
+
+    # -- DSL operator overloads ------------------------------------------
+    # Comparisons are methods (eq/ne/ult/...) rather than ==/< overloads so
+    # that nodes stay safely usable as dict keys and in sets.
+
+    def _lift(self, other):
+        return lift(other, hint_width=self.width)
+
+    def __add__(self, other):
+        other = self._lift(other)
+        return Node("add", min(max(self.width, other.width) + 1,
+                               MAX_WIDTH), (self, other))
+
+    def __radd__(self, other):
+        return self._lift(other).__add__(self)
+
+    def __sub__(self, other):
+        other = self._lift(other)
+        return Node("sub", min(max(self.width, other.width) + 1,
+                               MAX_WIDTH), (self, other))
+
+    def __rsub__(self, other):
+        return self._lift(other).__sub__(self)
+
+    def __mul__(self, other):
+        other = self._lift(other)
+        return Node("mul", min(self.width + other.width, MAX_WIDTH),
+                    (self, other))
+
+    def __and__(self, other):
+        other = self._lift(other)
+        return Node("and", max(self.width, other.width), (self, other))
+
+    def __rand__(self, other):
+        return self.__and__(other)
+
+    def __or__(self, other):
+        other = self._lift(other)
+        return Node("or", max(self.width, other.width), (self, other))
+
+    def __ror__(self, other):
+        return self.__or__(other)
+
+    def __xor__(self, other):
+        other = self._lift(other)
+        return Node("xor", max(self.width, other.width), (self, other))
+
+    def __rxor__(self, other):
+        return self.__xor__(other)
+
+    def __invert__(self):
+        return Node("not", self.width, (self,))
+
+    def __lshift__(self, other):
+        if isinstance(other, int):
+            shifted = Node("shl", min(self.width + other, MAX_WIDTH),
+                           (self, lift(other)))
+            return shifted
+        other = lift(other)
+        return Node("shl", self.width, (self, other))
+
+    def __rshift__(self, other):
+        other = lift(other)
+        return Node("shr", self.width, (self, other))
+
+    def __ilshift__(self, other):
+        """``sig <<= value`` — connect, Chisel's ``:=``."""
+        from .dsl import current_module
+        current_module().assign(self, other)
+        return self
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            if key.step is not None:
+                raise ValueError("bit slices take no step")
+            hi, lo = key.start, key.stop
+        else:
+            hi = lo = key
+        return self.bits(hi, lo)
+
+    def __bool__(self):
+        raise TypeError(
+            "hardware nodes have no Python truth value; use mux()/when()")
+
+    # -- methods ----------------------------------------------------------
+
+    def bits(self, hi, lo=None):
+        """Extract bits [hi:lo] (inclusive, like Verilog part-select)."""
+        if lo is None:
+            lo = hi
+        if not (0 <= lo <= hi < self.width):
+            raise ValueError(
+                f"bits({hi},{lo}) out of range for width {self.width}")
+        return Node("bits", hi - lo + 1, (self,), params=(hi, lo))
+
+    def pad(self, width):
+        """Zero-extend to the given width (no-op if already that wide)."""
+        if width < self.width:
+            raise ValueError("pad cannot shrink; use bits()")
+        if width == self.width:
+            return self
+        return Node("cat", width, (lift(0, width=width - self.width), self))
+
+    def sext(self, width):
+        """Sign-extend to the given width."""
+        if width < self.width:
+            raise ValueError("sext cannot shrink")
+        if width == self.width:
+            return self
+        sign = self.bits(self.width - 1)
+        ext = Node("mux", width - self.width,
+                   (sign, lift(mask(width - self.width),
+                               width=width - self.width),
+                    lift(0, width=width - self.width)))
+        return Node("cat", width, (ext, self))
+
+    def trunc(self, width):
+        """Keep the low ``width`` bits."""
+        if width > self.width:
+            raise ValueError("trunc cannot grow; use pad()")
+        if width == self.width:
+            return self
+        return self.bits(width - 1, 0)
+
+    def resize(self, width):
+        """Zero-extend or truncate to exactly ``width`` bits."""
+        if width >= self.width:
+            return self.pad(width)
+        return self.trunc(width)
+
+    def eq(self, other):
+        other = self._lift(other)
+        return Node("eq", 1, (self, other))
+
+    def ne(self, other):
+        other = self._lift(other)
+        return Node("neq", 1, (self, other))
+
+    def ult(self, other):
+        other = self._lift(other)
+        return Node("ltu", 1, (self, other))
+
+    def ule(self, other):
+        other = self._lift(other)
+        return Node("leu", 1, (self, other))
+
+    def ugt(self, other):
+        return self._lift(other).ult(self)
+
+    def uge(self, other):
+        return self._lift(other).ule(self)
+
+    def slt(self, other):
+        other = self._lift(other)
+        w = max(self.width, other.width)
+        return Node("lts", 1, (self.sext(w), other.sext(w)))
+
+    def sle(self, other):
+        other = self._lift(other)
+        w = max(self.width, other.width)
+        return Node("les", 1, (self.sext(w), other.sext(w)))
+
+    def sgt(self, other):
+        return self._lift(other).slt(self)
+
+    def sge(self, other):
+        return self._lift(other).sle(self)
+
+    def sra(self, shamt):
+        shamt = lift(shamt)
+        return Node("sra", self.width, (self, shamt))
+
+    def orr(self):
+        """OR-reduce: 1 iff any bit set."""
+        return Node("orr", 1, (self,))
+
+    def andr(self):
+        """AND-reduce: 1 iff all bits set."""
+        return Node("andr", 1, (self,))
+
+    def xorr(self):
+        """XOR-reduce: parity."""
+        return Node("xorr", 1, (self,))
+
+
+def lift(value, width=None, hint_width=None):
+    """Turn a Python int into a const Node; pass Nodes through unchanged."""
+    if isinstance(value, Node):
+        return value
+    if not isinstance(value, int):
+        raise TypeError(f"cannot lift {type(value).__name__} into hardware")
+    if value < 0:
+        if width is None and hint_width is None:
+            raise ValueError("negative literals need an explicit width")
+        w = width if width is not None else hint_width
+        value &= mask(w)
+    if width is None:
+        width = max(value.bit_length(), 1)
+        if hint_width is not None:
+            width = max(width, min(hint_width, MAX_WIDTH))
+    if value > mask(width):
+        raise ValueError(f"literal {value} does not fit in {width} bits")
+    node = Node("const", width, params=value)
+    return node
+
+
+def const(value, width=None):
+    """Explicit constant constructor (``const(5, width=8)``)."""
+    return lift(value, width=width)
+
+
+def mux(sel, if_true, if_false):
+    """2:1 multiplexer; ``sel`` must be 1 bit wide."""
+    sel = lift(sel)
+    if sel.width != 1:
+        sel = sel.orr()
+    if_true = lift(if_true)
+    if_false = lift(if_false, hint_width=if_true.width)
+    if_true = lift(if_true, hint_width=if_false.width)
+    w = max(if_true.width, if_false.width)
+    return Node("mux", w, (sel, if_true.pad(w), if_false.pad(w)))
+
+
+def cat(*parts):
+    """Concatenate, first argument is most significant (like Chisel Cat)."""
+    parts = [lift(p) for p in parts]
+    if not parts:
+        raise ValueError("cat needs at least one part")
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = Node("cat", min(part.width + result.width, MAX_WIDTH),
+                      (part, result))
+    return result
+
+
+class MemDecl:
+    """A memory array (SRAM/BRAM analog).
+
+    Reads are combinational at the IR level; the DSL offers registered-
+    address "sync" reads which model BRAM/SRAM single-cycle read latency.
+    Writes take effect at the clock edge, in declaration order.
+    """
+
+    __slots__ = ("uid", "name", "depth", "width", "writes", "read_ports",
+                 "path", "_module")
+
+    def __init__(self, name, depth, width):
+        if width < 1 or width > MAX_WIDTH:
+            raise ValueError(f"mem width {width} out of range")
+        if depth < 1:
+            raise ValueError("mem depth must be positive")
+        self.uid = next(_uid_counter)
+        self.name = name
+        self.depth = depth
+        self.width = width
+        self.writes = []        # list of (addr, data, en) Node triples
+        self.read_ports = []    # list of memread Nodes
+        self.path = None
+        self._module = None
+
+    def __repr__(self):
+        return f"<mem {self.name} {self.depth}x{self.width}>"
+
+    @property
+    def addr_width(self):
+        return max((self.depth - 1).bit_length(), 1)
+
+    def read(self, addr):
+        """Combinational (async) read port."""
+        addr = lift(addr)
+        node = Node("memread", self.width, (addr,))
+        node.mem = self
+        self.read_ports.append(node)
+        return node

@@ -1,0 +1,16 @@
+"""RV32IM toolchain: encoding, assembler, golden model, programs."""
+
+from .encoding import decode, disassemble, reg_num, EncodingError, Decoded
+from .assembler import assemble, Assembler, AssemblerError, Program
+from .golden import (
+    GoldenModel, GoldenError,
+    TOHOST_ADDR, FROMHOST_ADDR, PUTCHAR_ADDR, PERF_ADDR, MMIO_BASE,
+)
+
+__all__ = [
+    "decode", "disassemble", "reg_num", "EncodingError", "Decoded",
+    "assemble", "Assembler", "AssemblerError", "Program",
+    "GoldenModel", "GoldenError",
+    "TOHOST_ADDR", "FROMHOST_ADDR", "PUTCHAR_ADDR", "PERF_ADDR",
+    "MMIO_BASE",
+]

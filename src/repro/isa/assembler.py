@@ -1,0 +1,328 @@
+"""Two-pass RV32IM assembler with labels and pseudo-instructions.
+
+Enough of the GNU-as surface to write the paper's microbenchmarks and
+case-study workloads in assembly: labels, ``.text``/``.data``/``.word``/
+``.space``/``.align``, character constants, and the usual pseudo-ops
+(``li``, ``la``, ``mv``, ``j``, ``call``, ``ret``, ``not``, ``neg``,
+``seqz``/``snez``, ``bgt``/``ble``/... operand-swapped branches).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from . import encoding as enc
+from .encoding import EncodingError, reg_num
+
+
+class AssemblerError(Exception):
+    pass
+
+
+@dataclass
+class Program:
+    """Assembled image: words keyed by word address, plus symbols."""
+
+    words: dict = field(default_factory=dict)   # byte addr -> 32-bit word
+    symbols: dict = field(default_factory=dict)
+    entry: int = 0
+
+    def as_word_list(self, pad_to=None):
+        """Dense little list of words from address 0."""
+        if not self.words:
+            return []
+        top = max(self.words) + 4
+        if pad_to is not None:
+            top = max(top, pad_to)
+        out = [0] * (top // 4)
+        for addr, word in self.words.items():
+            out[addr // 4] = word
+        return out
+
+    @property
+    def size_bytes(self):
+        return (max(self.words) + 4) if self.words else 0
+
+
+def _parse_int(text, symbols=None):
+    text = text.strip()
+    if symbols and text in symbols:
+        return symbols[text]
+    if len(text) >= 3 and text.startswith("'") and text.endswith("'"):
+        body = text[1:-1]
+        unescaped = body.encode().decode("unicode_escape")
+        if len(unescaped) != 1:
+            raise AssemblerError(f"bad char literal {text}")
+        return ord(unescaped)
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad integer {text!r}") from exc
+
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+class Assembler:
+    """Two-pass assembler.  Use :func:`assemble`."""
+
+    def __init__(self, text_base=0):
+        self.text_base = text_base
+
+    def assemble(self, source):
+        lines = self._clean(source)
+        symbols = self._first_pass(lines)
+        return self._second_pass(lines, symbols)
+
+    # -- pass machinery ---------------------------------------------------
+
+    @staticmethod
+    def _clean(source):
+        cleaned = []
+        for raw_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                cleaned.append((raw_no, line))
+        return cleaned
+
+    def _instruction_size(self, mnemonic, operands):
+        if mnemonic in ("li", "la"):
+            return 8  # worst case lui+addi; fixed for simplicity
+        if mnemonic == "call":
+            return 4
+        return 4
+
+    def _first_pass(self, lines):
+        symbols = {}
+        pc = self.text_base
+        for line_no, line in lines:
+            while ":" in line:
+                label, _, rest = line.partition(":")
+                label = label.strip()
+                if not label.isidentifier():
+                    raise AssemblerError(
+                        f"line {line_no}: bad label {label!r}")
+                symbols[label] = pc
+                line = rest.strip()
+            if not line:
+                continue
+            mnemonic, operands = self._split(line)
+            if mnemonic.startswith("."):
+                pc = self._directive_size(mnemonic, operands, pc, symbols,
+                                          line_no)
+            else:
+                pc += self._instruction_size(mnemonic, operands)
+        return symbols
+
+    def _directive_size(self, directive, operands, pc, symbols, line_no):
+        if directive in (".text", ".data", ".globl", ".global"):
+            return pc
+        if directive == ".word":
+            return pc + 4 * len(operands)
+        if directive == ".space":
+            return pc + _parse_int(operands[0])
+        if directive == ".align":
+            shift = _parse_int(operands[0])
+            mask = (1 << shift) - 1
+            return (pc + mask) & ~mask
+        if directive == ".equ":
+            symbols[operands[0]] = _parse_int(operands[1], symbols)
+            return pc
+        raise AssemblerError(f"line {line_no}: unknown directive "
+                             f"{directive}")
+
+    def _second_pass(self, lines, symbols):
+        program = Program(symbols=dict(symbols), entry=self.text_base)
+        pc = self.text_base
+        for line_no, line in lines:
+            while ":" in line:
+                _, _, line = line.partition(":")
+                line = line.strip()
+            if not line:
+                continue
+            mnemonic, operands = self._split(line)
+            try:
+                if mnemonic.startswith("."):
+                    pc = self._emit_directive(program, mnemonic, operands,
+                                              pc, symbols)
+                else:
+                    words = self._encode(mnemonic, operands, pc, symbols)
+                    for word in words:
+                        program.words[pc] = word
+                        pc += 4
+            except (EncodingError, AssemblerError, KeyError) as exc:
+                raise AssemblerError(
+                    f"line {line_no}: {line!r}: {exc}") from exc
+        return program
+
+    def _emit_directive(self, program, directive, operands, pc, symbols):
+        if directive in (".text", ".data", ".globl", ".global", ".equ"):
+            return pc
+        if directive == ".word":
+            for op in operands:
+                program.words[pc] = _parse_int(op, symbols) & 0xFFFFFFFF
+                pc += 4
+            return pc
+        if directive == ".space":
+            count = _parse_int(operands[0])
+            for offset in range(0, count, 4):
+                program.words[pc + offset] = 0
+            return pc + count
+        if directive == ".align":
+            shift = _parse_int(operands[0])
+            mask = (1 << shift) - 1
+            new_pc = (pc + mask) & ~mask
+            for addr in range(pc, new_pc, 4):
+                program.words[addr] = 0
+            return new_pc
+        raise AssemblerError(f"unknown directive {directive}")
+
+    @staticmethod
+    def _split(line):
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = []
+        if len(parts) > 1:
+            operands = [p.strip() for p in parts[1].split(",")]
+        return mnemonic, operands
+
+    # -- encoding one instruction ------------------------------------------
+
+    def _imm(self, text, symbols, pc=None, pcrel=False):
+        if pcrel:
+            target = (symbols[text] if text in symbols
+                      else _parse_int(text, symbols))
+            return target - pc
+        if text in symbols:
+            return symbols[text]
+        return _parse_int(text, symbols)
+
+    def _encode(self, m, ops, pc, symbols):
+        if m in enc.R_OPS:
+            f3, f7 = enc.R_OPS[m]
+            return [enc.encode_r(enc.OP_OP, f3, f7, reg_num(ops[0]),
+                                 reg_num(ops[1]), reg_num(ops[2]))]
+        if m in enc.I_OPS:
+            return [enc.encode_i(enc.OP_IMM, enc.I_OPS[m], reg_num(ops[0]),
+                                 reg_num(ops[1]),
+                                 self._imm(ops[2], symbols))]
+        if m in enc.SHIFT_OPS:
+            f3, f7 = enc.SHIFT_OPS[m]
+            shamt = self._imm(ops[2], symbols)
+            if not 0 <= shamt < 32:
+                raise AssemblerError(f"shift amount {shamt} out of range")
+            return [enc.encode_r(enc.OP_IMM, f3, f7, reg_num(ops[0]),
+                                 reg_num(ops[1]), shamt)]
+        if m in enc.LOAD_OPS:
+            base, offset = self._mem_operand(ops[1], symbols)
+            return [enc.encode_i(enc.OP_LOAD, enc.LOAD_OPS[m],
+                                 reg_num(ops[0]), base, offset)]
+        if m in enc.STORE_OPS:
+            base, offset = self._mem_operand(ops[1], symbols)
+            return [enc.encode_s(enc.OP_STORE, enc.STORE_OPS[m], base,
+                                 reg_num(ops[0]), offset)]
+        if m in enc.BRANCH_OPS:
+            imm = self._imm(ops[2], symbols, pc=pc, pcrel=True)
+            return [enc.encode_b(enc.OP_BRANCH, enc.BRANCH_OPS[m],
+                                 reg_num(ops[0]), reg_num(ops[1]), imm)]
+        if m in ("bgt", "ble", "bgtu", "bleu"):
+            swapped = {"bgt": "blt", "ble": "bge", "bgtu": "bltu",
+                       "bleu": "bgeu"}[m]
+            imm = self._imm(ops[2], symbols, pc=pc, pcrel=True)
+            return [enc.encode_b(enc.OP_BRANCH, enc.BRANCH_OPS[swapped],
+                                 reg_num(ops[1]), reg_num(ops[0]), imm)]
+        if m in ("beqz", "bnez", "bltz", "bgez", "blez", "bgtz"):
+            base = {"beqz": ("beq", "zero"), "bnez": ("bne", "zero"),
+                    "bltz": ("blt", "zero"), "bgez": ("bge", "zero")}
+            imm = self._imm(ops[1], symbols, pc=pc, pcrel=True)
+            if m in base:
+                real, other = base[m]
+                return [enc.encode_b(enc.OP_BRANCH, enc.BRANCH_OPS[real],
+                                     reg_num(ops[0]), 0, imm)]
+            if m == "blez":   # rs <= 0  ==  0 >= rs  ==  bge zero, rs
+                return [enc.encode_b(enc.OP_BRANCH, enc.BRANCH_OPS["bge"],
+                                     0, reg_num(ops[0]), imm)]
+            return [enc.encode_b(enc.OP_BRANCH, enc.BRANCH_OPS["blt"],
+                                 0, reg_num(ops[0]), imm)]  # bgtz
+        if m == "lui":
+            return [enc.encode_u(enc.OP_LUI, reg_num(ops[0]),
+                                 self._imm(ops[1], symbols) & 0xFFFFF)]
+        if m == "auipc":
+            return [enc.encode_u(enc.OP_AUIPC, reg_num(ops[0]),
+                                 self._imm(ops[1], symbols) & 0xFFFFF)]
+        if m == "jal":
+            if len(ops) == 1:
+                ops = ["ra", ops[0]]
+            imm = self._imm(ops[1], symbols, pc=pc, pcrel=True)
+            return [enc.encode_j(enc.OP_JAL, reg_num(ops[0]), imm)]
+        if m == "jalr":
+            if len(ops) == 1:
+                return [enc.encode_i(enc.OP_JALR, 0, 1, reg_num(ops[0]),
+                                     0)]
+            base, offset = self._mem_operand(ops[1], symbols)
+            return [enc.encode_i(enc.OP_JALR, 0, reg_num(ops[0]), base,
+                                 offset)]
+        if m == "j":
+            imm = self._imm(ops[0], symbols, pc=pc, pcrel=True)
+            return [enc.encode_j(enc.OP_JAL, 0, imm)]
+        if m == "jr":
+            return [enc.encode_i(enc.OP_JALR, 0, 0, reg_num(ops[0]), 0)]
+        if m == "call":
+            imm = self._imm(ops[0], symbols, pc=pc, pcrel=True)
+            return [enc.encode_j(enc.OP_JAL, 1, imm)]
+        if m == "ret":
+            return [enc.encode_i(enc.OP_JALR, 0, 0, 1, 0)]
+        if m == "nop":
+            return [enc.encode_i(enc.OP_IMM, 0, 0, 0, 0)]
+        if m == "mv":
+            return [enc.encode_i(enc.OP_IMM, 0, reg_num(ops[0]),
+                                 reg_num(ops[1]), 0)]
+        if m == "not":
+            return [enc.encode_i(enc.OP_IMM, 0b100, reg_num(ops[0]),
+                                 reg_num(ops[1]), -1)]
+        if m == "neg":
+            return [enc.encode_r(enc.OP_OP, 0, 0b0100000, reg_num(ops[0]),
+                                 0, reg_num(ops[1]))]
+        if m == "seqz":
+            return [enc.encode_i(enc.OP_IMM, 0b011, reg_num(ops[0]),
+                                 reg_num(ops[1]), 1)]
+        if m == "snez":
+            return [enc.encode_r(enc.OP_OP, 0b011, 0, reg_num(ops[0]),
+                                 0, reg_num(ops[1]))]
+        if m in ("li", "la"):
+            rd = reg_num(ops[0])
+            value = self._imm(ops[1], symbols) & 0xFFFFFFFF
+            upper = (value + 0x800) >> 12 & 0xFFFFF
+            lower = value & 0xFFF
+            if lower >= 0x800:
+                lower -= 0x1000
+            words = [enc.encode_u(enc.OP_LUI, rd, upper),
+                     enc.encode_i(enc.OP_IMM, 0, rd, rd, lower)]
+            return words
+        if m == "csrr":
+            csr = enc.CSRS.get(ops[1].lower())
+            if csr is None:
+                raise AssemblerError(f"unknown CSR {ops[1]!r}")
+            word = (csr << 20) | (0 << 15) | (0b010 << 12) \
+                | (reg_num(ops[0]) << 7) | enc.OP_SYSTEM
+            return [word]
+        if m == "ecall":
+            return [enc.OP_SYSTEM]
+        if m == "ebreak":
+            return [(1 << 20) | enc.OP_SYSTEM]
+        if m == "fence":
+            return [enc.OP_FENCE]
+        raise AssemblerError(f"unknown mnemonic {m!r}")
+
+    def _mem_operand(self, text, symbols):
+        match = _MEM_RE.match(text.replace(" ", ""))
+        if not match:
+            raise AssemblerError(f"bad memory operand {text!r}")
+        offset = self._imm(match.group(1), symbols)
+        return reg_num(match.group(2)), offset
+
+
+def assemble(source, text_base=0):
+    """Assemble a source string into a :class:`Program`."""
+    return Assembler(text_base=text_base).assemble(source)

@@ -1,0 +1,225 @@
+"""RV32IM subset: instruction encoding and decoding.
+
+The target cores implement the 32-bit base integer ISA plus the M
+extension (the paper's cores run RV64GC; RV32IM keeps gate counts
+tractable in a Python flow while preserving the microarchitectural
+structure — see DESIGN.md).  CSR reads for ``cycle``/``instret`` are
+included so workloads can self-sample CPI as in Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# opcodes
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_OP = 0b0110011
+OP_SYSTEM = 0b1110011
+OP_FENCE = 0b0001111
+
+# CSR addresses (read-only performance counters)
+CSR_CYCLE = 0xC00
+CSR_INSTRET = 0xC02
+CSR_CYCLEH = 0xC80
+CSR_INSTRETH = 0xC82
+
+ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+class EncodingError(Exception):
+    pass
+
+
+def reg_num(name):
+    """Parse a register name (x-form or ABI form) to its number."""
+    name = name.strip().lower()
+    if name.startswith("x") and name[1:].isdigit():
+        num = int(name[1:])
+        if 0 <= num < 32:
+            return num
+    if name in ABI_NAMES:
+        return ABI_NAMES[name]
+    raise EncodingError(f"unknown register {name!r}")
+
+
+def _check_range(value, bits, signed, what):
+    if signed:
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        low, high = 0, (1 << bits) - 1
+    if not low <= value <= high:
+        raise EncodingError(f"{what} {value} out of range [{low},{high}]")
+
+
+def encode_r(opcode, funct3, funct7, rd, rs1, rs2):
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (rd << 7) | opcode
+
+
+def encode_i(opcode, funct3, rd, rs1, imm):
+    _check_range(imm, 12, True, "I-immediate")
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (rd << 7) | opcode
+
+
+def encode_s(opcode, funct3, rs1, rs2, imm):
+    _check_range(imm, 12, True, "S-immediate")
+    imm &= 0xFFF
+    return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) \
+        | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+
+
+def encode_b(opcode, funct3, rs1, rs2, imm):
+    if imm % 2:
+        raise EncodingError("branch offset must be even")
+    _check_range(imm, 13, True, "B-immediate")
+    imm &= 0x1FFF
+    return (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25) \
+        | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | opcode
+
+
+def encode_u(opcode, rd, imm):
+    _check_range(imm, 20, False, "U-immediate")
+    return (imm << 12) | (rd << 7) | opcode
+
+
+def encode_j(opcode, rd, imm):
+    if imm % 2:
+        raise EncodingError("jump offset must be even")
+    _check_range(imm, 21, True, "J-immediate")
+    imm &= 0x1FFFFF
+    return (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21) \
+        | (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12) \
+        | (rd << 7) | opcode
+
+
+# name -> (format, opcode, funct3, funct7)
+R_OPS = {
+    "add": (0b000, 0b0000000), "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000), "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000), "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000), "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000), "and": (0b111, 0b0000000),
+    "mul": (0b000, 0b0000001), "mulh": (0b001, 0b0000001),
+    "mulhsu": (0b010, 0b0000001), "mulhu": (0b011, 0b0000001),
+    "div": (0b100, 0b0000001), "divu": (0b101, 0b0000001),
+    "rem": (0b110, 0b0000001), "remu": (0b111, 0b0000001),
+}
+I_OPS = {
+    "addi": 0b000, "slti": 0b010, "sltiu": 0b011, "xori": 0b100,
+    "ori": 0b110, "andi": 0b111,
+}
+SHIFT_OPS = {"slli": (0b001, 0), "srli": (0b101, 0),
+             "srai": (0b101, 0b0100000)}
+LOAD_OPS = {"lb": 0b000, "lh": 0b001, "lw": 0b010, "lbu": 0b100,
+            "lhu": 0b101}
+STORE_OPS = {"sb": 0b000, "sh": 0b001, "sw": 0b010}
+BRANCH_OPS = {"beq": 0b000, "bne": 0b001, "blt": 0b100, "bge": 0b101,
+              "bltu": 0b110, "bgeu": 0b111}
+CSRS = {"cycle": CSR_CYCLE, "instret": CSR_INSTRET,
+        "cycleh": CSR_CYCLEH, "instreth": CSR_INSTRETH}
+
+
+@dataclass
+class Decoded:
+    """Decoded instruction fields (as a hardware decoder would see)."""
+
+    raw: int
+    opcode: int
+    rd: int
+    rs1: int
+    rs2: int
+    funct3: int
+    funct7: int
+    imm: int            # sign-extended per the instruction format
+
+
+def _sext(value, bits):
+    sign = 1 << (bits - 1)
+    return (value ^ sign) - sign
+
+
+def decode(word):
+    """Field-decode one 32-bit instruction."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+    if opcode in (OP_LUI, OP_AUIPC):
+        imm = word & 0xFFFFF000
+        imm = _sext(imm, 32)
+    elif opcode == OP_JAL:
+        imm = (((word >> 31) & 1) << 20) | (((word >> 21) & 0x3FF) << 1) \
+            | (((word >> 20) & 1) << 11) | (((word >> 12) & 0xFF) << 12)
+        imm = _sext(imm, 21)
+    elif opcode == OP_BRANCH:
+        imm = (((word >> 31) & 1) << 12) | (((word >> 25) & 0x3F) << 5) \
+            | (((word >> 8) & 0xF) << 1) | (((word >> 7) & 1) << 11)
+        imm = _sext(imm, 13)
+    elif opcode == OP_STORE:
+        imm = (((word >> 25) & 0x7F) << 5) | ((word >> 7) & 0x1F)
+        imm = _sext(imm, 12)
+    else:  # I-format (loads, jalr, op-imm, system)
+        imm = _sext((word >> 20) & 0xFFF, 12)
+    return Decoded(word, opcode, rd, rs1, rs2, funct3, funct7, imm)
+
+
+def disassemble(word):
+    """Best-effort text form, for debug output and commit logs."""
+    d = decode(word)
+    if d.opcode == OP_OP:
+        for name, (f3, f7) in R_OPS.items():
+            if d.funct3 == f3 and d.funct7 == f7:
+                return f"{name} x{d.rd}, x{d.rs1}, x{d.rs2}"
+    if d.opcode == OP_IMM:
+        for name, f3 in I_OPS.items():
+            if d.funct3 == f3:
+                return f"{name} x{d.rd}, x{d.rs1}, {d.imm}"
+        for name, (f3, f7) in SHIFT_OPS.items():
+            if d.funct3 == f3 and (d.funct7 & 0b0100000) == f7:
+                return f"{name} x{d.rd}, x{d.rs1}, {d.rs2}"
+    if d.opcode == OP_LOAD:
+        for name, f3 in LOAD_OPS.items():
+            if d.funct3 == f3:
+                return f"{name} x{d.rd}, {d.imm}(x{d.rs1})"
+    if d.opcode == OP_STORE:
+        for name, f3 in STORE_OPS.items():
+            if d.funct3 == f3:
+                return f"{name} x{d.rs2}, {d.imm}(x{d.rs1})"
+    if d.opcode == OP_BRANCH:
+        for name, f3 in BRANCH_OPS.items():
+            if d.funct3 == f3:
+                return f"{name} x{d.rs1}, x{d.rs2}, {d.imm}"
+    if d.opcode == OP_LUI:
+        return f"lui x{d.rd}, {(d.imm >> 12) & 0xFFFFF}"
+    if d.opcode == OP_AUIPC:
+        return f"auipc x{d.rd}, {(d.imm >> 12) & 0xFFFFF}"
+    if d.opcode == OP_JAL:
+        return f"jal x{d.rd}, {d.imm}"
+    if d.opcode == OP_JALR:
+        return f"jalr x{d.rd}, {d.imm}(x{d.rs1})"
+    if d.opcode == OP_SYSTEM:
+        if d.funct3 == 0b010:
+            return f"csrrs x{d.rd}, {hex((d.raw >> 20) & 0xFFF)}, x{d.rs1}"
+        return "ecall" if d.imm == 0 else "ebreak"
+    if d.opcode == OP_FENCE:
+        return "fence"
+    return f".word {word:#010x}"

@@ -1,0 +1,297 @@
+"""Golden ISA-level model of the target SoC.
+
+An instruction-accurate RV32IM simulator with the same memory map and
+HTIF conventions as the hardware SoC (tohost/putchar MMIO).  Used to
+
+* validate benchmark programs before they run on RTL,
+* co-simulate the cores (architectural state must match at the end),
+* stand in for the "fast functional simulator" baseline when measuring
+  Strober's speedup over software simulation (Section V-B).
+"""
+
+from __future__ import annotations
+
+from . import encoding as enc
+from .encoding import decode
+
+# Memory-mapped I/O (matches repro.targets.soc)
+MMIO_BASE = 0x40000000
+TOHOST_ADDR = 0x40000000
+FROMHOST_ADDR = 0x40000004
+PUTCHAR_ADDR = 0x40000008
+PERF_ADDR = 0x4000000C
+
+MASK32 = 0xFFFFFFFF
+
+
+class GoldenError(Exception):
+    pass
+
+
+def _s32(value):
+    return (value & MASK32) - (1 << 32) if value & 0x80000000 else \
+        value & MASK32
+
+
+class GoldenModel:
+    """Instruction-accurate RV32IM simulator."""
+
+    def __init__(self, program=None, mem_size=1 << 20):
+        self.mem_size = mem_size
+        self.memory = bytearray(mem_size)
+        self.regs = [0] * 32
+        self.pc = 0
+        self.instret = 0
+        self.halted = False
+        self.exit_code = None
+        self.stdout = []
+        self.perf_log = []      # values stored to the PERF MMIO port
+        self.tohost = 0
+        if program is not None:
+            self.load_program(program)
+
+    # -- loading -----------------------------------------------------------
+
+    def load_program(self, program):
+        for addr, word in program.words.items():
+            self.write_mem_word(addr, word)
+        self.pc = program.entry
+
+    # -- memory ---------------------------------------------------------------
+
+    def read_mem_word(self, addr):
+        if addr >= MMIO_BASE:
+            if addr == TOHOST_ADDR:
+                return self.tohost
+            if addr == FROMHOST_ADDR:
+                return 0
+            return 0
+        if addr + 4 > self.mem_size:
+            raise GoldenError(f"load address {addr:#x} out of range")
+        return int.from_bytes(self.memory[addr:addr + 4], "little")
+
+    def write_mem_word(self, addr, value):
+        value &= MASK32
+        if addr >= MMIO_BASE:
+            self._mmio_store(addr, value)
+            return
+        if addr + 4 > self.mem_size:
+            raise GoldenError(f"store address {addr:#x} out of range")
+        self.memory[addr:addr + 4] = value.to_bytes(4, "little")
+
+    def _mmio_store(self, addr, value):
+        if addr == TOHOST_ADDR:
+            self.tohost = value
+            if value != 0:
+                self.halted = True
+                self.exit_code = value
+        elif addr == PUTCHAR_ADDR:
+            self.stdout.append(chr(value & 0xFF))
+        elif addr == PERF_ADDR:
+            self.perf_log.append(value)
+
+    def _load(self, addr, funct3):
+        if funct3 == 0b010:  # lw
+            return self.read_mem_word(addr & ~3)
+        word = self.read_mem_word(addr & ~3)
+        shift = (addr & 3) * 8
+        if funct3 == 0b000:  # lb
+            byte = (word >> shift) & 0xFF
+            return ((byte ^ 0x80) - 0x80) & MASK32
+        if funct3 == 0b100:  # lbu
+            return (word >> shift) & 0xFF
+        if funct3 in (0b001, 0b101):  # lh/lhu
+            half = (word >> (16 if addr & 2 else 0)) & 0xFFFF
+            if funct3 == 0b001:
+                return ((half ^ 0x8000) - 0x8000) & MASK32
+            return half
+        raise GoldenError(f"bad load funct3 {funct3}")
+
+    def _store(self, addr, value, funct3):
+        if funct3 == 0b010:  # sw
+            self.write_mem_word(addr & ~3, value)
+            return
+        if addr >= MMIO_BASE:
+            self._mmio_store(addr, value)
+            return
+        base = addr & ~3
+        word = self.read_mem_word(base)
+        shift = (addr & 3) * 8
+        if funct3 == 0b000:  # sb
+            mask = 0xFF << shift
+            word = (word & ~mask) | ((value & 0xFF) << shift)
+        elif funct3 == 0b001:  # sh
+            shift = 16 if addr & 2 else 0
+            mask = 0xFFFF << shift
+            word = (word & ~mask) | ((value & 0xFFFF) << shift)
+        else:
+            raise GoldenError(f"bad store funct3 {funct3}")
+        self.write_mem_word(base, word)
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self, n=1):
+        for _ in range(n):
+            if self.halted:
+                return
+            self._execute_one()
+
+    def run(self, max_insns=10_000_000):
+        executed = 0
+        while not self.halted and executed < max_insns:
+            self._execute_one()
+            executed += 1
+        if not self.halted:
+            raise GoldenError(f"program did not halt in {max_insns} "
+                              "instructions")
+        return self.exit_code
+
+    def _execute_one(self):
+        word = self.read_mem_word(self.pc)
+        d = decode(word)
+        regs = self.regs
+        rs1 = regs[d.rs1]
+        rs2 = regs[d.rs2]
+        next_pc = (self.pc + 4) & MASK32
+        rd_value = None
+
+        op = d.opcode
+        if op == enc.OP_LUI:
+            rd_value = d.imm & MASK32
+        elif op == enc.OP_AUIPC:
+            rd_value = (self.pc + d.imm) & MASK32
+        elif op == enc.OP_JAL:
+            rd_value = next_pc
+            next_pc = (self.pc + d.imm) & MASK32
+        elif op == enc.OP_JALR:
+            rd_value = next_pc
+            next_pc = (rs1 + d.imm) & MASK32 & ~1
+        elif op == enc.OP_BRANCH:
+            taken = self._branch_taken(d.funct3, rs1, rs2)
+            if taken:
+                next_pc = (self.pc + d.imm) & MASK32
+        elif op == enc.OP_LOAD:
+            rd_value = self._load((rs1 + d.imm) & MASK32, d.funct3)
+        elif op == enc.OP_STORE:
+            self._store((rs1 + d.imm) & MASK32, rs2, d.funct3)
+        elif op == enc.OP_IMM:
+            rd_value = self._alu_imm(d, rs1)
+        elif op == enc.OP_OP:
+            rd_value = self._alu_reg(d, rs1, rs2)
+        elif op == enc.OP_SYSTEM:
+            if d.funct3 == 0b010:  # csrrs
+                rd_value = self._read_csr((d.raw >> 20) & 0xFFF)
+            else:  # ecall/ebreak: halt with code 1
+                self._mmio_store(TOHOST_ADDR, 1)
+        elif op == enc.OP_FENCE:
+            pass
+        else:
+            raise GoldenError(
+                f"illegal instruction {word:#010x} at pc {self.pc:#x}")
+
+        if rd_value is not None and d.rd != 0:
+            regs[d.rd] = rd_value & MASK32
+        self.pc = next_pc
+        self.instret += 1
+
+    @staticmethod
+    def _branch_taken(funct3, rs1, rs2):
+        if funct3 == 0b000:
+            return rs1 == rs2
+        if funct3 == 0b001:
+            return rs1 != rs2
+        if funct3 == 0b100:
+            return _s32(rs1) < _s32(rs2)
+        if funct3 == 0b101:
+            return _s32(rs1) >= _s32(rs2)
+        if funct3 == 0b110:
+            return rs1 < rs2
+        if funct3 == 0b111:
+            return rs1 >= rs2
+        raise GoldenError(f"bad branch funct3 {funct3}")
+
+    @staticmethod
+    def _alu(funct3, funct7_bit5, a, b):
+        if funct3 == 0b000:
+            return (a - b if funct7_bit5 else a + b) & MASK32
+        if funct3 == 0b001:
+            return (a << (b & 31)) & MASK32
+        if funct3 == 0b010:
+            return 1 if _s32(a) < _s32(b) else 0
+        if funct3 == 0b011:
+            return 1 if a < b else 0
+        if funct3 == 0b100:
+            return a ^ b
+        if funct3 == 0b101:
+            if funct7_bit5:
+                return (_s32(a) >> (b & 31)) & MASK32
+            return a >> (b & 31)
+        if funct3 == 0b110:
+            return a | b
+        return a & b
+
+    def _alu_imm(self, d, rs1):
+        if d.funct3 in (0b001, 0b101):  # shifts use rs2 field as shamt
+            return self._alu(d.funct3, (d.raw >> 30) & 1, rs1, d.rs2)
+        return self._alu(d.funct3, 0, rs1, d.imm & MASK32)
+
+    def _alu_reg(self, d, rs1, rs2):
+        if d.funct7 == 0b0000001:
+            return self._muldiv(d.funct3, rs1, rs2)
+        return self._alu(d.funct3, (d.raw >> 30) & 1, rs1, rs2)
+
+    @staticmethod
+    def _muldiv(funct3, a, b):
+        sa, sb = _s32(a), _s32(b)
+        if funct3 == 0b000:  # mul
+            return (sa * sb) & MASK32
+        if funct3 == 0b001:  # mulh
+            return ((sa * sb) >> 32) & MASK32
+        if funct3 == 0b010:  # mulhsu
+            return ((sa * b) >> 32) & MASK32
+        if funct3 == 0b011:  # mulhu
+            return ((a * b) >> 32) & MASK32
+        if funct3 == 0b100:  # div
+            if b == 0:
+                return MASK32
+            if sa == -(1 << 31) and sb == -1:
+                return 0x80000000
+            return int(abs(sa) // abs(sb)
+                       * (1 if (sa < 0) == (sb < 0) else -1)) & MASK32
+        if funct3 == 0b101:  # divu
+            return MASK32 if b == 0 else (a // b) & MASK32
+        if funct3 == 0b110:  # rem
+            if b == 0:
+                return a
+            if sa == -(1 << 31) and sb == -1:
+                return 0
+            return (sa - _s32(GoldenModel._muldiv(0b100, a, b)) * sb) \
+                & MASK32
+        # remu
+        return a if b == 0 else (a % b) & MASK32
+
+    def _read_csr(self, csr):
+        cycle = self.cycle_estimate()
+        if csr == enc.CSR_CYCLE:
+            return cycle & MASK32
+        if csr == enc.CSR_CYCLEH:
+            return (cycle >> 32) & MASK32
+        if csr == enc.CSR_INSTRET:
+            return self.instret & MASK32
+        if csr == enc.CSR_INSTRETH:
+            return (self.instret >> 32) & MASK32
+        raise GoldenError(f"unknown CSR {csr:#x}")
+
+    def cycle_estimate(self):
+        """The golden model has no timing; cycle == instret (CPI 1)."""
+        return self.instret
+
+    # -- inspection ---------------------------------------------------------------
+
+    def reg(self, name_or_num):
+        if isinstance(name_or_num, str):
+            return self.regs[enc.reg_num(name_or_num)]
+        return self.regs[name_or_num]
+
+    def stdout_text(self):
+        return "".join(self.stdout)

@@ -1,0 +1,19 @@
+"""Benchmark programs: microbenchmarks, case-study workloads, latency."""
+
+from .common import wrap, words_directive, exit_code_of, DEFAULT_STACK_TOP
+from .microbench import (
+    vvadd, towers, dhrystone, qsort, spmv, dgemm, MICROBENCHMARKS,
+)
+from .workloads import coremark_lite, boot, gcc_phases, WORKLOADS
+from .pointer_chase import pointer_chase
+
+ALL_PROGRAMS = dict(MICROBENCHMARKS)
+ALL_PROGRAMS.update(WORKLOADS)
+ALL_PROGRAMS["pointer_chase"] = pointer_chase
+
+__all__ = [
+    "wrap", "words_directive", "exit_code_of", "DEFAULT_STACK_TOP",
+    "vvadd", "towers", "dhrystone", "qsort", "spmv", "dgemm",
+    "coremark_lite", "boot", "gcc_phases", "pointer_chase",
+    "MICROBENCHMARKS", "WORKLOADS", "ALL_PROGRAMS",
+]

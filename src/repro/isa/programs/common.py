@@ -1,0 +1,50 @@
+"""Shared runtime for benchmark programs (crt0 + MMIO map).
+
+Programs follow the HTIF convention: on exit, ``tohost`` receives
+``(code << 1) | 1`` so zero exit codes still read as nonzero writes
+(pass == 1, like riscv-tests).
+"""
+
+from __future__ import annotations
+
+DEFAULT_STACK_TOP = 0x0003FF00   # inside a 256 KiB memory
+
+HEADER = """
+.equ TOHOST,  0x40000000
+.equ PUTCHAR, 0x40000008
+.equ PERF,    0x4000000C
+"""
+
+CRT0 = """
+_start:
+    li sp, {stack_top}
+    call main
+    slli a0, a0, 1
+    ori a0, a0, 1
+    li t0, TOHOST
+    sw a0, 0(t0)
+halt_loop:
+    j halt_loop
+"""
+
+
+def wrap(body, stack_top=DEFAULT_STACK_TOP):
+    """Prepend the MMIO equates and crt0 to a program body."""
+    return HEADER + CRT0.format(stack_top=stack_top) + body
+
+
+def words_directive(values, per_line=8):
+    """Render a list of ints as .word lines."""
+    lines = []
+    for i in range(0, len(values), per_line):
+        chunk = ", ".join(str(v & 0xFFFFFFFF)
+                          for v in values[i:i + per_line])
+        lines.append(f"    .word {chunk}")
+    return "\n".join(lines)
+
+
+def exit_code_of(tohost_value):
+    """Decode the HTIF tohost convention back to an exit code."""
+    if tohost_value == 0:
+        return None
+    return tohost_value >> 1

@@ -1,0 +1,443 @@
+"""The six Rocket-Chip microbenchmarks used in Table IV / Figure 8.
+
+``vvadd``, ``towers``, ``dhrystone`` (-lite), ``qsort``, ``spmv`` and
+``dgemm`` — scaled-down RV32 assembly versions of the riscv-tests
+benchmarks the paper replays on gate level.  Each returns exit code 0 on
+a correct result, so power experiments double as correctness checks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .common import wrap, words_directive
+
+
+def vvadd(n=150, seed=11):
+    """Element-wise vector add with checksum verification."""
+    rng = random.Random(seed)
+    a = [rng.getrandbits(31) for _ in range(n)]
+    b = [rng.getrandbits(31) for _ in range(n)]
+    expected = sum((x + y) & 0xFFFFFFFF for x, y in zip(a, b)) & 0xFFFFFFFF
+    body = f"""
+main:
+    la t0, vec_a
+    la t1, vec_b
+    la t2, vec_c
+    li t3, {n}
+    li t4, 0              # index
+vvadd_loop:
+    lw a1, 0(t0)
+    lw a2, 0(t1)
+    add a3, a1, a2
+    sw a3, 0(t2)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, 4
+    addi t4, t4, 1
+    blt t4, t3, vvadd_loop
+    # checksum pass
+    la t2, vec_c
+    li t4, 0
+    li a0, 0
+check_loop:
+    lw a3, 0(t2)
+    add a0, a0, a3
+    addi t2, t2, 4
+    addi t4, t4, 1
+    blt t4, t3, check_loop
+    li t5, {expected}
+    sub a0, a0, t5        # 0 when correct
+    ret
+
+.align 4
+vec_a:
+{words_directive(a)}
+vec_b:
+{words_directive(b)}
+vec_c:
+    .space {4 * n}
+"""
+    return wrap(body)
+
+
+def towers(n=6):
+    """Towers of Hanoi (recursive); verifies the move count 2^n - 1."""
+    body = f"""
+main:
+    addi sp, sp, -4
+    sw ra, 0(sp)
+    li a0, {n}
+    li a1, 1              # from peg
+    li a2, 3              # to peg
+    li a3, 2              # via peg
+    la t0, moves
+    sw zero, 0(t0)
+    call hanoi
+    la t0, moves
+    lw a0, 0(t0)
+    li t1, {(1 << n) - 1}
+    sub a0, a0, t1
+    lw ra, 0(sp)
+    addi sp, sp, 4
+    ret
+
+hanoi:                     # (n, from, to, via)
+    addi sp, sp, -20
+    sw ra, 16(sp)
+    sw a0, 12(sp)
+    sw a1, 8(sp)
+    sw a2, 4(sp)
+    sw a3, 0(sp)
+    li t0, 1
+    bne a0, t0, hanoi_rec
+    la t1, moves
+    lw t2, 0(t1)
+    addi t2, t2, 1
+    sw t2, 0(t1)
+    j hanoi_done
+hanoi_rec:
+    addi a0, a0, -1        # n-1
+    mv t3, a2
+    mv a2, a3              # to = via
+    mv a3, t3              # via = to
+    call hanoi             # move n-1 from->via
+    la t1, moves
+    lw t2, 0(t1)
+    addi t2, t2, 1
+    sw t2, 0(t1)           # move disk n
+    lw a0, 12(sp)
+    lw a1, 8(sp)
+    lw a2, 4(sp)
+    lw a3, 0(sp)
+    addi a0, a0, -1
+    mv t3, a1
+    mv a1, a3              # from = via
+    mv a3, t3
+    call hanoi             # move n-1 via->to
+hanoi_done:
+    lw ra, 16(sp)
+    addi sp, sp, 20
+    ret
+
+.align 4
+moves:
+    .word 0
+"""
+    return wrap(body)
+
+
+def dhrystone(iterations=40):
+    """Dhrystone-flavoured mix: string copy/compare, field updates,
+    integer arithmetic, and branches."""
+    src = "DHRYSTONE PROGRAM, SOME STRING"
+    packed = src.encode() + b"\0"
+    words = [int.from_bytes(packed[i:i + 4].ljust(4, b"\0"), "little")
+             for i in range(0, len(packed), 4)]
+    n_words = len(words)
+    body = f"""
+main:
+    li s0, {iterations}
+    li s1, 0               # checksum
+dhry_iter:
+    # string copy (word-wise)
+    la t0, str_src
+    la t1, str_dst
+    li t2, {n_words}
+copy_loop:
+    lw t3, 0(t0)
+    sw t3, 0(t1)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, copy_loop
+    # string compare
+    la t0, str_src
+    la t1, str_dst
+    li t2, {n_words}
+cmp_loop:
+    lw t3, 0(t0)
+    lw t4, 0(t1)
+    bne t3, t4, dhry_fail
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, cmp_loop
+    # record-ish field updates
+    la t0, record
+    lw t3, 0(t0)
+    addi t3, t3, 7
+    sw t3, 0(t0)
+    lw t4, 4(t0)
+    xor t4, t4, t3
+    sw t4, 4(t0)
+    # arithmetic mix with data-dependent branch
+    andi t5, t3, 3
+    beqz t5, dhry_even
+    add s1, s1, t3
+    j dhry_next
+dhry_even:
+    sub s1, s1, t4
+dhry_next:
+    addi s0, s0, -1
+    bnez s0, dhry_iter
+    li a0, 0
+    ret
+dhry_fail:
+    li a0, 1
+    ret
+
+.align 4
+str_src:
+{words_directive(words)}
+str_dst:
+    .space {4 * n_words}
+record:
+    .word 3, 5
+"""
+    return wrap(body)
+
+
+def qsort(n=48, seed=5):
+    """Iterative quicksort with an explicit stack; verifies sortedness."""
+    rng = random.Random(seed)
+    data = [rng.getrandbits(31) for _ in range(n)]
+    body = f"""
+main:
+    la a0, array
+    li a1, 0               # lo index
+    li a2, {n - 1}         # hi index
+    # explicit stack of (lo,hi) ranges at qstack
+    la s0, qstack
+    sw a1, 0(s0)
+    sw a2, 4(s0)
+    addi s0, s0, 8
+qsort_loop:
+    la t0, qstack
+    beq s0, t0, qsort_check
+    addi s0, s0, -8
+    lw a1, 0(s0)           # lo
+    lw a2, 4(s0)           # hi
+    bge a1, a2, qsort_loop
+    # partition: pivot = array[hi]
+    la t0, array
+    slli t1, a2, 2
+    add t1, t1, t0
+    lw t2, 0(t1)           # pivot
+    mv t3, a1              # i
+    mv t4, a1              # j
+part_loop:
+    bge t4, a2, part_done
+    slli t5, t4, 2
+    add t5, t5, t0
+    lw t6, 0(t5)
+    bge t6, t2, part_skip
+    # swap array[i], array[j]
+    slli a3, t3, 2
+    add a3, a3, t0
+    lw a4, 0(a3)
+    sw t6, 0(a3)
+    sw a4, 0(t5)
+    addi t3, t3, 1
+part_skip:
+    addi t4, t4, 1
+    j part_loop
+part_done:
+    # swap array[i], array[hi]
+    slli a3, t3, 2
+    add a3, a3, t0
+    lw a4, 0(a3)
+    sw t2, 0(a3)
+    sw a4, 0(t1)
+    # push (lo, i-1) and (i+1, hi)
+    addi t5, t3, -1
+    sw a1, 0(s0)
+    sw t5, 4(s0)
+    addi s0, s0, 8
+    addi t5, t3, 1
+    sw t5, 0(s0)
+    sw a2, 4(s0)
+    addi s0, s0, 8
+    j qsort_loop
+qsort_check:
+    la t0, array
+    li t1, 1
+    li a0, 0
+check_sorted:
+    slli t2, t1, 2
+    add t2, t2, t0
+    lw t3, 0(t2)
+    lw t4, -4(t2)
+    bgeu t3, t4, check_ok
+    li a0, 1
+    ret
+check_ok:
+    addi t1, t1, 1
+    li t5, {n}
+    blt t1, t5, check_sorted
+    ret
+
+.align 4
+array:
+{words_directive(data)}
+qstack:
+    .space {8 * 2 * (n + 4)}
+"""
+    return wrap(body)
+
+
+def spmv(rows=24, nnz_per_row=4, seed=9):
+    """CSR sparse matrix-vector multiply with checksum verification."""
+    rng = random.Random(seed)
+    cols = rows
+    ptr = [0]
+    idx = []
+    val = []
+    for _ in range(rows):
+        row_cols = sorted(rng.sample(range(cols), nnz_per_row))
+        idx.extend(row_cols)
+        val.extend(rng.randrange(1, 1 << 15) for _ in range(nnz_per_row))
+        ptr.append(len(idx))
+    x = [rng.randrange(1, 1 << 15) for _ in range(cols)]
+    y = []
+    for r in range(rows):
+        acc = 0
+        for k in range(ptr[r], ptr[r + 1]):
+            acc = (acc + val[k] * x[idx[k]]) & 0xFFFFFFFF
+        y.append(acc)
+    checksum = sum(y) & 0xFFFFFFFF
+    body = f"""
+main:
+    li s0, 0               # row
+    li s1, {rows}
+    li s11, 0              # checksum
+spmv_row:
+    la t0, mat_ptr
+    slli t1, s0, 2
+    add t2, t0, t1
+    lw t3, 0(t2)           # ptr[r]
+    lw t4, 4(t2)           # ptr[r+1]
+    li s2, 0               # acc
+spmv_inner:
+    bge t3, t4, spmv_row_done
+    la t0, mat_idx
+    slli t5, t3, 2
+    add t5, t5, t0
+    lw t6, 0(t5)           # column
+    la t0, mat_val
+    slli a3, t3, 2
+    add a3, a3, t0
+    lw a4, 0(a3)           # value
+    la t0, vec_x
+    slli a5, t6, 2
+    add a5, a5, t0
+    lw a6, 0(a5)           # x[col]
+    mul a7, a4, a6
+    add s2, s2, a7
+    addi t3, t3, 1
+    j spmv_inner
+spmv_row_done:
+    la t0, vec_y
+    slli t1, s0, 2
+    add t1, t1, t0
+    sw s2, 0(t1)
+    add s11, s11, s2
+    addi s0, s0, 1
+    blt s0, s1, spmv_row
+    li t0, {checksum}
+    sub a0, s11, t0
+    ret
+
+.align 4
+mat_ptr:
+{words_directive(ptr)}
+mat_idx:
+{words_directive(idx)}
+mat_val:
+{words_directive(val)}
+vec_x:
+{words_directive(x)}
+vec_y:
+    .space {4 * rows}
+"""
+    return wrap(body)
+
+
+def dgemm(n=8, seed=3):
+    """Dense n x n integer matrix multiply (exercises the retimed
+    multiplier pipeline), with checksum verification."""
+    rng = random.Random(seed)
+    a = [rng.randrange(0, 1 << 12) for _ in range(n * n)]
+    b = [rng.randrange(0, 1 << 12) for _ in range(n * n)]
+    c = [0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc = (acc + a[i * n + k] * b[k * n + j]) & 0xFFFFFFFF
+            c[i * n + j] = acc
+    checksum = sum(c) & 0xFFFFFFFF
+    body = f"""
+main:
+    li s0, 0               # i
+    li s10, {n}
+    li s11, 0              # checksum
+gemm_i:
+    li s1, 0               # j
+gemm_j:
+    li s2, 0               # k
+    li s3, 0               # acc
+gemm_k:
+    # a[i*n + k]
+    mul t0, s0, s10
+    add t0, t0, s2
+    slli t0, t0, 2
+    la t1, mat_a
+    add t0, t0, t1
+    lw t2, 0(t0)
+    # b[k*n + j]
+    mul t3, s2, s10
+    add t3, t3, s1
+    slli t3, t3, 2
+    la t4, mat_b
+    add t3, t3, t4
+    lw t5, 0(t3)
+    mul t6, t2, t5
+    add s3, s3, t6
+    addi s2, s2, 1
+    blt s2, s10, gemm_k
+    # c[i*n + j] = acc
+    mul t0, s0, s10
+    add t0, t0, s1
+    slli t0, t0, 2
+    la t1, mat_c
+    add t0, t0, t1
+    sw s3, 0(t0)
+    add s11, s11, s3
+    addi s1, s1, 1
+    blt s1, s10, gemm_j
+    addi s0, s0, 1
+    blt s0, s10, gemm_i
+    li t0, {checksum}
+    sub a0, s11, t0
+    ret
+
+.align 4
+mat_a:
+{words_directive(a)}
+mat_b:
+{words_directive(b)}
+mat_c:
+    .space {4 * n * n}
+"""
+    return wrap(body)
+
+
+MICROBENCHMARKS = {
+    "vvadd": vvadd,
+    "towers": towers,
+    "dhrystone": dhrystone,
+    "qsort": qsort,
+    "spmv": spmv,
+    "dgemm": dgemm,
+}

@@ -1,0 +1,63 @@
+"""Pointer-chase latency microbenchmark (ccbench analog, Figure 7).
+
+Builds a pointer ring spanning a configurable array size, chases it for
+a configurable number of dependent loads, and reports the average
+load-to-load latency in 1/16ths of a cycle through the PERF MMIO port.
+Sweeping the array size exposes the L1 capacity; sweeping the simulated
+DRAM latency moves the off-chip plateau, which is exactly what the
+paper's Figure 7 demonstrates.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .common import wrap, words_directive
+
+
+def pointer_chase(array_bytes=4096, loads=256, stride_words=16, seed=2,
+                  base_addr_label="chase_array"):
+    """Dependent-load chain over an ``array_bytes``-sized ring.
+
+    ``stride_words`` spaces consecutive ring nodes one cache line apart
+    so each hop touches a new line (defeating spatial locality), as
+    ccbench's pointer-chase does with its random permutation.
+    """
+    n_slots = max(array_bytes // 4, stride_words * 2)
+    n_nodes = n_slots // stride_words
+    rng = random.Random(seed)
+    order = list(range(1, n_nodes))
+    rng.shuffle(order)
+    ring = [0] * n_slots
+    prev = 0
+    for node in order:
+        ring[prev * stride_words] = node * stride_words * 4
+        prev = node
+    ring[prev * stride_words] = 0
+    body = f"""
+main:
+    # warm nothing: a cold chase measures the memory hierarchy as-is
+    csrr s8, cycle
+    li t0, 0                   # current offset
+    li t1, {loads}
+    la t2, {base_addr_label}
+chase_loop:
+    add t3, t2, t0
+    lw t0, 0(t3)               # next offset (dependent load)
+    addi t1, t1, -1
+    bnez t1, chase_loop
+    csrr s9, cycle
+    sub s9, s9, s8
+    slli s9, s9, 4
+    li t4, {loads}
+    divu s9, s9, t4            # load-to-load latency * 16
+    li t5, PERF
+    sw s9, 0(t5)
+    li a0, 0
+    ret
+
+.align 4
+{base_addr_label}:
+{words_directive(ring)}
+"""
+    return wrap(body)

@@ -1,0 +1,341 @@
+"""Case-study workloads (Section VI-A).
+
+Paper workloads -> reproduction substitutes (documented in DESIGN.md):
+
+* CoreMark          -> :func:`coremark_lite` — the same three kernels
+  CoreMark stresses (linked-list processing, matrix arithmetic, CRC
+  state machine), sized to fit L1 like the original.
+* Linux boot        -> :func:`boot` — boot-shaped phases: BSS clearing,
+  image copy, page-table-ish pointer walks, console output (`uname`,
+  `ls` banners), then power-down.
+* SPECint 403.gcc   -> :func:`gcc_phases` — a long, phase-varying
+  workload alternating compute / streaming / pointer-chasing / branchy
+  phases, which produces the CPI-over-time structure of Figure 10 and
+  self-samples CPI through the cycle/instret CSRs like the paper's
+  user-level sampler.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .common import wrap, words_directive
+
+
+def coremark_lite(iterations=3, list_len=16, matrix_n=4, crc_len=16,
+                  seed=21):
+    """Linked list find/reverse + matmul + CRC mix, CoreMark-style."""
+    rng = random.Random(seed)
+    # linked list: (value, next_index) nodes, shuffled order
+    order = list(range(list_len))
+    rng.shuffle(order)
+    nodes = [0] * list_len
+    for pos, node in enumerate(order):
+        nxt = order[(pos + 1) % list_len]
+        nodes[node] = nxt
+    values = [rng.randrange(1, 255) for _ in range(list_len)]
+    mat = [rng.randrange(0, 64) for _ in range(matrix_n * matrix_n)]
+    crc_data = [rng.getrandbits(32) for _ in range(crc_len)]
+    body = f"""
+main:
+    li s0, {iterations}
+    li s11, 0                  # result accumulator
+cm_iter:
+    # --- kernel 1: walk the linked list, summing values ---
+    li t0, {order[0]}          # head node index
+    li t1, {list_len}
+    li t2, 0                   # visited count
+    li t3, 0                   # sum
+cm_list:
+    la t4, list_vals
+    slli t5, t0, 2
+    add t6, t4, t5
+    lw a1, 0(t6)
+    add t3, t3, a1
+    la t4, list_next
+    add t6, t4, t5
+    lw t0, 0(t6)
+    addi t2, t2, 1
+    blt t2, t1, cm_list
+    add s11, s11, t3
+    # --- kernel 2: small matrix multiply-accumulate ---
+    li s1, 0                   # i
+cm_mi:
+    li s2, 0                   # j
+cm_mj:
+    li s3, 0                   # k
+    li s4, 0                   # acc
+cm_mk:
+    li t0, {matrix_n}
+    mul t1, s1, t0
+    add t1, t1, s3
+    slli t1, t1, 2
+    la t2, matrix
+    add t1, t1, t2
+    lw t3, 0(t1)
+    mul t4, s3, t0
+    add t4, t4, s2
+    slli t4, t4, 2
+    add t4, t4, t2
+    lw t5, 0(t4)
+    mul t6, t3, t5
+    add s4, s4, t6
+    addi s3, s3, 1
+    li t0, {matrix_n}
+    blt s3, t0, cm_mk
+    add s11, s11, s4
+    addi s2, s2, 1
+    blt s2, t0, cm_mj
+    addi s1, s1, 1
+    blt s1, t0, cm_mi
+    # --- kernel 3: CRC-ish state machine over a data block ---
+    li t0, 0                   # index
+    li t1, {crc_len}
+    li t2, 0xFFFF              # crc state
+cm_crc:
+    la t3, crc_data
+    slli t4, t0, 2
+    add t3, t3, t4
+    lw t5, 0(t3)
+    xor t2, t2, t5
+    li t6, 8
+cm_crc_bit:
+    andi a1, t2, 1
+    srli t2, t2, 1
+    beqz a1, cm_crc_noxor
+    li a2, 0xA001
+    xor t2, t2, a2
+cm_crc_noxor:
+    addi t6, t6, -1
+    bnez t6, cm_crc_bit
+    addi t0, t0, 1
+    blt t0, t1, cm_crc
+    add s11, s11, t2
+    addi s0, s0, -1
+    bnez s0, cm_iter
+    # fold result into an exit code of 0 (self-consistency check):
+    la t0, result
+    lw t1, 0(t0)
+    beqz t1, cm_first_run
+    sub a0, s11, t1            # must reproduce the same result
+    ret
+cm_first_run:
+    sw s11, 0(t0)
+    li a0, 0
+    ret
+
+.align 4
+list_vals:
+{words_directive(values)}
+list_next:
+{words_directive(nodes)}
+matrix:
+{words_directive(mat)}
+crc_data:
+{words_directive(crc_data)}
+result:
+    .word 0
+"""
+    return wrap(body)
+
+
+def boot(bss_words=192, image_words=96, banner=True):
+    """Boot-shaped workload: clear BSS, copy an image, walk page-table-
+    like structures, print `uname`/`ls` banners, power down (exit 0)."""
+    uname = "Linux repro 4.6.2-rv32 #1 SMP riscv32 GNU/Linux\\n"
+    ls = "bin dev etc home proc sys tmp usr var\\n"
+    text = (uname + ls) if banner else ""
+    chars = [ord(c) for c in text.encode().decode("unicode_escape")]
+    body = f"""
+main:
+    # phase 1: zero the BSS region
+    la t0, bss_start
+    li t1, {bss_words}
+boot_bss:
+    sw zero, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, boot_bss
+    # phase 2: copy the "kernel image"
+    la t0, image_src
+    la t1, bss_start
+    li t2, {image_words}
+boot_copy:
+    lw t3, 0(t0)
+    sw t3, 0(t1)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, boot_copy
+    # phase 3: build and walk a two-level table (page-table flavour)
+    la t0, bss_start
+    li t1, 16                  # level-1 entries
+    la t2, bss_start
+boot_pt_build:
+    addi t3, t2, 64
+    sw t3, 0(t2)
+    mv t2, t3
+    addi t1, t1, -1
+    bnez t1, boot_pt_build
+    la t2, bss_start
+    li t1, 16
+boot_pt_walk:
+    lw t2, 0(t2)
+    addi t1, t1, -1
+    bnez t1, boot_pt_walk
+    # phase 4: console output (uname + ls)
+    la s0, banner_text
+    li s1, {len(chars)}
+    li s2, PUTCHAR
+boot_print:
+    beqz s1, boot_done
+    lw t0, 0(s0)
+    sw t0, 0(s2)
+    addi s0, s0, 4
+    addi s1, s1, -1
+    j boot_print
+boot_done:
+    li a0, 0
+    ret
+
+.align 4
+image_src:
+{words_directive([0x10000 + i for i in range(image_words)])}
+banner_text:
+{words_directive(chars) if chars else "    .word 0"}
+bss_start:
+    .space {4 * max(bss_words, image_words, 17 * 64 // 4 + 64)}
+"""
+    return wrap(body)
+
+
+def gcc_phases(rounds=2, stream_words=256, chase_len=64, seed=17):
+    """Phase-varying long workload standing in for 403.gcc.
+
+    Each round runs four phases with distinct CPI signatures and stores
+    a scaled CPI sample (cycles*16/instructions) to the PERF MMIO port
+    after each phase — the user-level CPI sampler of Figure 10.
+    """
+    rng = random.Random(seed)
+    # dependent pointer-chase ring through chase_len slots
+    order = list(range(1, chase_len))
+    rng.shuffle(order)
+    ring = [0] * chase_len
+    prev = 0
+    for node in order:
+        ring[prev] = node * 4
+        prev = node
+    ring[prev] = 0
+    body = f"""
+main:
+    addi sp, sp, -4
+    sw ra, 0(sp)
+    li s0, {rounds}
+gcc_round:
+    # ---- phase A: ALU-dense (low CPI) ----
+    call perf_begin
+    li t0, 600
+    li t1, 0x12345
+    li t2, 0x0F0F1
+phaseA:
+    add t1, t1, t2
+    xor t2, t2, t1
+    slli t3, t1, 3
+    srli t4, t2, 2
+    or t1, t3, t4
+    andi t2, t1, 0x7FF
+    addi t2, t2, 3
+    addi t0, t0, -1
+    bnez t0, phaseA
+    call perf_sample
+    # ---- phase B: streaming stores+loads (cache pressure) ----
+    call perf_begin
+    la t0, stream_buf
+    li t1, {stream_words}
+phaseB_w:
+    sw t1, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, phaseB_w
+    la t0, stream_buf
+    li t1, {stream_words}
+    li t2, 0
+phaseB_r:
+    lw t3, 0(t0)
+    add t2, t2, t3
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, phaseB_r
+    call perf_sample
+    # ---- phase C: dependent pointer-chase (high CPI) ----
+    call perf_begin
+    li t0, 0
+    li t1, {3 * chase_len}
+    la t2, chase_ring
+phaseC:
+    add t3, t2, t0
+    lw t0, 0(t3)
+    addi t1, t1, -1
+    bnez t1, phaseC
+    call perf_sample
+    # ---- phase D: branchy data-dependent code ----
+    call perf_begin
+    li t0, 400
+    li t1, 0xACE1              # LFSR state
+phaseD:
+    andi t2, t1, 1
+    srli t1, t1, 1
+    beqz t2, phaseD_skip
+    li t3, 0xB400
+    xor t1, t1, t3
+    addi t1, t1, 1
+phaseD_skip:
+    andi t4, t1, 7
+    beqz t4, phaseD_rare
+    j phaseD_next
+phaseD_rare:
+    slli t1, t1, 1
+    ori t1, t1, 1
+phaseD_next:
+    addi t0, t0, -1
+    bnez t0, phaseD
+    call perf_sample
+    addi s0, s0, -1
+    bnez s0, gcc_round
+    li a0, 0
+    lw ra, 0(sp)
+    addi sp, sp, 4
+    ret
+
+perf_begin:
+    csrr s8, cycle
+    csrr s9, instret
+    ret
+
+perf_sample:                   # CPI*16 -> PERF port
+    csrr t5, cycle
+    csrr t6, instret
+    sub t5, t5, s8
+    sub t6, t6, s9
+    slli t5, t5, 4
+    beqz t6, perf_skip
+    divu t5, t5, t6
+    li a5, PERF
+    sw t5, 0(a5)
+perf_skip:
+    ret
+
+.align 4
+chase_ring:
+{words_directive(ring)}
+stream_buf:
+    .space {4 * stream_words}
+"""
+    return wrap(body)
+
+
+WORKLOADS = {
+    "coremark_lite": coremark_lite,
+    "boot": boot,
+    "gcc_phases": gcc_phases,
+}

@@ -1,0 +1,101 @@
+"""Reservoir sampling (Vitter's Algorithm R) — Strober Section III-B.
+
+Strober cannot know a program's execution length a priori, so it keeps a
+fixed-size reservoir of replayable snapshots: the k-th candidate element
+(k > n) replaces a random reservoir slot with probability n/k.  At the
+end of the run the reservoir is a uniform random sample *without
+replacement* of all candidates.
+
+The paper's performance model (Section IV-E) uses the expected number of
+record events, roughly ``2·n·ln((N/L)/n)``; :func:`expected_record_count`
+implements that expression so benches can compare measured vs. modeled
+sampling overhead (Table III's "Record Counts" row).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class ReservoirSampler:
+    """Uniform random sample of fixed size from a stream of unknown length.
+
+    ``offer(item)`` presents one stream element; the sampler either
+    ignores it or records it (replacing a random previous record).  The
+    ``record_count`` attribute counts how many times an element was
+    actually recorded — each record is expensive in Strober (a full scan
+    chain read-out), so the count drives the sampling-overhead model.
+    """
+
+    def __init__(self, sample_size, seed=None, rng=None):
+        if sample_size < 1:
+            raise ValueError("sample size must be >= 1")
+        self.sample_size = sample_size
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._reservoir = []
+        self.stream_count = 0
+        self.record_count = 0
+
+    def __len__(self):
+        return len(self._reservoir)
+
+    @property
+    def sample(self):
+        """The current reservoir contents (stream order not preserved)."""
+        return list(self._reservoir)
+
+    def will_record(self):
+        """Decide whether the *next* offered element would be recorded.
+
+        Split from :meth:`offer` so a simulator can test cheaply whether
+        to pay for a snapshot before materializing it (Strober only reads
+        the scan chains when the element is actually selected).
+        """
+        k = self.stream_count + 1
+        if k <= self.sample_size:
+            return True
+        return self._rng.random() < self.sample_size / k
+
+    def offer(self, item=None, make_item=None):
+        """Present one stream element; returns True if it was recorded.
+
+        Exactly one of ``item`` / ``make_item`` should be given;
+        ``make_item`` defers (possibly expensive) construction until the
+        sampler has decided to record.
+        """
+        record = self.will_record()
+        self.stream_count += 1
+        if not record:
+            return False
+        if make_item is not None:
+            item = make_item()
+        if len(self._reservoir) < self.sample_size:
+            self._reservoir.append(item)
+        else:
+            slot = self._rng.randrange(self.sample_size)
+            self._reservoir[slot] = item
+        self.record_count += 1
+        return True
+
+
+def expected_record_count(total_elements, sample_size):
+    """Expected number of record events for a stream of known length.
+
+    Exact expectation: n + sum_{k=n+1..N} n/k = n(1 + H_N - H_n); the
+    paper quotes the approximation 2·n·ln(N/n) in Section IV-E (their
+    N there is already the element count, total_cycles / L).
+    """
+    n = sample_size
+    big_n = total_elements
+    if big_n <= n:
+        return float(big_n)
+    return n * (1.0 + math.log(big_n) - math.log(n))
+
+
+def paper_record_count_model(total_cycles, sample_size, replay_length):
+    """The paper's Section IV-E expression: 2·n·ln((N/L)/n)."""
+    elements = total_cycles / replay_length
+    if elements <= sample_size:
+        return float(sample_size)
+    return 2.0 * sample_size * math.log(elements / sample_size)

@@ -1,0 +1,187 @@
+"""Statistical estimation machinery from Strober Section III-A / Table I.
+
+Implements the exact estimators the paper lists: sample mean (eq. 3),
+sample variance (eq. 4), population variance estimate (eq. 5), sampling
+variance of the mean under sampling *without replacement* (eq. 6, with
+the finite population correction), normal-theory confidence intervals
+(eq. 7), and the minimum sample size rule (eq. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Standard normal quantiles for the confidence levels used in the paper.
+_Z_TABLE = {
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.99: 2.5758293035489004,
+    0.999: 3.2905267314918945,
+}
+
+MIN_NORMAL_SAMPLE = 30  # CLT floor the paper quotes for eq. 8
+
+
+def z_quantile(confidence):
+    """Two-sided standard normal quantile z_{1-(alpha/2)}.
+
+    Table lookup for the common levels; rational approximation (Acklam)
+    otherwise, so no scipy dependency is needed at runtime.
+    """
+    if confidence in _Z_TABLE:
+        return _Z_TABLE[confidence]
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    return _norm_ppf(1.0 - (1.0 - confidence) / 2.0)
+
+
+def _norm_ppf(p):
+    """Inverse standard normal CDF (Acklam's rational approximation)."""
+    a = [-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00]
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return ((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                 * q + c[5])
+                / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+    if p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        return ((((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4])
+                 * r + a[5]) * q
+                / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4])
+                   * r + 1))
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+              * q + c[5])
+             / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+
+
+def population_mean(values):
+    """Exact population mean, eq. (1)."""
+    values = list(values)
+    if not values:
+        raise ValueError("empty population")
+    return sum(values) / len(values)
+
+
+def population_variance(values):
+    """Exact population variance, eq. (2) (divides by N, per the paper)."""
+    values = list(values)
+    mean = population_mean(values)
+    return sum((v - mean) ** 2 for v in values) / len(values)
+
+
+def sample_mean(values):
+    """Sample mean x̄, eq. (3)."""
+    values = list(values)
+    if not values:
+        raise ValueError("empty sample")
+    return sum(values) / len(values)
+
+
+def sample_variance(values):
+    """Unbiased sample variance s_x², eq. (4)."""
+    values = list(values)
+    n = len(values)
+    if n < 2:
+        raise ValueError("sample variance needs at least 2 elements")
+    mean = sum(values) / n
+    return sum((v - mean) ** 2 for v in values) / (n - 1)
+
+
+def sampling_variance(values, population_size):
+    """Var(x̄) estimate with finite population correction, eq. (6)."""
+    values = list(values)
+    n = len(values)
+    big_n = population_size
+    if n > big_n:
+        raise ValueError("sample larger than population")
+    if n == big_n:
+        return 0.0
+    return sample_variance(values) * (big_n - n) / (big_n * n)
+
+
+@dataclass
+class Estimate:
+    """A mean estimate with its confidence interval (eq. 7)."""
+
+    mean: float
+    variance: float            # Var(x̄)
+    confidence: float
+    half_width: float          # z * sqrt(Var(x̄))
+    sample_size: int
+    population_size: int
+
+    @property
+    def lower(self):
+        return self.mean - self.half_width
+
+    @property
+    def upper(self):
+        return self.mean + self.half_width
+
+    @property
+    def relative_error_bound(self):
+        """Half width as a fraction of the mean (the paper's error axis)."""
+        if self.mean == 0:
+            return float("inf")
+        return abs(self.half_width / self.mean)
+
+    def contains(self, value):
+        return self.lower <= value <= self.upper
+
+    def __str__(self):
+        pct = self.confidence * 100
+        return (f"{self.mean:.6g} ± {self.half_width:.3g} "
+                f"({pct:g}% CI, n={self.sample_size})")
+
+
+def estimate_mean(values, population_size, confidence=0.99):
+    """Full estimator pipeline: eqs. (3), (4), (6), (7) in one call."""
+    values = list(values)
+    var = sampling_variance(values, population_size)
+    z = z_quantile(confidence)
+    mean = sample_mean(values)
+    return Estimate(
+        mean=mean,
+        variance=var,
+        confidence=confidence,
+        half_width=z * math.sqrt(var),
+        sample_size=len(values),
+        population_size=population_size,
+    )
+
+
+def minimum_sample_size(values, max_relative_error, confidence=0.99):
+    """Minimum n for a target relative error, eq. (8).
+
+    ``values`` is a pilot sample used to estimate s_x² and x̄.  The paper
+    floors the result at 30 (the CLT normality threshold).
+    """
+    if max_relative_error <= 0:
+        raise ValueError("max_relative_error must be positive")
+    z = z_quantile(confidence)
+    s2 = sample_variance(values)
+    mean = sample_mean(values)
+    if mean == 0:
+        raise ValueError("cannot target relative error around a zero mean")
+    needed = (z * z * s2) / (max_relative_error ** 2 * mean * mean)
+    return max(math.ceil(needed), MIN_NORMAL_SAMPLE)
+
+
+def validate_sample_size(values, max_relative_error, confidence=0.99):
+    """True if the sample already satisfies eq. (8) for the target error."""
+    return len(values) >= minimum_sample_size(
+        values, max_relative_error, confidence)

@@ -1,0 +1,11 @@
+"""Scan-chain instrumentation and replayable snapshots."""
+
+from .chains import (
+    ScanChainSpec, RamChain, build_scan_chain_spec, insert_scan_chains,
+)
+from .snapshot import ReplayableSnapshot, SnapshotError
+
+__all__ = [
+    "ScanChainSpec", "RamChain", "build_scan_chain_spec",
+    "insert_scan_chains", "ReplayableSnapshot", "SnapshotError",
+]

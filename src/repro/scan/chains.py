@@ -1,0 +1,182 @@
+"""Scan-chain instrumentation (Section IV-B2).
+
+Strober reads replayable RTL snapshots out of the FPGA through scan
+chains: a daisy chain of shadow registers for flip-flop state, plus
+address-generating chains for RAMs (whose ports cannot be multiplied on
+BRAM).  This module provides both:
+
+* :func:`build_scan_chain_spec` — chain *metadata* (order, widths) and
+  the read-out cost model used by the FAME1 simulator to charge
+  sampling overhead (the ``Trec`` term of the Section IV-E model);
+* :func:`insert_scan_chains` — a real IR transform that adds the shadow
+  registers, capture/shift control, and RAM address generators to a
+  circuit, used to validate that the chain mechanism itself is sound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..hdl.ir import Node, mux, cat, lift
+
+
+@dataclass
+class RamChain:
+    path: str
+    depth: int
+    width: int
+
+    def readout_cycles(self, scan_width):
+        """Address generation + shifting each word out."""
+        words_per_entry = math.ceil(self.width / scan_width)
+        return self.depth * (words_per_entry + 1)
+
+
+@dataclass
+class ScanChainSpec:
+    """Chain layout + cost model for one circuit."""
+
+    scan_width: int
+    reg_chain: list = field(default_factory=list)   # (path, width) in order
+    ram_chains: list = field(default_factory=list)  # RamChain
+
+    @property
+    def reg_bits(self):
+        return sum(width for _, width in self.reg_chain)
+
+    @property
+    def chain_words(self):
+        return math.ceil(self.reg_bits / self.scan_width) or 1
+
+    def readout_cycles(self, include_rams=True):
+        """Host cycles needed to scan out one full snapshot."""
+        cycles = self.chain_words + 1  # +1 capture cycle
+        if include_rams:
+            cycles += sum(chain.readout_cycles(self.scan_width)
+                          for chain in self.ram_chains)
+        return cycles
+
+    # -- bit packing ------------------------------------------------------
+    # The chain serializes registers in chain order, LSB first; these two
+    # functions define that format so hardware-inserted chains and the
+    # metadata fast path produce identical words.
+
+    def pack_registers(self, reg_values):
+        """Pack a {path: value} dict into scan words (word 0 first out)."""
+        bits = 0
+        offset = 0
+        for path, width in self.reg_chain:
+            bits |= (reg_values[path] & ((1 << width) - 1)) << offset
+            offset += width
+        words = []
+        w = self.scan_width
+        for i in range(self.chain_words):
+            words.append((bits >> (i * w)) & ((1 << w) - 1))
+        return words
+
+    def unpack_registers(self, words):
+        """Inverse of :meth:`pack_registers`."""
+        bits = 0
+        for i, word in enumerate(words):
+            bits |= word << (i * self.scan_width)
+        values = {}
+        offset = 0
+        for path, width in self.reg_chain:
+            values[path] = (bits >> offset) & ((1 << width) - 1)
+            offset += width
+        return values
+
+
+def build_scan_chain_spec(circuit, scan_width=32):
+    """Derive the chain layout for a circuit (no hardware changes)."""
+    spec = ScanChainSpec(scan_width=scan_width)
+    for reg in circuit.regs:
+        spec.reg_chain.append((reg.path, reg.width))
+    for mem in circuit.mems:
+        spec.ram_chains.append(RamChain(mem.path, mem.depth, mem.width))
+    return spec
+
+
+def insert_scan_chains(circuit, scan_width=8):
+    """Add real scan-chain hardware to an elaborated circuit.
+
+    Adds ports:
+      * ``scan_capture`` (in): load all shadow registers from the live
+        register state in one cycle.
+      * ``scan_shift`` (in): shift the register chain one word toward
+        ``scan_out``.
+      * ``scan_out`` (out): current head word of the register chain.
+      * per-RAM ``scan_ram_<i>_shift`` (in) / ``scan_ram_<i>_out`` (out):
+        address-generating RAM chains (one word per cycle).
+
+    Returns the :class:`ScanChainSpec` describing the inserted chains.
+    """
+    spec = build_scan_chain_spec(circuit, scan_width)
+
+    def new_input(name):
+        node = Node("input", 1, name=name)
+        node.path = name
+        circuit.inputs.append(node)
+        return node
+
+    capture = new_input("scan_capture")
+    shift = new_input("scan_shift")
+
+    # Map global chain bit index -> contributing register slices, then
+    # build one capture expression per shadow word.
+    layout = []  # (reg node, lo_bit_global, width)
+    offset = 0
+    reg_by_path = {reg.path: reg for reg in circuit.regs}
+    for path, width in spec.reg_chain:
+        layout.append((reg_by_path[path], offset, width))
+        offset += width
+
+    def word_capture_expr(word_idx):
+        lo = word_idx * scan_width
+        hi = min(lo + scan_width, spec.reg_bits) - 1
+        pieces = []  # MSB-first for cat()
+        for reg, reg_lo, width in layout:
+            reg_hi = reg_lo + width - 1
+            if reg_hi < lo or reg_lo > hi:
+                continue
+            sel_lo = max(lo, reg_lo) - reg_lo
+            sel_hi = min(hi, reg_hi) - reg_lo
+            pieces.append(reg.bits(sel_hi, sel_lo))
+        pieces.reverse()  # collected LSB-first; cat wants MSB-first
+        expr = cat(*pieces)
+        if expr.width < scan_width:
+            expr = expr.pad(scan_width)
+        return expr
+
+    shadows = []
+    for i in range(spec.chain_words):
+        shadow = Node("reg", scan_width, name=f"scan_shadow_{i}")
+        shadow.path = f"scan.shadow_{i}"
+        shadows.append(shadow)
+        circuit.regs.append(shadow)
+    for i, shadow in enumerate(shadows):
+        nxt = shadows[i + 1] if i + 1 < len(shadows) else lift(0, scan_width)
+        shifted = mux(shift, nxt, shadow)
+        circuit.reg_next[shadow] = mux(capture, word_capture_expr(i),
+                                       shifted)
+    circuit.outputs.append(("scan_out", shadows[0]))
+
+    # RAM chains: address counter + shadow read register per memory.
+    for idx, mem in enumerate(circuit.mems):
+        ram_shift = new_input(f"scan_ram_{idx}_shift")
+        addr = Node("reg", mem.addr_width, name=f"scan_ram_{idx}_addr")
+        addr.path = f"scan.ram_{idx}_addr"
+        circuit.regs.append(addr)
+        circuit.reg_next[addr] = mux(
+            capture, lift(0, mem.addr_width),
+            mux(ram_shift, (addr + 1).trunc(mem.addr_width), addr))
+        data = Node("reg", mem.width, name=f"scan_ram_{idx}_data")
+        data.path = f"scan.ram_{idx}_data"
+        circuit.regs.append(data)
+        circuit.reg_next[data] = mux(ram_shift, mem.read(addr), data)
+        circuit.outputs.append((f"scan_ram_{idx}_out", data))
+
+    circuit.retopo()
+    circuit.scan_spec = spec
+    return spec

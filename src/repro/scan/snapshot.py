@@ -1,0 +1,48 @@
+"""Replayable RTL snapshots (Section III-B).
+
+A replayable snapshot is everything needed to re-execute a window of the
+target's history on a detailed (gate-level) simulator: the full RTL
+state at cycle ``c`` plus the traces of all I/O signals over the replay
+length ``L`` starting at ``c``.  Output traces double as the correctness
+check during replay ("outputs are verified against the output values of
+the design").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SnapshotError(Exception):
+    pass
+
+
+@dataclass
+class ReplayableSnapshot:
+    """State + I/O window captured at one sample point."""
+
+    cycle: int                 # target cycle c at which state was captured
+    state: "SimState"          # full register + memory state
+    replay_length: int         # L
+    input_trace: list = field(default_factory=list)   # per-cycle dicts
+    output_trace: list = field(default_factory=list)  # per-cycle dicts
+    perf_counters: dict = field(default_factory=dict)
+
+    @property
+    def complete(self):
+        """True once the I/O window has been fully recorded."""
+        return (len(self.input_trace) >= self.replay_length
+                and len(self.output_trace) >= self.replay_length)
+
+    def record_cycle(self, inputs, outputs):
+        """Append one cycle of I/O; ignores cycles beyond the window."""
+        if len(self.input_trace) < self.replay_length:
+            self.input_trace.append(dict(inputs))
+            self.output_trace.append(dict(outputs))
+
+    def validate(self):
+        if not self.complete:
+            raise SnapshotError(
+                f"snapshot at cycle {self.cycle} has only "
+                f"{len(self.input_trace)}/{self.replay_length} traced cycles")
+        return True

@@ -1,0 +1,9 @@
+"""Cycle-accurate RTL simulation (compiled Python, optional C backend)."""
+
+from .rtl_sim import RTLSimulator, SimState, SimStateError, make_simulator
+from .compiler import compile_circuit, LoweringError
+
+__all__ = [
+    "RTLSimulator", "SimState", "SimStateError", "make_simulator",
+    "compile_circuit", "LoweringError",
+]

@@ -1,0 +1,180 @@
+"""Circuit -> executable Python compiler.
+
+Generates one straight-line function per circuit (no per-node dispatch),
+which is what makes the "fast simulator" side of Strober viable in pure
+Python.  An optional C backend (see ``cbackend``) uses the same node
+lowering rules.
+"""
+
+from __future__ import annotations
+
+from ..hdl.ir import mask
+
+
+def _var(node):
+    return f"n{node.uid}"
+
+
+class LoweringError(Exception):
+    pass
+
+
+def lower_node(node, ref):
+    """Python expression computing ``node`` given ``ref(arg)`` expressions.
+
+    The expression assumes every argument is already masked to its width;
+    it must produce a value masked to ``node.width``.
+    """
+    op = node.op
+    w = node.width
+    if op == "const":
+        return repr(node.params)
+    if op == "memread":
+        raise LoweringError("memread is lowered by the caller")
+    args = [ref(a) for a in node.args]
+    if op == "add":
+        if max(node.args[0].width, node.args[1].width) + 1 > w:
+            return f"(({args[0]} + {args[1]}) & {mask(w)})"
+        return f"({args[0]} + {args[1]})"
+    if op == "sub":
+        return f"(({args[0]} - {args[1]}) & {mask(w)})"
+    if op == "mul":
+        expr = f"({args[0]} * {args[1]})"
+        if node.args[0].width + node.args[1].width > w:
+            expr = f"({expr} & {mask(w)})"
+        return expr
+    if op == "divu":
+        return f"(({args[0]} // {args[1]}) if {args[1]} else {mask(w)})"
+    if op == "modu":
+        return f"(({args[0]} % {args[1]}) if {args[1]} else {args[0]})"
+    if op == "and":
+        return f"({args[0]} & {args[1]})"
+    if op == "or":
+        return f"({args[0]} | {args[1]})"
+    if op == "xor":
+        return f"({args[0]} ^ {args[1]})"
+    if op == "not":
+        return f"({args[0]} ^ {mask(w)})"
+    if op == "shl":
+        amount = node.args[1]
+        if amount.op == "const":
+            expr = f"({args[0]} << {amount.params})"
+            if node.args[0].width + amount.params > w:
+                expr = f"({expr} & {mask(w)})"
+            return expr
+        return f"(({args[0]} << {args[1]}) & {mask(w)})"
+    if op == "shr":
+        return f"({args[0]} >> {args[1]})"
+    if op == "sra":
+        sign = 1 << (node.args[0].width - 1)
+        return (f"(((({args[0]} ^ {sign}) - {sign}) >> {args[1]})"
+                f" & {mask(w)})")
+    if op == "eq":
+        return f"({args[0]} == {args[1]})"
+    if op == "neq":
+        return f"({args[0]} != {args[1]})"
+    if op == "ltu":
+        return f"({args[0]} < {args[1]})"
+    if op == "leu":
+        return f"({args[0]} <= {args[1]})"
+    if op in ("lts", "les"):
+        wa = node.args[0].width
+        sign = 1 << (wa - 1)
+        cmp = "<" if op == "lts" else "<="
+        return (f"((({args[0]} ^ {sign}) - {sign}) {cmp} "
+                f"(({args[1]} ^ {sign}) - {sign}))")
+    if op == "cat":
+        lo_w = node.args[1].width
+        expr = f"(({args[0]} << {lo_w}) | {args[1]})"
+        if node.args[0].width + lo_w > w:
+            expr = f"({expr} & {mask(w)})"
+        return expr
+    if op == "bits":
+        hi, lo = node.params
+        src_w = node.args[0].width
+        if lo == 0 and hi == src_w - 1:
+            return args[0]
+        if hi == src_w - 1:
+            return f"({args[0]} >> {lo})"
+        return f"(({args[0]} >> {lo}) & {mask(w)})"
+    if op == "mux":
+        return f"({args[1]} if {args[0]} else {args[2]})"
+    if op == "orr":
+        return f"(1 if {args[0]} else 0)"
+    if op == "andr":
+        return f"({args[0]} == {mask(node.args[0].width)})"
+    if op == "xorr":
+        return f"(int({args[0]}).bit_count() & 1)"
+    raise LoweringError(f"cannot lower op {op!r}")
+
+
+def compile_circuit(circuit):
+    """Compile a Circuit into a cycle function.
+
+    Returns ``(cycle_fn, layout)`` where ``cycle_fn(IN, OUT, R, M, commit)``
+    evaluates one cycle (and commits register/memory updates when
+    ``commit`` is true) and ``layout`` maps names to list indices.
+    """
+    in_index = {node.name: i for i, node in enumerate(circuit.inputs)}
+    out_index = {name: i for i, (name, _) in enumerate(circuit.outputs)}
+    reg_index = {reg: i for i, reg in enumerate(circuit.regs)}
+    mem_index = {mem: i for i, mem in enumerate(circuit.mems)}
+
+    lines = ["def _cycle(IN, OUT, R, M, commit):"]
+    emit = lines.append
+
+    def ref(node):
+        if node.op == "const":
+            return repr(node.params)
+        return _var(node)
+
+    for node in circuit.inputs:
+        emit(f"    {_var(node)} = IN[{in_index[node.name]}]")
+    for reg, idx in reg_index.items():
+        emit(f"    {_var(reg)} = R[{idx}]")
+
+    for node in circuit.comb_order:
+        if node.op == "memread":
+            mem = node.mem
+            mem_ref = f"M[{mem_index[mem]}]"
+            addr = ref(node.args[0])
+            if (1 << node.args[0].width) > mem.depth:
+                emit(f"    {_var(node)} = {mem_ref}[{addr}] "
+                     f"if {addr} < {mem.depth} else 0")
+            else:
+                emit(f"    {_var(node)} = {mem_ref}[{addr}]")
+        else:
+            emit(f"    {_var(node)} = {lower_node(node, ref)}")
+
+    for name, driver in circuit.outputs:
+        emit(f"    OUT[{out_index[name]}] = {ref(driver)}")
+
+    emit("    if commit:")
+    commit_lines = []
+    for reg, idx in reg_index.items():
+        nxt = circuit.reg_next[reg]
+        commit_lines.append(f"        R[{idx}] = {ref(nxt)}")
+    for mem, midx in mem_index.items():
+        for addr, data, en in mem.writes:
+            guard = f"{ref(en)}"
+            addr_expr = ref(addr)
+            if (1 << addr.width) > mem.depth:
+                guard = f"{guard} and {addr_expr} < {mem.depth}"
+            commit_lines.append(
+                f"        if {guard}: M[{midx}][{addr_expr}] = {ref(data)}")
+    if not commit_lines:
+        commit_lines.append("        pass")
+    lines.extend(commit_lines)
+
+    source = "\n".join(lines)
+    namespace = {}
+    code = compile(source, f"<circuit {circuit.name}>", "exec")
+    exec(code, namespace)  # noqa: S102 - generated from our own IR
+    layout = {
+        "in_index": in_index,
+        "out_index": out_index,
+        "reg_index": {reg.path: i for reg, i in reg_index.items()},
+        "mem_index": {mem.path: i for mem, i in mem_index.items()},
+        "source": source,
+    }
+    return namespace["_cycle"], layout

@@ -1,0 +1,17 @@
+"""Target designs: Rocket-like in-order and BOOM-like OoO SoCs."""
+
+from .common import (
+    XLEN, PipelinedMultiplier, IterativeDivider, alu, branch_taken,
+)
+from .cache import Cache
+from .rocket import RocketCore
+from .soc import (
+    SoC, HtifEndpoint, build_soc_circuit, run_workload, WorkloadResult,
+)
+
+__all__ = [
+    "XLEN", "PipelinedMultiplier", "IterativeDivider", "alu",
+    "branch_taken", "Cache", "RocketCore",
+    "SoC", "HtifEndpoint", "build_soc_circuit", "run_workload",
+    "WorkloadResult",
+]

@@ -1,0 +1,835 @@
+"""BOOM-like parameterized superscalar out-of-order RV32IM core.
+
+Microarchitecture (scaled from the paper's Table II):
+
+* fetch width W (1 or 2) with fetch-time prediction: JAL targets are
+  followed immediately and backward conditional branches predict taken;
+* explicit register renaming: speculative + committed map tables, a
+  free-list bitmap, and a busy table over ``n_phys`` physical registers;
+* a unified issue window (``issue_slots``) with issue-time speculative
+  wakeup for single-cycle ops and writeback wakeup for loads/mul/div;
+* W ALU/branch issue ports, one 3-cycle retimed multiplier pipeline
+  (the paper's FPU-retiming case), one iterative divider;
+* an in-order load/store queue (loads execute speculatively at the LSQ
+  head; stores and MMIO accesses wait until they reach the ROB head);
+* a re-order buffer with W-wide in-order commit; branch mispredictions
+  are repaired at commit by restoring the committed rename state
+  (simpler than BOOM's checkpoint recovery, preserving the CPI ordering
+  the paper's Figure 9b relies on).
+"""
+
+from __future__ import annotations
+
+from ..hdl import Module, mux, cat, const
+from ..isa import encoding as enc
+from .common import (
+    XLEN, alu, branch_taken, decode_fields, load_extend,
+    select_immediate, imm_j, imm_b, PipelinedMultiplier,
+    IterativeDivider,
+)
+from .util import (
+    vec_read, vec_write, priority_index, priority_two, mod_inc, mod_sub,
+)
+
+# issue-window op classes
+CLS_ALU = 0
+CLS_BRANCH = 1
+CLS_JALR = 2
+CLS_MUL = 3
+CLS_DIV = 4
+CLS_CSR = 5
+
+
+class BoomCore(Module):
+    """Parameterized OoO core (see module docstring)."""
+
+    def __init__(self, fetch_width=1, issue_slots=12, rob_entries=24,
+                 n_phys=48, lsq_entries=8, reset_pc=0, debug=False,
+                 name=None):
+        if fetch_width not in (1, 2):
+            raise ValueError("fetch_width must be 1 or 2")
+        self.fetch_width = fetch_width
+        self.issue_slots = issue_slots
+        self.rob_entries = rob_entries
+        self.n_phys = n_phys
+        self.lsq_entries = lsq_entries
+        self.reset_pc = reset_pc
+        self.debug = debug
+        super().__init__(name)
+
+    # pylint: disable=too-many-locals,too-many-statements
+    def build(self):
+        W = self.fetch_width
+        NP = self.n_phys
+        PW = max((NP - 1).bit_length(), 1)
+        NR = self.rob_entries
+        RW = max((NR - 1).bit_length(), 1)
+        NIW = self.issue_slots
+        NLSQ = self.lsq_entries
+        LQW = max((NLSQ - 1).bit_length(), 1)
+
+        # ---- ports ------------------------------------------------------
+        imem_req_ready = self.input("imem_req_ready", 1)
+        imem_resp_valid = self.input("imem_resp_valid", 1)
+        imem_resp_data = self.input("imem_resp_data", 32 * W)
+        if W == 2:
+            imem_resp_nwords = self.input("imem_resp_nwords", 2)
+        dmem_req_ready = self.input("dmem_req_ready", 1)
+        dmem_resp_valid = self.input("dmem_resp_valid", 1)
+        dmem_resp_data = self.input("dmem_resp_data", 32)
+
+        # ---- rename / architectural state -------------------------------
+        regfile = self.mem("regfile", NP, XLEN)
+        map_spec = [self.reg(f"map_{i}", PW, init=i) for i in range(32)]
+        map_cmt = [self.reg(f"cmap_{i}", PW, init=i) for i in range(32)]
+        free_bits = [self.reg(f"free_{p}", 1, init=1 if p >= 32 else 0)
+                     for p in range(NP)]
+        cfree_bits = [self.reg(f"cfree_{p}", 1, init=1 if p >= 32 else 0)
+                      for p in range(NP)]
+        busy_bits = [self.reg(f"busy_{p}", 1) for p in range(NP)]
+
+        cycle_ctr = self.reg("cycle_ctr", 64)
+        cycle_ctr <<= cycle_ctr + 1
+        instret = self.reg("instret", 64)
+
+        # ---- functional units --------------------------------------------
+        mul = self.instance(PipelinedMultiplier(), "fpu_mul")
+        div = self.instance(IterativeDivider(), "div_unit")
+
+        # ---- ROB ------------------------------------------------------------
+        # payload: {is_store(1), wen(1), preg(PW), rd(5)}
+        rob_payload = self.mem("rob_payload", NR, 5 + PW + 2)
+        rob_valid = [self.reg(f"rob_v_{i}", 1) for i in range(NR)]
+        rob_done = [self.reg(f"rob_d_{i}", 1) for i in range(NR)]
+        rob_head = self.reg("rob_head", RW)
+        rob_tail = self.reg("rob_tail", RW)
+        rob_count = self.reg("rob_count", RW + 1)
+
+        # oldest-wins mispredict record
+        misp_valid = self.reg("misp_valid", 1)
+        misp_rob = self.reg("misp_rob", RW)
+        misp_target = self.reg("misp_target", XLEN)
+
+        def rob_age(idx):
+            return mod_sub(idx, rob_head, NR)
+
+        # ---- issue window ------------------------------------------------------
+        class Slot:
+            pass
+
+        slots = []
+        for i in range(NIW):
+            s = Slot()
+            s.v = self.reg(f"iw{i}_v", 1)
+            s.cls = self.reg(f"iw{i}_cls", 3)
+            s.dst = self.reg(f"iw{i}_dst", PW)
+            s.s1 = self.reg(f"iw{i}_s1", PW)
+            s.r1 = self.reg(f"iw{i}_r1", 1)
+            s.s2 = self.reg(f"iw{i}_s2", PW)
+            s.r2 = self.reg(f"iw{i}_r2", 1)
+            s.f3 = self.reg(f"iw{i}_f3", 3)
+            s.alt = self.reg(f"iw{i}_alt", 1)
+            s.imm = self.reg(f"iw{i}_imm", XLEN)
+            s.pc = self.reg(f"iw{i}_pc", XLEN)
+            s.rob = self.reg(f"iw{i}_rob", RW)
+            s.pred = self.reg(f"iw{i}_pred", 1)
+            s.op1_pc = self.reg(f"iw{i}_op1pc", 1)
+            s.op1_zero = self.reg(f"iw{i}_op1z", 1)
+            s.op2_imm = self.reg(f"iw{i}_op2imm", 1)
+            s.link = self.reg(f"iw{i}_link", 1)
+            s.wen = self.reg(f"iw{i}_wen", 1)
+            slots.append(s)
+
+        # ---- LSQ -------------------------------------------------------------------
+        class LsqEntry:
+            pass
+
+        lsq = []
+        for i in range(NLSQ):
+            e = LsqEntry()
+            e.v = self.reg(f"lsq{i}_v", 1)
+            e.st = self.reg(f"lsq{i}_st", 1)
+            e.f3 = self.reg(f"lsq{i}_f3", 3)
+            e.sa = self.reg(f"lsq{i}_sa", PW)    # address operand preg
+            e.sd = self.reg(f"lsq{i}_sd", PW)    # store data preg
+            e.imm = self.reg(f"lsq{i}_imm", XLEN)
+            e.rob = self.reg(f"lsq{i}_rob", RW)
+            e.dst = self.reg(f"lsq{i}_dst", PW)
+            e.wen = self.reg(f"lsq{i}_wen", 1)
+            lsq.append(e)
+        lsq_head = self.reg("lsq_head", LQW)
+        lsq_tail = self.reg("lsq_tail", LQW)
+        lsq_count = self.reg("lsq_count", LQW + 1)
+
+        # dmem in-flight bookkeeping
+        dmem_busy = self.reg("dmem_busy", 1)
+        dmem_drop = self.reg("dmem_drop", 1)
+        dmem_is_store = self.reg("dmem_is_store", 1)
+        dmem_dst = self.reg("dmem_dst", PW)
+        dmem_wen = self.reg("dmem_wen", 1)
+        dmem_rob = self.reg("dmem_rob", RW)
+        dmem_f3 = self.reg("dmem_f3", 3)
+        dmem_alow = self.reg("dmem_alow", 2)
+
+        # mul result carry pipeline (aligned with the retimed multiplier)
+        mw_v = [self.reg(f"mw_v{i}", 1) for i in range(3)]
+        mw_dst = [self.reg(f"mw_dst{i}", PW) for i in range(3)]
+        mw_rob = [self.reg(f"mw_rob{i}", RW) for i in range(3)]
+        # div in-flight
+        div_lock = self.reg("div_lock", 1)
+        div_dst = self.reg("div_dst", PW)
+        div_rob = self.reg("div_rob", RW)
+
+        # ---- execute stage registers (per issue port) --------------------------------
+        ports = []
+        for k in range(W):
+            p = Slot()
+            p.v = self.reg(f"ex{k}_v", 1)
+            p.cls = self.reg(f"ex{k}_cls", 3)
+            p.a = self.reg(f"ex{k}_a", XLEN)
+            p.b = self.reg(f"ex{k}_b", XLEN)
+            p.f3 = self.reg(f"ex{k}_f3", 3)
+            p.alt = self.reg(f"ex{k}_alt", 1)
+            p.imm = self.reg(f"ex{k}_imm", XLEN)
+            p.pc = self.reg(f"ex{k}_pc", XLEN)
+            p.dst = self.reg(f"ex{k}_dst", PW)
+            p.rob = self.reg(f"ex{k}_rob", RW)
+            p.pred = self.reg(f"ex{k}_pred", 1)
+            p.op1_pc = self.reg(f"ex{k}_op1pc", 1)
+            p.op1_zero = self.reg(f"ex{k}_op1z", 1)
+            p.op2_imm = self.reg(f"ex{k}_op2imm", 1)
+            p.link = self.reg(f"ex{k}_link", 1)
+            p.wen = self.reg(f"ex{k}_wen", 1)
+            ports.append(p)
+
+        flush = self.wire("flush", 1, default=0)
+
+        # =====================================================================
+        # EXECUTE + WRITEBACK (computed first: buses feed everything else)
+        # =====================================================================
+        wb_buses = []   # (valid, preg, value) -> regfile/busy/window/rob
+        spec_buses = []  # (valid, preg) issue-time wakeup, filled at issue
+
+        csr_lo = cycle_ctr[31:0]
+
+        def csr_value(addr):
+            value = csr_lo
+            value = mux(addr.eq(enc.CSR_CYCLEH), cycle_ctr[63:32], value)
+            value = mux(addr.eq(enc.CSR_INSTRET), instret[31:0], value)
+            value = mux(addr.eq(enc.CSR_INSTRETH), instret[63:32], value)
+            return value
+
+        exec_misp = []   # (valid, rob_idx, target)
+        for k, p in enumerate(ports):
+            op1 = mux(p.op1_pc, p.pc, mux(p.op1_zero, const(0, XLEN),
+                                          p.a))
+            op2 = mux(p.op2_imm, p.imm, p.b)
+            alu_out = alu(p.f3, p.alt, op1, op2)
+            link = (p.pc + 4).trunc(XLEN)
+            result = mux(p.link, link,
+                         mux(p.cls.eq(CLS_CSR),
+                             csr_value(p.imm[11:0]), alu_out))
+            is_branch = p.cls.eq(CLS_BRANCH)
+            is_jalr = p.cls.eq(CLS_JALR)
+            taken = branch_taken(p.f3, p.a, p.b)
+            br_target = mux(taken, (p.pc + p.imm).trunc(XLEN), link)
+            jalr_target = (p.a + p.imm).trunc(XLEN) \
+                & const(0xFFFFFFFE, XLEN)
+            mispredicted = (is_branch & taken.ne(p.pred)) \
+                | (is_jalr & jalr_target.ne(link))
+            target = mux(is_jalr, jalr_target, br_target)
+            exec_misp.append((p.v & mispredicted, p.rob, target))
+
+            wb_valid = p.v & p.wen & ~p.cls.eq(CLS_MUL) \
+                & ~p.cls.eq(CLS_DIV)
+            wb_buses.append((wb_valid, p.dst, result))
+
+            # every non-mul/div op completes at execute
+            done_now = p.v & ~p.cls.eq(CLS_MUL) & ~p.cls.eq(CLS_DIV)
+            for i in range(NR):
+                with self.when(done_now & p.rob.eq(i)):
+                    rob_done[i] <<= 1
+
+            # feed mul/div units from this port
+            if k == 0:
+                is_mul_e = p.v & p.cls.eq(CLS_MUL)
+                is_div_e = p.v & p.cls.eq(CLS_DIV)
+                mul.valid <<= is_mul_e
+                mul.a <<= p.a
+                mul.b <<= p.b
+                mul.funct3 <<= p.f3[1:0]
+                div.start <<= is_div_e
+                div.a <<= p.a
+                div.b <<= p.b
+                div.funct3 <<= p.f3
+                mw_v[0] <<= is_mul_e
+                mw_dst[0] <<= p.dst
+                mw_rob[0] <<= p.rob
+                with self.when(is_div_e):
+                    div_dst <<= p.dst
+                    div_rob <<= p.rob
+            else:
+                pass  # mul/div are only selected onto port 0
+
+        # mul pipeline advance + writeback
+        mw_v[1] <<= mw_v[0]
+        mw_dst[1] <<= mw_dst[0]
+        mw_rob[1] <<= mw_rob[0]
+        mw_v[2] <<= mw_v[1]
+        mw_dst[2] <<= mw_dst[1]
+        mw_rob[2] <<= mw_rob[1]
+        mul_wb_v = mul["valid_out"] & mw_v[2]
+        wb_buses.append((mul_wb_v, mw_dst[2], mul["result"]))
+        for i in range(NR):
+            with self.when(mul_wb_v & mw_rob[2].eq(i)):
+                rob_done[i] <<= 1
+
+        div_wb_v = div["done"] & div_lock
+        wb_buses.append((div_wb_v, div_dst, div["result"]))
+        with self.when(div_wb_v):
+            div_lock <<= 0
+        for i in range(NR):
+            with self.when(div_wb_v & div_rob.eq(i)):
+                rob_done[i] <<= 1
+
+        # load writeback (dmem response)
+        load_data = load_extend(dmem_f3, dmem_alow.pad(XLEN),
+                                dmem_resp_data)
+        load_wb_v = (dmem_resp_valid & dmem_busy & ~dmem_drop
+                     & ~dmem_is_store & dmem_wen)
+        wb_buses.append((load_wb_v, dmem_dst, load_data))
+        resp_done = dmem_resp_valid & dmem_busy & ~dmem_drop
+        for i in range(NR):
+            with self.when(resp_done & dmem_rob.eq(i)):
+                rob_done[i] <<= 1
+        with self.when(dmem_resp_valid & dmem_busy):
+            dmem_busy <<= 0
+            dmem_drop <<= 0
+
+        # apply writeback buses: regfile + busy table
+        for valid, preg, value in wb_buses:
+            with self.when(valid & preg.ne(0)):
+                self.mem_write(regfile, preg, value)
+            for pnum in range(NP):
+                with self.when(valid & preg.eq(pnum)):
+                    busy_bits[pnum] <<= 0
+
+        # record the oldest mispredict; the comparison chains through all
+        # of this cycle's resolutions (two ports may mispredict at once)
+        cur_valid = misp_valid
+        cur_rob = misp_rob
+        cur_target = misp_target
+        for valid, rob_idx, target in exec_misp:
+            take = valid & (~cur_valid
+                            | rob_age(rob_idx).ult(rob_age(cur_rob)))
+            cur_rob = mux(take, rob_idx, cur_rob)
+            cur_target = mux(take, target, cur_target)
+            cur_valid = cur_valid | valid
+        misp_valid <<= cur_valid
+        misp_rob <<= cur_rob
+        misp_target <<= cur_target
+
+        # =====================================================================
+        # ISSUE (select up to W ready ops; port 0 may take mul/div)
+        # =====================================================================
+        def slot_ready(s):
+            fu_ok = const(1, 1)
+            fu_ok = mux(s.cls.eq(CLS_DIV), ~div_lock, fu_ok)
+            return s.v & s.r1 & s.r2 & fu_ok
+
+        ready_flags = [slot_ready(s) for s in slots]
+        iww = max(NIW.bit_length(), 1)
+        if W == 1:
+            (sel0, any0), = (priority_index(ready_flags, iww),)
+            selections = [(sel0, any0)]
+        else:
+            alu_only = [r & ~s.cls.eq(CLS_MUL) & ~s.cls.eq(CLS_DIV)
+                        for r, s in zip(ready_flags, slots)]
+            (sel0, any0), _ = priority_two(ready_flags, iww)
+            # port 1: first ALU-class ready slot that port 0 didn't take
+            alu_minus0 = [r & ~(any0 & sel0.eq(i))
+                          for i, r in enumerate(alu_only)]
+            sel1, any1 = priority_index(alu_minus0, iww)
+            selections = [(sel0, any0), (sel1, any1)]
+
+        def field(sel, name):
+            return vec_read([getattr(s, name) for s in slots], sel)
+
+        for k, (sel, any_sel) in enumerate(selections):
+            p = ports[k]
+            issued = any_sel & ~flush
+            p.v <<= issued
+            for name in ("cls", "f3", "alt", "imm", "pc", "dst", "rob",
+                         "pred", "op1_pc", "op1_zero", "op2_imm", "link",
+                         "wen"):
+                self.assign(getattr(p, name), field(sel, name))
+            src1 = field(sel, "s1")
+            src2 = field(sel, "s2")
+            raw_a = regfile.read(src1)
+            raw_b = regfile.read(src2)
+            a_val, b_val = raw_a, raw_b
+            for wv, wp, wval in wb_buses:
+                a_val = mux(wv & wp.eq(src1), wval, a_val)
+                b_val = mux(wv & wp.eq(src2), wval, b_val)
+            a_val = mux(src1.eq(0), const(0, XLEN), a_val)
+            b_val = mux(src2.eq(0), const(0, XLEN), b_val)
+            p.a <<= a_val
+            p.b <<= b_val
+            # free the slot
+            for i, s in enumerate(slots):
+                with self.when(any_sel & sel.eq(i)):
+                    s.v <<= 0
+            # issue-time speculative wakeup for single-cycle producers
+            cls_sel = field(sel, "cls")
+            fast = ~cls_sel.eq(CLS_MUL) & ~cls_sel.eq(CLS_DIV)
+            spec_buses.append((issued & fast & field(sel, "wen"),
+                               field(sel, "dst")))
+            if k == 0:
+                with self.when(issued & cls_sel.eq(CLS_DIV)):
+                    div_lock <<= 1
+
+        # window wakeup: spec buses + slow writeback buses
+        wakeup_buses = list(spec_buses) + [(v, t) for v, t, _ in wb_buses]
+        for s in slots:
+            for wv, wt in wakeup_buses:
+                with self.when(s.v & wv & wt.eq(s.s1)):
+                    s.r1 <<= 1
+                with self.when(s.v & wv & wt.eq(s.s2)):
+                    s.r2 <<= 1
+
+        # =====================================================================
+        # LSQ head execution
+        # =====================================================================
+        def lsq_field(name):
+            return vec_read([getattr(e, name) for e in lsq], lsq_head)
+
+        head_v = vec_read([e.v for e in lsq], lsq_head) \
+            & lsq_count.ne(0)
+        head_st = lsq_field("st")
+        head_sa = lsq_field("sa")
+        head_sd = lsq_field("sd")
+        head_imm = lsq_field("imm")
+        head_rob = lsq_field("rob")
+        head_f3 = lsq_field("f3")
+        head_dst = lsq_field("dst")
+        head_wen = lsq_field("wen")
+
+        busy_of_sa = vec_read(busy_bits, head_sa)
+        busy_of_sd = vec_read(busy_bits, head_sd)
+        addr_val = mux(head_sa.eq(0), const(0, XLEN),
+                       regfile.read(head_sa))
+        data_val = mux(head_sd.eq(0), const(0, XLEN),
+                       regfile.read(head_sd))
+        mem_addr = (addr_val + head_imm).trunc(XLEN)
+        is_mmio = mem_addr[30]
+        at_rob_head = head_rob.eq(rob_head)
+
+        ops_ready = ~busy_of_sa & (~head_st | ~busy_of_sd)
+        order_ok = mux(head_st | is_mmio, at_rob_head, const(1, 1))
+        lsq_fire = (head_v & ops_ready & order_ok & ~dmem_busy
+                    & dmem_req_ready & ~flush)
+
+        self.output("dmem_req_valid", 1, lsq_fire)
+        self.output("dmem_req_rw", 1, head_st)
+        self.output("dmem_req_addr", XLEN, mem_addr)
+        self.output("dmem_req_wdata", XLEN, data_val)
+        self.output("dmem_req_funct3", 3, head_f3)
+
+        with self.when(lsq_fire):
+            dmem_busy <<= 1
+            dmem_drop <<= 0
+            dmem_is_store <<= head_st
+            dmem_dst <<= head_dst
+            dmem_wen <<= head_wen
+            dmem_rob <<= head_rob
+            dmem_f3 <<= head_f3
+            dmem_alow <<= mem_addr[1:0]
+            lsq_head <<= mod_inc(lsq_head, 1, NLSQ)
+            vec_write(self, [e.v for e in lsq], lsq_head, 0)
+
+        # =====================================================================
+        # FETCH (group fetch with fetch-time prediction)
+        # =====================================================================
+        pc_f = self.reg("pc_f", XLEN, init=self.reset_pc)
+        fetch_inflight = self.reg("fetch_inflight", 1)
+        fetch_pc = self.reg("fetch_pc", XLEN)
+        kill_fetch = self.reg("kill_fetch", 1)
+
+        resp_ok = imem_resp_valid & fetch_inflight & ~kill_fetch
+        with self.when(imem_resp_valid & fetch_inflight):
+            fetch_inflight <<= 0
+            with self.when(kill_fetch):
+                kill_fetch <<= 0
+
+        # predecode each fetched word
+        slot_valid = []
+        slot_pc = []
+        slot_inst = []
+        slot_pred = []
+        next_seq = (fetch_pc + 4).trunc(XLEN)
+        redirect_pred = const(0, 1)
+        pred_target = const(0, XLEN)
+        for k in range(W):
+            inst_k = imem_resp_data[32 * k + 31:32 * k]
+            pc_k = (fetch_pc + 4 * k).trunc(XLEN)
+            opcode_k = inst_k[6:0]
+            is_jal_k = opcode_k.eq(enc.OP_JAL)
+            is_br_k = opcode_k.eq(enc.OP_BRANCH)
+            pred_taken_k = is_br_k & inst_k[31]    # backward => taken
+            has_word = const(1, 1) if W == 1 else \
+                imem_resp_nwords.ugt(k)
+            valid_k = resp_ok & has_word & ~redirect_pred
+            slot_valid.append(valid_k)
+            slot_pc.append(pc_k)
+            slot_inst.append(inst_k)
+            slot_pred.append(pred_taken_k)
+            target_k = mux(is_jal_k, (pc_k + imm_j(inst_k)).trunc(XLEN),
+                           (pc_k + imm_b(inst_k)).trunc(XLEN))
+            take_k = valid_k & (is_jal_k | pred_taken_k)
+            pred_target = mux(take_k & ~redirect_pred, target_k,
+                              pred_target)
+            redirect_pred = redirect_pred | take_k
+            if k > 0:
+                # sequential next PC advances only past fetched words
+                next_seq = mux(has_word, (pc_k + 4).trunc(XLEN), next_seq)
+
+        predecode_next = mux(redirect_pred, pred_target, next_seq)
+
+        # group buffer (skid)
+        gb_v = self.reg("gb_v", 1)
+        gb_slot_v = [self.reg(f"gb{k}_v", 1) for k in range(W)]
+        gb_pc = [self.reg(f"gb{k}_pc", XLEN) for k in range(W)]
+        gb_inst = [self.reg(f"gb{k}_inst", 32) for k in range(W)]
+        gb_pred = [self.reg(f"gb{k}_pred", 1) for k in range(W)]
+
+        d_in_valid = gb_v | resp_ok
+        dv = [mux(gb_v, gb_slot_v[k], slot_valid[k]) for k in range(W)]
+        dpc = [mux(gb_v, gb_pc[k], slot_pc[k]) for k in range(W)]
+        dinst = [mux(gb_v, gb_inst[k], slot_inst[k]) for k in range(W)]
+        dpred = [mux(gb_v, gb_pred[k], slot_pred[k]) for k in range(W)]
+
+        dispatch_fire = self.wire("dispatch_fire", 1, default=0)
+        d_consume = d_in_valid & dispatch_fire
+
+        with self.when(d_consume):
+            gb_v <<= 0
+        with self.elsewhen(resp_ok & ~gb_v):
+            gb_v <<= 1
+            for k in range(W):
+                gb_slot_v[k] <<= slot_valid[k]
+                gb_pc[k] <<= slot_pc[k]
+                gb_inst[k] <<= slot_inst[k]
+                gb_pred[k] <<= slot_pred[k]
+
+        with self.when(resp_ok):
+            pc_f <<= predecode_next
+
+        buffer_free = d_consume | ~d_in_valid
+        issue_fetch = (imem_req_ready & buffer_free
+                       & (~fetch_inflight | imem_resp_valid) & ~flush)
+        fetch_addr = mux(resp_ok, predecode_next, pc_f)
+        self.output("imem_req_valid", 1, issue_fetch)
+        self.output("imem_req_addr", XLEN, fetch_addr)
+        with self.when(issue_fetch):
+            fetch_inflight <<= 1
+            fetch_pc <<= fetch_addr
+
+        # =====================================================================
+        # DECODE / RENAME / DISPATCH (atomic per group)
+        # =====================================================================
+        free_idx_pairs = priority_two(free_bits, PW)
+        (np0, np0_ok), (np1, np1_ok) = free_idx_pairs
+
+        iw_free = [~s.v for s in slots]
+        (ws0, ws0_ok), (ws1, ws1_ok) = priority_two(iw_free, iww)
+
+        group = []
+        for k in range(W):
+            inst = dinst[k]
+            fields = decode_fields(inst)
+            opcode = fields["opcode"]
+            g = Slot()
+            g.v = dv[k]
+            g.pc = dpc[k]
+            g.inst = inst
+            g.pred = dpred[k]
+            g.rd = fields["rd"]
+            g.rs1 = fields["rs1"]
+            g.rs2 = fields["rs2"]
+            g.f3 = fields["funct3"]
+            g.f7 = fields["funct7"]
+            g.imm = select_immediate(inst, fields)
+            g.is_load = opcode.eq(enc.OP_LOAD)
+            g.is_store = opcode.eq(enc.OP_STORE)
+            g.is_branch = opcode.eq(enc.OP_BRANCH)
+            g.is_jal = opcode.eq(enc.OP_JAL)
+            g.is_jalr = opcode.eq(enc.OP_JALR)
+            g.is_lui = opcode.eq(enc.OP_LUI)
+            g.is_auipc = opcode.eq(enc.OP_AUIPC)
+            g.is_alui = opcode.eq(enc.OP_IMM)
+            g.is_alur = opcode.eq(enc.OP_OP)
+            is_muldiv = g.is_alur & g.f7.eq(1)
+            g.is_mul = is_muldiv & ~g.f3[2]
+            g.is_div = is_muldiv & g.f3[2]
+            g.is_csr = opcode.eq(enc.OP_SYSTEM) & g.f3.eq(0b010)
+            g.is_mem = g.is_load | g.is_store
+            g.to_window = (g.is_branch | g.is_jal | g.is_jalr | g.is_lui
+                           | g.is_auipc | g.is_alui | g.is_alur
+                           | g.is_csr)
+            g.is_nop = g.v & ~g.to_window & ~g.is_mem
+            g.writes = ((g.is_load | g.is_jal | g.is_jalr | g.is_lui
+                         | g.is_auipc | g.is_alui | g.is_alur | g.is_csr)
+                        & g.rd.ne(0))
+            g.uses_rs1 = (g.is_load | g.is_store | g.is_branch
+                          | g.is_jalr | g.is_alui | g.is_alur)
+            g.uses_rs2 = g.is_store | g.is_branch | g.is_alur
+            group.append(g)
+
+        # rename source lookups (slot 1 sees slot 0's destination)
+        for k, g in enumerate(group):
+            p_rs1 = mux(g.rs1.eq(0), const(0, PW),
+                        vec_read(map_spec, g.rs1))
+            p_rs2 = mux(g.rs2.eq(0), const(0, PW),
+                        vec_read(map_spec, g.rs2))
+            if k == 1:
+                g0 = group[0]
+                fwd = g0.v & g0.writes
+                p_rs1 = mux(fwd & g0.rd.eq(g.rs1) & g.rs1.ne(0), np0,
+                            p_rs1)
+                p_rs2 = mux(fwd & g0.rd.eq(g.rs2) & g.rs2.ne(0), np0,
+                            p_rs2)
+            g.p_rs1 = mux(g.uses_rs1, p_rs1, const(0, PW))
+            g.p_rs2 = mux(g.uses_rs2 & ~g.is_store, p_rs2, const(0, PW))
+            g.p_store_data = mux(g.is_store, p_rs2, const(0, PW))
+            g.new_preg = np0 if k == 0 else \
+                mux(group[0].v & group[0].writes, np1, np0)
+
+        # source readiness at dispatch (busy table + same-cycle buses)
+        def ready_at_dispatch(preg, same_group_producer=None):
+            ready = ~vec_read(busy_bits, preg)
+            for wv, wt in wakeup_buses:
+                ready = ready | (wv & wt.eq(preg))
+            ready = ready & preg.ne(0) | preg.eq(0)
+            if same_group_producer is not None:
+                fwd, fwd_preg = same_group_producer
+                ready = mux(fwd & fwd_preg.eq(preg), const(0, 1), ready)
+            return ready
+
+        # resource requirements
+        n_preg = [g.v & g.writes for g in group]
+        need_two_pregs = (n_preg[0] & n_preg[1]) if W == 2 \
+            else const(0, 1)
+        need_one_preg = n_preg[0] if W == 1 else (n_preg[0] | n_preg[1])
+        preg_ok = (~need_one_preg | np0_ok) & (~need_two_pregs | np1_ok)
+
+        n_window = [g.v & g.to_window for g in group]
+        need_two_ws = (n_window[0] & n_window[1]) if W == 2 \
+            else const(0, 1)
+        need_one_ws = n_window[0] if W == 1 \
+            else (n_window[0] | n_window[1])
+        ws_ok = (~need_one_ws | ws0_ok) & (~need_two_ws | ws1_ok)
+
+        group_size = dv[0].pad(2) if W == 1 else \
+            (dv[0].pad(2) + dv[1].pad(2)).trunc(2)
+        n_mem = (group[0].v & group[0].is_mem).pad(2) if W == 1 else \
+            ((group[0].v & group[0].is_mem).pad(2)
+             + (group[1].v & group[1].is_mem).pad(2)).trunc(2)
+
+        rob_ok = (rob_count.pad(RW + 2) + group_size.pad(RW + 2)) \
+            .ule(NR)
+        lsq_ok = (lsq_count.pad(LQW + 2) + n_mem.pad(LQW + 2)).ule(NLSQ)
+
+        dispatch_fire <<= (d_in_valid & preg_ok & ws_ok & rob_ok
+                           & lsq_ok & ~flush)
+
+        # per-slot dispatch
+        lsq_alloc_count = const(0, 2)
+        for k, g in enumerate(group):
+            fire = dispatch_fire & g.v
+            rob_idx = mod_inc(rob_tail, k, NR)
+            payload = cat(g.is_store, g.writes, g.new_preg, g.rd)
+            self.mem_write(rob_payload, rob_idx, payload, en=fire)
+            for i in range(NR):
+                with self.when(fire & rob_idx.eq(i)):
+                    rob_valid[i] <<= 1
+                    rob_done[i] <<= g.is_nop
+            # rename state update
+            with self.when(fire & g.writes):
+                vec_write(self, map_spec, g.rd, g.new_preg)
+                vec_write(self, busy_bits, g.new_preg, 1)
+                vec_write(self, free_bits, g.new_preg, 0)
+            # window allocation: slot 1 uses the second free window slot
+            # if slot 0 also dispatched a window op, else the first
+            if k == 0:
+                ws = ws0
+            else:
+                ws = mux(group[0].v & group[0].to_window, ws1, ws0)
+            wfire = fire & g.to_window
+            same0 = None
+            if k == 1:
+                g0 = group[0]
+                same0 = (dispatch_fire & g0.v & g0.writes, g0.new_preg)
+            r1_init = ready_at_dispatch(g.p_rs1,
+                                        same0 if k == 1 else None)
+            r2_init = ready_at_dispatch(g.p_rs2,
+                                        same0 if k == 1 else None)
+            cls = const(CLS_ALU, 3)
+            cls = mux(g.is_branch, const(CLS_BRANCH, 3), cls)
+            cls = mux(g.is_jalr, const(CLS_JALR, 3), cls)
+            cls = mux(g.is_mul, const(CLS_MUL, 3), cls)
+            cls = mux(g.is_div, const(CLS_DIV, 3), cls)
+            cls = mux(g.is_csr, const(CLS_CSR, 3), cls)
+            for i, s in enumerate(slots):
+                with self.when(wfire & ws.eq(i)):
+                    s.v <<= 1
+                    s.cls <<= cls
+                    s.dst <<= mux(g.writes, g.new_preg, const(0, PW))
+                    s.s1 <<= g.p_rs1
+                    s.r1 <<= r1_init
+                    s.s2 <<= g.p_rs2
+                    s.r2 <<= r2_init
+                    s.f3 <<= mux(g.is_alui | g.is_alur, g.f3,
+                                 mux(g.is_branch, g.f3, const(0, 3)))
+                    s.alt <<= ((g.is_alur & g.f7[5] & ~g.f7[0])
+                               | (g.is_alui & g.f3.eq(0b101) & g.f7[5]))
+                    s.imm <<= g.imm
+                    s.pc <<= g.pc
+                    s.rob <<= rob_idx
+                    s.pred <<= g.pred
+                    s.op1_pc <<= g.is_auipc
+                    s.op1_zero <<= g.is_lui
+                    s.op2_imm <<= ~(g.is_alur | g.is_branch)
+                    s.link <<= g.is_jal | g.is_jalr
+                    s.wen <<= g.writes
+            # LSQ allocation
+            lfire = fire & g.is_mem
+            lidx = mod_inc(lsq_tail, lsq_alloc_count.resize(LQW), NLSQ)
+            for i, e in enumerate(lsq):
+                with self.when(lfire & lidx.eq(i)):
+                    e.v <<= 1
+                    e.st <<= g.is_store
+                    e.f3 <<= g.f3
+                    e.sa <<= g.p_rs1
+                    e.sd <<= g.p_store_data
+                    e.imm <<= g.imm
+                    e.rob <<= rob_idx
+                    e.dst <<= mux(g.writes, g.new_preg, const(0, PW))
+                    e.wen <<= g.writes
+            lsq_alloc_count = (lsq_alloc_count
+                               + lfire.pad(2)).trunc(2)
+
+        with self.when(dispatch_fire):
+            rob_tail <<= mod_inc(rob_tail, group_size.resize(RW), NR)
+            lsq_tail <<= mod_inc(lsq_tail, lsq_alloc_count.resize(LQW), NLSQ)
+
+        # =====================================================================
+        # COMMIT (up to W per cycle) + FLUSH
+        # =====================================================================
+        commit_fires = []
+        commit_is_flush = []
+        cmap_next = list(map_cmt)   # folded committed-map view
+        freed = []                  # (fire, old_preg)
+        taken_pregs = []            # (fire, new_preg)
+        for k in range(W):
+            idx = mod_inc(rob_head, k, NR)
+            payload = rob_payload.read(idx)
+            rd = payload[4:0]
+            preg = payload[4 + PW:5]
+            wen = payload[5 + PW]
+            valid_k = vec_read(rob_valid, idx)
+            done_k = vec_read(rob_done, idx)
+            is_flush_k = misp_valid & misp_rob.eq(idx)
+            prev_ok = const(1, 1) if k == 0 else commit_fires[k - 1]
+            prev_not_flush = const(1, 1) if k == 0 else \
+                ~commit_is_flush[k - 1]
+            fire = valid_k & done_k & prev_ok & prev_not_flush
+            commit_fires.append(fire)
+            commit_is_flush.append(fire & is_flush_k)
+            old_preg = vec_read(cmap_next, rd)
+            do_rename = fire & wen
+            freed.append((do_rename, old_preg))
+            taken_pregs.append((do_rename, preg))
+            cmap_next = [mux(do_rename & rd.eq(i), preg, cmap_next[i])
+                         for i in range(32)]
+            with self.when(do_rename):
+                vec_write(self, map_cmt, rd, preg)
+                vec_write(self, free_bits, old_preg, 1)
+                vec_write(self, cfree_bits, old_preg, 1)
+                vec_write(self, cfree_bits, preg, 0)
+            for i in range(NR):
+                with self.when(fire & idx.eq(i)):
+                    rob_valid[i] <<= 0
+
+        n_commit = commit_fires[0].pad(2) if W == 1 else \
+            (commit_fires[0].pad(2) + commit_fires[1].pad(2)).trunc(2)
+        with self.when(n_commit.ne(0)):
+            rob_head <<= mod_inc(rob_head, n_commit.resize(RW), NR)
+            instret <<= instret + n_commit.pad(64)
+        rob_count <<= (rob_count + mux(dispatch_fire,
+                                       group_size.pad(RW + 1),
+                                       const(0, RW + 1))
+                       - n_commit.pad(RW + 1)).trunc(RW + 1)
+        lsq_count <<= (lsq_count
+                       + mux(dispatch_fire, lsq_alloc_count.pad(LQW + 1),
+                             const(0, LQW + 1))
+                       - lsq_fire.pad(LQW + 1)).trunc(LQW + 1)
+
+        any_flush = commit_is_flush[0] if W == 1 else \
+            (commit_is_flush[0] | commit_is_flush[1])
+        flush <<= any_flush
+
+        # ---- flush recovery (assignments below win over everything above)
+        with self.when(flush):
+            for i in range(32):
+                map_spec[i] <<= cmap_next[i]
+            for p in range(NP):
+                free_bits[p] <<= cfree_bits[p]
+                busy_bits[p] <<= 0
+            # re-apply this cycle's commit corrections to the free list
+            for do_rename, old_preg in freed:
+                vec_write(self, free_bits, old_preg, 1, en=do_rename)
+            for do_rename, new_preg in taken_pregs:
+                vec_write(self, free_bits, new_preg, 0, en=do_rename)
+            for s in slots:
+                s.v <<= 0
+            for e in lsq:
+                e.v <<= 0
+            lsq_head <<= 0
+            lsq_tail <<= 0
+            lsq_count <<= 0
+            for i in range(NR):
+                rob_valid[i] <<= 0
+                rob_done[i] <<= 0
+            rob_head <<= 0
+            rob_tail <<= 0
+            rob_count <<= 0
+            misp_valid <<= 0
+            for k in range(3):
+                mw_v[k] <<= 0
+            div_lock <<= 0
+            for p in ports:
+                p.v <<= 0
+            gb_v <<= 0
+            pc_f <<= misp_target
+            with self.when(fetch_inflight & ~imem_resp_valid):
+                kill_fetch <<= 1
+            with self.when(dmem_busy & ~dmem_resp_valid):
+                dmem_drop <<= 1
+
+        # ---- status -----------------------------------------------------------
+        self.output("perf_instret", 32, instret[31:0])
+        self.output("perf_cycles", 32, cycle_ctr[31:0])
+        if self.debug:
+            self.output("dbg_dispatch", 1, dispatch_fire)
+            for k, g in enumerate(group):
+                self.output(f"dbg_v{k}", 1, g.v)
+                self.output(f"dbg_pc{k}", 32, g.pc)
+                self.output(f"dbg_inst{k}", 32, g.inst)
+                self.output(f"dbg_rd{k}", 5, g.rd)
+                self.output(f"dbg_np{k}", PW, g.new_preg)
+                self.output(f"dbg_writes{k}", 1, g.writes)
+            self.output("dbg_flush", 1, flush)
+            self.output("dbg_dmem_valid", 1, lsq_fire)
+            self.output("dbg_dmem_rw", 1, head_st)
+            self.output("dbg_dmem_addr", 32, mem_addr)
+            self.output("dbg_dmem_wdata", 32, data_val)

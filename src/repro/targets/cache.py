@@ -1,0 +1,186 @@
+"""Blocking, direct-mapped, write-back L1 cache.
+
+Pipelined hit path (one access per cycle back-to-back), write-allocate
+with dirty-line writeback over the burst memory protocol that
+:class:`repro.dram.MemoryEndpoint` services.  Sub-word stores are merged
+read-modify-write inside the cache (single cycle on a hit).
+
+Used for both L1 I$ (read-only requests) and L1 D$ — matching the
+16 KiB I$/D$ organization of Table II (sizes are parameters).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..hdl import Module, mux, cat, const
+from .common import store_merge
+
+# FSM states
+S_COMPARE = 0
+S_WB_REQ = 1
+S_WB_DATA = 2
+S_WB_ACK = 3
+S_REFILL_REQ = 4
+S_REFILL = 5
+
+
+class Cache(Module):
+    """One L1 cache instance.
+
+    Core-side ports:  req_valid/req_rw/req_addr/req_wdata/req_funct3 in,
+    req_ready out, resp_valid/resp_data out (1-cycle hit latency).
+    Memory-side ports: the burst protocol (mem_req_*, mem_wdata_*,
+    mem_resp_* — wired to the uncore arbiter).
+    """
+
+    def __init__(self, size_bytes=16 * 1024, line_words=8, read_words=1,
+                 name=None):
+        if read_words not in (1, 2):
+            raise ValueError("read_words must be 1 or 2")
+        self.size_bytes = size_bytes
+        self.line_words = line_words
+        self.read_words = read_words
+        super().__init__(name)
+
+    def build(self):
+        line_words = self.line_words
+        n_lines = self.size_bytes // (4 * line_words)
+        offset_bits = int(math.log2(line_words))
+        index_bits = int(math.log2(n_lines))
+        tag_bits = 32 - 2 - offset_bits - index_bits
+
+        req_valid = self.input("req_valid", 1)
+        req_rw = self.input("req_rw", 1)
+        req_addr = self.input("req_addr", 32)
+        req_wdata = self.input("req_wdata", 32)
+        req_funct3 = self.input("req_funct3", 3)
+
+        mem_req_ready = self.input("mem_req_ready", 1)
+        mem_resp_valid = self.input("mem_resp_valid", 1)
+        mem_resp_data = self.input("mem_resp_data", 32)
+
+        tags = self.mem("tags", n_lines, tag_bits + 2)  # {valid,dirty,tag}
+        data = self.mem("data", n_lines * line_words, 32)
+
+        state = self.reg("state", 3, init=S_COMPARE)
+        s_valid = self.reg("s_valid", 1)
+        s_rw = self.reg("s_rw", 1)
+        s_addr = self.reg("s_addr", 32)
+        s_wdata = self.reg("s_wdata", 32)
+        s_funct3 = self.reg("s_funct3", 3)
+        beat = self.reg("beat", offset_bits + 1)
+
+        word_addr = s_addr[31:2]
+        offset = word_addr[offset_bits - 1:0]
+        index = word_addr[offset_bits + index_bits - 1:offset_bits]
+        tag = word_addr[29:offset_bits + index_bits]
+
+        tag_entry = tags.read(index)
+        entry_valid = tag_entry[tag_bits + 1]
+        entry_dirty = tag_entry[tag_bits]
+        entry_tag = tag_entry[tag_bits - 1:0]
+        hit = s_valid & entry_valid & entry_tag.eq(tag)
+
+        data_index = cat(index, offset)
+        line_base = cat(index, const(0, offset_bits))
+        current_word = data.read(data_index)
+
+        in_compare = state.eq(S_COMPARE)
+        # Accept a new request whenever the slot frees this cycle.
+        finishing = in_compare & (~s_valid | hit)
+        self.output("req_ready", 1, finishing)
+
+        resp_valid = self.wire("resp_valid", 1, default=0)
+        self.output("resp_valid", 1, resp_valid)
+        if self.read_words == 1:
+            self.output("resp_data", 32, current_word)
+        else:
+            # Wide fetch port (superscalar frontends): a second word from
+            # the same line, when the access is not the line's last word.
+            next_index = cat(index, (offset + 1).trunc(offset_bits))
+            second_word = data.read(next_index)
+            last_in_line = offset.eq(line_words - 1)
+            self.output("resp_data", 64, cat(second_word, current_word))
+            self.output("resp_nwords", 2,
+                        mux(last_in_line, const(1, 2), const(2, 2)))
+
+        accept = finishing & req_valid
+        with self.when(accept):
+            s_valid <<= 1
+            s_rw <<= req_rw
+            s_addr <<= req_addr
+            s_wdata <<= req_wdata
+            s_funct3 <<= req_funct3
+        with self.elsewhen(finishing):
+            s_valid <<= 0
+
+        mem_req_valid = self.wire("mem_req_valid_w", 1, default=0)
+        mem_req_rw = self.wire("mem_req_rw_w", 1, default=0)
+        mem_req_addr = self.wire("mem_req_addr_w", 30, default=0)
+        mem_wdata_valid = self.wire("mem_wdata_valid_w", 1, default=0)
+
+        victim_line_addr = cat(entry_tag, index, const(0, offset_bits))
+        miss_line_addr = cat(tag, index, const(0, offset_bits))
+        wb_word = data.read(cat(index, beat[offset_bits - 1:0]))
+
+        with self.when(in_compare & s_valid):
+            with self.when(hit):
+                resp_valid <<= 1
+                with self.when(s_rw):
+                    merged = store_merge(s_funct3, s_addr, current_word,
+                                         s_wdata)
+                    self.mem_write(data, data_index, merged)
+                    self.mem_write(tags, index,
+                                   cat(const(1, 1), const(1, 1), tag))
+            with self.otherwise():
+                # miss: writeback if the victim is valid+dirty
+                with self.when(entry_valid & entry_dirty):
+                    state <<= S_WB_REQ
+                with self.otherwise():
+                    state <<= S_REFILL_REQ
+
+        with self.when(state.eq(S_WB_REQ)):
+            mem_req_valid <<= 1
+            mem_req_rw <<= 1
+            mem_req_addr <<= victim_line_addr
+            with self.when(mem_req_ready):
+                state <<= S_WB_DATA
+                beat <<= 0
+
+        with self.when(state.eq(S_WB_DATA)):
+            mem_wdata_valid <<= 1
+            beat <<= beat + 1
+            with self.when(beat.eq(line_words - 1)):
+                state <<= S_WB_ACK
+
+        with self.when(state.eq(S_WB_ACK)):
+            with self.when(mem_resp_valid):
+                state <<= S_REFILL_REQ
+
+        with self.when(state.eq(S_REFILL_REQ)):
+            mem_req_valid <<= 1
+            mem_req_rw <<= 0
+            mem_req_addr <<= miss_line_addr
+            with self.when(mem_req_ready):
+                state <<= S_REFILL
+                beat <<= 0
+
+        with self.when(state.eq(S_REFILL)):
+            with self.when(mem_resp_valid):
+                self.mem_write(data,
+                               cat(index, beat[offset_bits - 1:0]),
+                               mem_resp_data)
+                beat <<= beat + 1
+                with self.when(beat.eq(line_words - 1)):
+                    # install clean line, then retry the access
+                    self.mem_write(tags, index,
+                                   cat(const(1, 1), const(0, 1), tag))
+                    state <<= S_COMPARE
+
+        self.output("mem_req_valid", 1, mem_req_valid)
+        self.output("mem_req_rw", 1, mem_req_rw)
+        self.output("mem_req_addr", 30, mem_req_addr)
+        self.output("mem_req_len", 5, const(line_words, 5))
+        self.output("mem_wdata_valid", 1, mem_wdata_valid)
+        self.output("mem_wdata", 32, wb_word)

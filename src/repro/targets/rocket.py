@@ -1,0 +1,349 @@
+"""Rocket-like 5-stage in-order RV32IM core.
+
+Classic F/D/X/M/W pipeline: full bypassing into X, one-cycle load-use
+interlock, branches resolved in X (predict not-taken, two-cycle taken
+penalty), a 3-cycle retimed multiplier pipeline, and an iterative
+divider.  Talks to the L1 caches through valid/ready request ports with
+one-cycle hit responses (see :mod:`repro.targets.cache`).
+"""
+
+from __future__ import annotations
+
+from ..hdl import Module, mux, cat, const
+from ..isa import encoding as enc
+from .common import (
+    XLEN, alu, branch_taken, decode_fields, load_extend,
+    select_immediate, PipelinedMultiplier, IterativeDivider,
+)
+
+
+class RocketCore(Module):
+    """5-stage in-order core (see module docstring)."""
+
+    def __init__(self, reset_pc=0, name=None):
+        self.reset_pc = reset_pc
+        super().__init__(name)
+
+    def build(self):
+        # ---- external ports -------------------------------------------------
+        imem_req_ready = self.input("imem_req_ready", 1)
+        imem_resp_valid = self.input("imem_resp_valid", 1)
+        imem_resp_data = self.input("imem_resp_data", 32)
+        dmem_req_ready = self.input("dmem_req_ready", 1)
+        dmem_resp_valid = self.input("dmem_resp_valid", 1)
+        dmem_resp_data = self.input("dmem_resp_data", 32)
+
+        # ---- architectural state -------------------------------------------
+        regfile = self.mem("regfile", 32, XLEN)
+        cycle_ctr = self.reg("cycle_ctr", 64)
+        cycle_ctr <<= cycle_ctr + 1
+        instret = self.reg("instret", 64)
+
+        # ---- functional units ------------------------------------------------
+        mul = self.instance(PipelinedMultiplier(), "fpu_mul")
+        div = self.instance(IterativeDivider(), "div_unit")
+
+        # ---- pipeline registers ---------------------------------------------
+        # D stage
+        v_d = self.reg("v_d", 1)
+        pc_d = self.reg("pc_d", XLEN)
+        inst_d = self.reg("inst_d", 32)
+        # X stage
+        v_x = self.reg("v_x", 1)
+        pc_x = self.reg("pc_x", XLEN)
+        rd_x = self.reg("rd_x", 5)
+        f3_x = self.reg("f3_x", 3)
+        op1_x = self.reg("op1_x", XLEN)
+        op2_x = self.reg("op2_x", XLEN)
+        rs2val_x = self.reg("rs2val_x", XLEN)
+        imm_x = self.reg("imm_x", XLEN)
+        c_load_x = self.reg("c_load_x", 1)
+        c_store_x = self.reg("c_store_x", 1)
+        c_branch_x = self.reg("c_branch_x", 1)
+        c_jal_x = self.reg("c_jal_x", 1)
+        c_jalr_x = self.reg("c_jalr_x", 1)
+        c_alu_alt_x = self.reg("c_alu_alt_x", 1)
+        c_alu_f3_x = self.reg("c_alu_f3_x", 3)
+        c_lui_x = self.reg("c_lui_x", 1)
+        c_auipc_x = self.reg("c_auipc_x", 1)
+        c_mul_x = self.reg("c_mul_x", 1)
+        c_div_x = self.reg("c_div_x", 1)
+        c_csr_x = self.reg("c_csr_x", 1)
+        c_csr_addr_x = self.reg("c_csr_addr_x", 12)
+        c_wen_x = self.reg("c_wen_x", 1)
+        # M stage
+        v_m = self.reg("v_m", 1)
+        rd_m = self.reg("rd_m", 5)
+        f3_m = self.reg("f3_m", 3)
+        res_m = self.reg("res_m", XLEN)
+        addr_m = self.reg("addr_m", 2)          # low address bits (loads)
+        c_load_m = self.reg("c_load_m", 1)
+        c_mem_m = self.reg("c_mem_m", 1)        # waiting on dmem resp
+        c_wen_m = self.reg("c_wen_m", 1)
+        # W stage
+        v_w = self.reg("v_w", 1)
+        rd_w = self.reg("rd_w", 5)
+        res_w = self.reg("res_w", XLEN)
+        c_wen_w = self.reg("c_wen_w", 1)
+
+        # mul/div sequencing
+        mul_wait = self.reg("mul_wait", 1)
+        div_wait = self.reg("div_wait", 1)
+        muldiv_res = self.reg("muldiv_res", XLEN)
+        muldiv_done = self.reg("muldiv_done", 1)
+
+        # ---- D-stage decode ----------------------------------------------------
+        fields = decode_fields(inst_d)
+        opcode = fields["opcode"]
+        rs1_d = fields["rs1"]
+        rs2_d = fields["rs2"]
+        rd_d = fields["rd"]
+        f3_d = fields["funct3"]
+        f7_d = fields["funct7"]
+        imm_d = select_immediate(inst_d, fields)
+
+        is_load_d = opcode.eq(enc.OP_LOAD)
+        is_store_d = opcode.eq(enc.OP_STORE)
+        is_branch_d = opcode.eq(enc.OP_BRANCH)
+        is_jal_d = opcode.eq(enc.OP_JAL)
+        is_jalr_d = opcode.eq(enc.OP_JALR)
+        is_lui_d = opcode.eq(enc.OP_LUI)
+        is_auipc_d = opcode.eq(enc.OP_AUIPC)
+        is_alui_d = opcode.eq(enc.OP_IMM)
+        is_alur_d = opcode.eq(enc.OP_OP)
+        is_muldiv_d = is_alur_d & f7_d.eq(1)
+        is_mul_d = is_muldiv_d & ~f3_d[2]
+        is_div_d = is_muldiv_d & f3_d[2]
+        is_system_d = opcode.eq(enc.OP_SYSTEM)
+        is_csr_d = is_system_d & f3_d.eq(0b010)
+
+        uses_rs1_d = (is_load_d | is_store_d | is_branch_d | is_jalr_d
+                      | is_alui_d | is_alur_d)
+        uses_rs2_d = is_store_d | is_branch_d | is_alur_d
+        writes_rd_d = ((is_load_d | is_jal_d | is_jalr_d | is_lui_d
+                        | is_auipc_d | is_alui_d | is_alur_d | is_csr_d)
+                       & rd_d.ne(0))
+
+        # register read with full bypass (X > M > W priority)
+        rf_rs1 = mux(rs1_d.eq(0), 0, regfile.read(rs1_d))
+        rf_rs2 = mux(rs2_d.eq(0), 0, regfile.read(rs2_d))
+
+        # X-stage combinational result (declared later; use wire)
+        x_result = self.wire("x_result", XLEN)
+        m_result = self.wire("m_result", XLEN)
+
+        x_bypassable = v_x & c_wen_x & ~c_load_x & ~c_mul_x & ~c_div_x
+        m_bypass_ok = v_m & c_wen_m
+
+        def bypass(reg_num, raw):
+            from_w = mux(v_w & c_wen_w & rd_w.eq(reg_num), res_w, raw)
+            from_m = mux(m_bypass_ok & rd_m.eq(reg_num), m_result, from_w)
+            return mux(x_bypassable & rd_x.eq(reg_num), x_result, from_m)
+
+        rs1_val_d = bypass(rs1_d, rf_rs1)
+        rs2_val_d = bypass(rs2_d, rf_rs2)
+
+        # hazards that bypassing cannot cover: consumer in D of a value
+        # not yet available in X (load still in X, mul/div in X)
+        x_unbypassable = v_x & c_wen_x & (c_load_x | c_mul_x | c_div_x)
+        raw_hazard = (x_unbypassable
+                      & ((uses_rs1_d & rd_x.eq(rs1_d))
+                         | (uses_rs2_d & rd_x.eq(rs2_d))))
+        # loads in M mid-miss are covered by stall_m (m_result muxes the
+        # response data, which is only consumed when M advances)
+
+        # ---- X-stage execute -----------------------------------------------------
+        alu_f3 = c_alu_f3_x
+        alu_out = alu(alu_f3, c_alu_alt_x, op1_x, op2_x)
+        taken = branch_taken(f3_x, op1_x, rs2val_x)
+        branch_target = (pc_x + imm_x).trunc(XLEN)
+        jalr_target = (op1_x + imm_x).trunc(XLEN) & const(0xFFFFFFFE,
+                                                          XLEN)
+        link = (pc_x + 4).trunc(XLEN)
+
+        csr_addr = c_csr_addr_x
+        csr_val = cycle_ctr[31:0]
+        csr_val = mux(csr_addr.eq(enc.CSR_CYCLEH), cycle_ctr[63:32],
+                      csr_val)
+        csr_val = mux(csr_addr.eq(enc.CSR_INSTRET), instret[31:0],
+                      csr_val)
+        csr_val = mux(csr_addr.eq(enc.CSR_INSTRETH), instret[63:32],
+                      csr_val)
+
+        result = alu_out
+        result = mux(c_lui_x, imm_x, result)
+        result = mux(c_auipc_x, (pc_x + imm_x).trunc(XLEN), result)
+        result = mux(c_jal_x | c_jalr_x, link, result)
+        result = mux(c_csr_x, csr_val, result)
+        result = mux((c_mul_x | c_div_x) & muldiv_done, muldiv_res,
+                     result)
+        x_result <<= result
+
+        mem_addr = (op1_x + imm_x).trunc(XLEN)
+        is_mem_x = (c_load_x | c_store_x) & v_x
+
+        # mul/div unit driving
+        mul_issue = v_x & c_mul_x & ~mul_wait & ~muldiv_done
+        div_issue = v_x & c_div_x & ~div_wait & ~muldiv_done
+        mul.valid <<= mul_issue
+        mul.a <<= op1_x
+        mul.b <<= op2_x
+        mul.funct3 <<= f3_x[1:0]
+        div.start <<= div_issue
+        div.a <<= op1_x
+        div.b <<= op2_x
+        div.funct3 <<= f3_x
+
+        with self.when(mul_issue):
+            mul_wait <<= 1
+        with self.when(mul["valid_out"]):
+            mul_wait <<= 0
+            muldiv_res <<= mul["result"]
+            muldiv_done <<= 1
+        with self.when(div_issue):
+            div_wait <<= 1
+        with self.when(div["done"]):
+            div_wait <<= 0
+            muldiv_res <<= div["result"]
+            muldiv_done <<= 1
+
+        # ---- stall / advance logic -------------------------------------------------
+        stall_m = v_m & c_mem_m & ~dmem_resp_valid
+        dmem_fire = is_mem_x & dmem_req_ready & ~stall_m
+        muldiv_busy = v_x & ((c_mul_x & ~muldiv_done)
+                             | (c_div_x & ~muldiv_done))
+        stall_x = stall_m | (is_mem_x & ~dmem_fire) | muldiv_busy
+        stall_d = stall_x | (raw_hazard & v_d)
+
+        x_advance = v_x & ~stall_x
+        with self.when(~stall_x):
+            muldiv_done <<= 0
+
+        # ---- dmem request -------------------------------------------------------------
+        self.output("dmem_req_valid", 1, is_mem_x & ~stall_m
+                    & dmem_req_ready)
+        self.output("dmem_req_rw", 1, c_store_x)
+        self.output("dmem_req_addr", XLEN, mem_addr)
+        self.output("dmem_req_wdata", XLEN, rs2val_x)
+        self.output("dmem_req_funct3", 3, f3_x)
+
+        # ---- M stage --------------------------------------------------------------------
+        load_data = load_extend(f3_m, addr_m.pad(XLEN), dmem_resp_data)
+        m_result <<= mux(c_load_m, load_data, res_m)
+
+        with self.when(~stall_m):
+            v_m <<= x_advance
+            rd_m <<= rd_x
+            f3_m <<= f3_x
+            res_m <<= x_result
+            addr_m <<= mem_addr[1:0]
+            c_load_m <<= c_load_x
+            c_mem_m <<= is_mem_x
+            c_wen_m <<= c_wen_x
+
+        # ---- W stage ---------------------------------------------------------------------
+        m_advance = v_m & ~stall_m
+        v_w <<= m_advance
+        rd_w <<= rd_m
+        res_w <<= m_result
+        c_wen_w <<= c_wen_m
+        with self.when(v_w & c_wen_w & rd_w.ne(0)):
+            self.mem_write(regfile, rd_w, res_w)
+        with self.when(m_advance):
+            instret <<= instret + 1
+
+        # ---- control flow ------------------------------------------------------------------
+        redirect = v_x & ~stall_x & ((c_branch_x & taken) | c_jal_x
+                                     | c_jalr_x)
+        redirect_pc = mux(c_jalr_x, jalr_target, branch_target)
+
+        # ---- fetch ----------------------------------------------------------------------------
+        pc_f = self.reg("pc_f", XLEN, init=self.reset_pc)
+        fetch_inflight = self.reg("fetch_inflight", 1)
+        fetch_pc = self.reg("fetch_pc", XLEN)
+        kill_fetch = self.reg("kill_fetch", 1)
+        dbuf_v = self.reg("dbuf_v", 1)
+        dbuf_pc = self.reg("dbuf_pc", XLEN)
+        dbuf_inst = self.reg("dbuf_inst", 32)
+
+        resp_ok = imem_resp_valid & fetch_inflight & ~kill_fetch
+        with self.when(imem_resp_valid & fetch_inflight):
+            fetch_inflight <<= 0
+            with self.when(kill_fetch):
+                kill_fetch <<= 0
+
+        # D input: buffered instruction first, else fresh response
+        d_in_valid = dbuf_v | resp_ok
+        d_in_pc = mux(dbuf_v, dbuf_pc, fetch_pc)
+        d_in_inst = mux(dbuf_v, dbuf_inst, imem_resp_data)
+
+        d_consume = d_in_valid & ~stall_d & ~redirect
+        # Invariant: at most one instruction across {dbuf, in-flight}, so
+        # a response never arrives while the buffer is full.
+        with self.when(d_consume):
+            dbuf_v <<= 0
+        with self.elsewhen(resp_ok & ~dbuf_v):
+            dbuf_v <<= 1
+            dbuf_pc <<= fetch_pc
+            dbuf_inst <<= imem_resp_data
+
+        # issue a new fetch only when the buffer will be empty and no
+        # other fetch is outstanding
+        buffer_free = d_consume | ~d_in_valid
+        can_issue = (imem_req_ready & buffer_free
+                     & (~fetch_inflight | imem_resp_valid))
+        issue = can_issue & ~redirect
+        self.output("imem_req_valid", 1, issue)
+        self.output("imem_req_addr", XLEN, mux(redirect, redirect_pc,
+                                               pc_f))
+        with self.when(issue):
+            fetch_inflight <<= 1
+            fetch_pc <<= pc_f
+            pc_f <<= (pc_f + 4).trunc(XLEN)
+
+        with self.when(redirect):
+            pc_f <<= redirect_pc
+            dbuf_v <<= 0
+            with self.when(fetch_inflight & ~imem_resp_valid):
+                kill_fetch <<= 1
+
+        # ---- D -> X latch -------------------------------------------------------------------------
+        with self.when(~stall_x):
+            v_x <<= v_d & ~(raw_hazard & v_d) & ~redirect
+            pc_x <<= pc_d
+            rd_x <<= rd_d
+            f3_x <<= f3_d
+            op1_x <<= mux(is_auipc_d | is_jal_d, pc_d, rs1_val_d)
+            op2_x <<= mux(is_alur_d | is_branch_d, rs2_val_d, imm_d)
+            rs2val_x <<= rs2_val_d
+            imm_x <<= imm_d
+            c_load_x <<= is_load_d
+            c_store_x <<= is_store_d
+            c_branch_x <<= is_branch_d
+            c_jal_x <<= is_jal_d
+            c_jalr_x <<= is_jalr_d
+            c_alu_alt_x <<= ((is_alur_d & f7_d[5])
+                             | (is_alui_d & f3_d.eq(0b101) & f7_d[5]))
+            c_alu_f3_x <<= mux(is_alui_d | is_alur_d, f3_d,
+                               const(0, 3))
+            c_lui_x <<= is_lui_d
+            c_auipc_x <<= is_auipc_d
+            c_mul_x <<= is_mul_d
+            c_div_x <<= is_div_d
+            c_csr_x <<= is_csr_d
+            c_csr_addr_x <<= inst_d[31:20]
+            c_wen_x <<= writes_rd_d
+
+        # ---- F -> D latch ----------------------------------------------------------------------------
+        with self.when(~stall_d):
+            v_d <<= d_consume
+            pc_d <<= d_in_pc
+            inst_d <<= d_in_inst
+        with self.when(redirect):
+            v_d <<= 0
+            with self.when(stall_x):
+                v_x <<= 0  # unreachable (redirect implies ~stall_x)
+
+        # ---- status outputs ----------------------------------------------------------------------------
+        self.output("perf_instret", 32, instret[31:0])
+        self.output("perf_cycles", 32, cycle_ctr[31:0])

@@ -1,0 +1,367 @@
+"""Unit tests for the hardware DSL and RTL simulator foundations."""
+
+import pytest
+
+from repro.hdl import Module, elaborate, mux, cat, const, ElaborationError
+from repro.sim import RTLSimulator
+
+
+class Adder(Module):
+    def build(self):
+        a = self.input("a", 8)
+        b = self.input("b", 8)
+        self.output("sum", 9, a + b)
+
+
+class Counter(Module):
+    def __init__(self, width=8, name=None):
+        self.width = width
+        super().__init__(name)
+
+    def build(self):
+        en = self.input("en", 1)
+        count = self.reg("count", self.width)
+        with self.when(en):
+            count <<= count + 1
+        self.output("out", self.width, count)
+
+
+class TestCombinational:
+    def test_adder(self):
+        sim = RTLSimulator(elaborate(Adder()))
+        sim.poke("a", 200)
+        sim.poke("b", 100)
+        sim.eval()
+        assert sim.peek("sum") == 300
+
+    def test_poke_masks_to_width(self):
+        sim = RTLSimulator(elaborate(Adder()))
+        sim.poke("a", 0x1FF)
+        sim.poke("b", 0)
+        sim.eval()
+        assert sim.peek("sum") == 0xFF
+
+    def test_mux_and_cat(self):
+        class M(Module):
+            def build(self):
+                s = self.input("s", 1)
+                self.output("o", 8, mux(s, 0xAB, 0xCD))
+                self.output("c", 8, cat(const(0xA, 4), const(0xB, 4)))
+
+        sim = RTLSimulator(elaborate(M()))
+        sim.poke("s", 1)
+        sim.eval()
+        assert sim.peek("o") == 0xAB
+        assert sim.peek("c") == 0xAB
+        sim.poke("s", 0)
+        sim.eval()
+        assert sim.peek("o") == 0xCD
+
+    def test_bit_extract(self):
+        class M(Module):
+            def build(self):
+                a = self.input("a", 8)
+                self.output("hi", 4, a[7:4])
+                self.output("b0", 1, a[0])
+
+        sim = RTLSimulator(elaborate(M()))
+        sim.poke("a", 0xA5)
+        sim.eval()
+        assert sim.peek("hi") == 0xA
+        assert sim.peek("b0") == 1
+
+    def test_signed_compare(self):
+        class M(Module):
+            def build(self):
+                a = self.input("a", 8)
+                b = self.input("b", 8)
+                self.output("slt", 1, a.slt(b))
+                self.output("ult", 1, a.ult(b))
+
+        sim = RTLSimulator(elaborate(M()))
+        sim.poke("a", 0xFF)  # -1 signed
+        sim.poke("b", 1)
+        sim.eval()
+        assert sim.peek("slt") == 1
+        assert sim.peek("ult") == 0
+
+    def test_sra(self):
+        class M(Module):
+            def build(self):
+                a = self.input("a", 8)
+                s = self.input("s", 3)
+                self.output("o", 8, a.sra(s))
+
+        sim = RTLSimulator(elaborate(M()))
+        sim.poke("a", 0x80)
+        sim.poke("s", 3)
+        sim.eval()
+        assert sim.peek("o") == 0xF0
+
+    def test_division_by_zero_riscv_semantics(self):
+        class M(Module):
+            def build(self):
+                a = self.input("a", 8)
+                b = self.input("b", 8)
+                q = self.wire("q", 8)
+                from repro.hdl.ir import Node
+                q <<= Node("divu", 8, (a, b))
+                r = self.wire("r", 8)
+                r <<= Node("modu", 8, (a, b))
+                self.output("q", 8, q)
+                self.output("r", 8, r)
+
+        sim = RTLSimulator(elaborate(M()))
+        sim.poke("a", 42)
+        sim.poke("b", 0)
+        sim.eval()
+        assert sim.peek("q") == 0xFF
+        assert sim.peek("r") == 42
+        sim.poke("b", 5)
+        sim.eval()
+        assert sim.peek("q") == 8
+        assert sim.peek("r") == 2
+
+
+class TestSequential:
+    def test_counter_counts_when_enabled(self):
+        sim = RTLSimulator(elaborate(Counter()))
+        sim.poke("en", 1)
+        sim.step(5)
+        assert sim.peek_reg("count") == 5
+        sim.poke("en", 0)
+        sim.step(3)
+        assert sim.peek_reg("count") == 5
+
+    def test_counter_wraps(self):
+        sim = RTLSimulator(elaborate(Counter(width=2)))
+        sim.poke("en", 1)
+        sim.step(5)
+        assert sim.peek_reg("count") == 1
+
+    def test_reset_restores_init(self):
+        class M(Module):
+            def build(self):
+                r = self.reg("r", 8, init=0x42)
+                r <<= r + 1
+                self.output("o", 8, r)
+
+        sim = RTLSimulator(elaborate(M()))
+        assert sim.peek_reg("r") == 0x42
+        sim.step(3)
+        assert sim.peek_reg("r") == 0x45
+        sim.reset()
+        assert sim.peek_reg("r") == 0x42
+
+    def test_when_elsewhen_otherwise(self):
+        class M(Module):
+            def build(self):
+                sel = self.input("sel", 2)
+                r = self.reg("r", 8)
+                with self.when(sel.eq(0)):
+                    r <<= 10
+                with self.elsewhen(sel.eq(1)):
+                    r <<= 20
+                with self.otherwise():
+                    r <<= 30
+                self.output("o", 8, r)
+
+        sim = RTLSimulator(elaborate(M()))
+        for sel, expected in [(0, 10), (1, 20), (2, 30), (3, 30)]:
+            sim.poke("sel", sel)
+            sim.step()
+            assert sim.peek_reg("r") == expected
+
+    def test_last_connect_wins(self):
+        class M(Module):
+            def build(self):
+                r = self.reg("r", 4)
+                r <<= 1
+                r <<= 2
+                self.output("o", 4, r)
+
+        sim = RTLSimulator(elaborate(M()))
+        sim.step()
+        assert sim.peek_reg("r") == 2
+
+    def test_nested_when(self):
+        class M(Module):
+            def build(self):
+                a = self.input("a", 1)
+                b = self.input("b", 1)
+                r = self.reg("r", 4)
+                with self.when(a):
+                    with self.when(b):
+                        r <<= 3
+                    with self.otherwise():
+                        r <<= 2
+                self.output("o", 4, r)
+
+        sim = RTLSimulator(elaborate(M()))
+        sim.poke("a", 1)
+        sim.poke("b", 1)
+        sim.step()
+        assert sim.peek_reg("r") == 3
+        sim.poke("b", 0)
+        sim.step()
+        assert sim.peek_reg("r") == 2
+        sim.poke("a", 0)
+        sim.poke("b", 1)
+        sim.step()
+        assert sim.peek_reg("r") == 2  # held
+
+
+class TestMemory:
+    def test_async_read_write(self):
+        class M(Module):
+            def build(self):
+                waddr = self.input("waddr", 4)
+                wdata = self.input("wdata", 8)
+                wen = self.input("wen", 1)
+                raddr = self.input("raddr", 4)
+                m = self.mem("m", 16, 8)
+                self.mem_write(m, waddr, wdata, wen)
+                self.output("rdata", 8, m.read(raddr))
+
+        sim = RTLSimulator(elaborate(M()))
+        sim.poke("waddr", 3)
+        sim.poke("wdata", 99)
+        sim.poke("wen", 1)
+        sim.step()
+        sim.poke("wen", 0)
+        sim.poke("raddr", 3)
+        sim.eval()
+        assert sim.peek("rdata") == 99
+
+    def test_sync_read_has_one_cycle_latency(self):
+        class M(Module):
+            def build(self):
+                raddr = self.input("raddr", 4)
+                m = self.mem("m", 16, 8)
+                self.output("rdata", 8, self.mem_read_sync(m, raddr))
+
+        sim = RTLSimulator(elaborate(M()))
+        sim.load_mem("m", [i * 2 for i in range(16)])
+        sim.poke("raddr", 5)
+        sim.eval()
+        assert sim.peek("rdata") == 0  # address not yet registered
+        sim.step()
+        sim.eval()
+        assert sim.peek("rdata") == 10
+
+    def test_mem_write_respects_when(self):
+        class M(Module):
+            def build(self):
+                go = self.input("go", 1)
+                m = self.mem("m", 4, 8)
+                with self.when(go):
+                    self.mem_write(m, 1, 0x55)
+                self.output("o", 8, m.read(const(1, 2)))
+
+        sim = RTLSimulator(elaborate(M()))
+        sim.poke("go", 0)
+        sim.step()
+        sim.eval()
+        assert sim.peek("o") == 0
+        sim.poke("go", 1)
+        sim.step()
+        sim.eval()
+        assert sim.peek("o") == 0x55
+
+
+class TestHierarchy:
+    def test_instance_connection(self):
+        class Top(Module):
+            def build(self):
+                x = self.input("x", 8)
+                inner = self.instance(Adder(), "add0")
+                inner["a"] <<= x
+                inner["b"] <<= 7
+                self.output("y", 9, inner["sum"])
+
+        sim = RTLSimulator(elaborate(Top()))
+        sim.poke("x", 10)
+        sim.eval()
+        assert sim.peek("y") == 17
+
+    def test_reg_paths_include_instance_name(self):
+        class Top(Module):
+            def build(self):
+                c = self.instance(Counter(), "c0")
+                c["en"] <<= 1
+                self.output("o", 8, c["out"])
+
+        circuit = elaborate(Top())
+        assert any(r.path == "c0.count" for r in circuit.regs)
+
+    def test_same_object_twice_rejected(self):
+        class Top(Module):
+            def build(self):
+                child = Adder()
+                self.instance(child, "a0")
+                self.instance(child, "a1")
+                self.output("o", 9, 0)
+
+        with pytest.raises(ElaborationError):
+            elaborate(Top())
+
+
+class TestErrors:
+    def test_combinational_loop_detected(self):
+        class M(Module):
+            def build(self):
+                w = self.wire("w", 4)
+                w <<= w + 1
+                self.output("o", 4, w)
+
+        with pytest.raises(ElaborationError):
+            elaborate(M())
+
+    def test_undriven_child_input_detected(self):
+        class Top(Module):
+            def build(self):
+                inner = self.instance(Adder(), "a0")
+                inner["a"] <<= 1
+                self.output("o", 9, inner["sum"])
+
+        with pytest.raises(ElaborationError):
+            elaborate(Top())
+
+    def test_no_bool_coercion(self):
+        class M(Module):
+            def build(self):
+                a = self.input("a", 1)
+                if a:  # must raise, not silently take a branch
+                    pass
+
+        with pytest.raises(TypeError):
+            elaborate(M())
+
+
+class TestSnapshots:
+    def test_snapshot_roundtrip(self):
+        sim = RTLSimulator(elaborate(Counter()))
+        sim.poke("en", 1)
+        sim.step(7)
+        snap = sim.snapshot()
+        sim.step(5)
+        assert sim.peek_reg("count") == 12
+        sim.load_snapshot(snap)
+        assert sim.peek_reg("count") == 7
+        assert sim.cycle == 7
+
+    def test_snapshot_includes_memories(self):
+        class M(Module):
+            def build(self):
+                a = self.input("a", 2)
+                d = self.input("d", 8)
+                m = self.mem("m", 4, 8)
+                self.mem_write(m, a, d)
+                self.output("o", 8, m.read(a))
+
+        sim = RTLSimulator(elaborate(M()))
+        sim.poke("a", 2)
+        sim.poke("d", 77)
+        sim.step()
+        snap = sim.snapshot()
+        assert snap.mems["m"][2] == 77
