@@ -8,6 +8,7 @@ print the same rows/series the paper reports and save them under
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -24,6 +25,16 @@ def save_result(name, text):
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as f:
         f.write(text + "\n")
+    return path
+
+
+def save_json(name, payload):
+    """Persist a machine-readable result next to the text table."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
     return path
 
 

@@ -5,7 +5,13 @@ from simulating the entire execution on the gate level (the thing
 Strober avoids); repeated sampling runs then give estimates whose 99%
 error bounds are compared against the actual error — the paper's key
 accuracy validation.
+
+Snapshot replays run through the worker pool (``--workers N``, default
+``os.cpu_count()``); a serial-vs-parallel wall-clock comparison of one
+run's replay set is appended to the emitted table.
 """
+
+import time
 
 import pytest
 
@@ -29,7 +35,7 @@ REPLAY_LENGTH = 64
 CONFIDENCE = 0.99
 
 
-def test_fig8_power_validation(benchmark):
+def test_fig8_power_validation(benchmark, workers):
     def run_all():
         records = []
         for name in sorted(BENCH_KWARGS):
@@ -43,6 +49,7 @@ def test_fig8_power_validation(benchmark):
                     replay_length=REPLAY_LENGTH,
                     backend="auto", seed=100 + rep,
                     confidence=CONFIDENCE,
+                    workers=workers,
                     record_full_io=(rep == 0))
                 if rep == 0:
                     engine = get_replay_engine("rocket_mini")
@@ -72,6 +79,23 @@ def test_fig8_power_validation(benchmark):
                          "yes" if actual <= bound else "NO"])
     rows.append(["(bound coverage)", "", "", "", "",
                  f"{within}/{total}", ""])
+
+    # serial vs worker-pool wall-clock on one run's replay set
+    sample_run = records[0][2][0]
+    t0 = time.perf_counter()
+    serial = sample_run.engine.replay_all(sample_run.snapshots, workers=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = sample_run.engine.replay_all(sample_run.snapshots,
+                                            workers=max(2, workers))
+    parallel_s = time.perf_counter() - t0
+    assert [r.power.total_w for r in serial] == \
+        [r.power.total_w for r in parallel]
+    rows.append([f"(replay {len(sample_run.snapshots)} snaps)", "",
+                 f"serial {serial_s:.2f}s",
+                 f"workers={max(2, workers)} {parallel_s:.2f}s",
+                 f"{serial_s / max(parallel_s, 1e-9):.2f}x", "", ""])
+
     emit("fig8_power_validation", fmt_table(
         ["benchmark", "rep", "true mW", "estimate mW",
          "99% bound", "actual error", "within"],

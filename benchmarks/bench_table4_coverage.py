@@ -6,7 +6,9 @@ fraction of the execution (the paper reports 0.21%-2.05%), yet — per
 Figure 8 — yield accurate power estimates.
 """
 
-from repro.core import get_circuits
+import time
+
+from repro.core import get_circuits, get_replay_engine
 from repro.targets.soc import run_workload
 from repro.isa.programs import MICROBENCHMARKS
 
@@ -19,7 +21,7 @@ BENCH_KWARGS = {"towers": {"n": 8}, "coremark_lite": {},
                 "dhrystone": {"iterations": 80}}
 
 
-def test_table4_coverage(benchmark):
+def test_table4_coverage(benchmark, workers):
     circuit, _ = get_circuits("rocket_mini")
 
     def run_all():
@@ -45,6 +47,24 @@ def test_table4_coverage(benchmark):
         rows.append([name, result.cycles,
                      f"{n_snaps}x{REPLAY_LENGTH}",
                      f"{coverage:.2f}%"])
+
+    # replay one benchmark's snapshot set serially and through the
+    # worker pool (--workers) to report the replay-phase wall-clock
+    engine = get_replay_engine("rocket_mini")
+    snaps = results["towers"].snapshots
+    t0 = time.perf_counter()
+    serial = engine.replay_all(snaps, workers=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = engine.replay_all(snaps, workers=max(2, workers))
+    parallel_s = time.perf_counter() - t0
+    assert [r.power.total_w for r in serial] == \
+        [r.power.total_w for r in parallel]
+    rows.append([f"(replay towers {len(snaps)} snaps)",
+                 f"serial {serial_s:.2f}s",
+                 f"workers={max(2, workers)} {parallel_s:.2f}s",
+                 f"{serial_s / max(parallel_s, 1e-9):.2f}x"])
+
     emit("table4_coverage", fmt_table(
         ["benchmark", "simulated cycles", "replayed cycles", "coverage"],
         rows))

@@ -1,0 +1,23 @@
+"""Benchmark-suite pytest options.
+
+``--workers N`` controls the replay worker-pool size for the
+replay-heavy benches (Fig. 8, Table IV, speedup); it defaults to
+``os.cpu_count()`` so benches exercise the parallel path wherever the
+host has cores to offer.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers", type=int, default=None,
+        help="replay worker processes (default: os.cpu_count())")
+
+
+@pytest.fixture
+def workers(request):
+    value = request.config.getoption("--workers")
+    return value if value is not None else (os.cpu_count() or 1)

@@ -12,7 +12,9 @@ from .perf_model import (
     uarch_sim_time, gate_sim_time, speedup_over_uarch,
     speedup_over_gate_sim, measured_params,
 )
-from .flow import run_strober, StroberRun, get_circuits, get_replay_engine
+from .flow import (
+    run_strober, StroberRun, get_circuits, get_replay_engine, clear_caches,
+)
 
 __all__ = [
     "StroberCompiler", "StroberOutput",
@@ -25,4 +27,5 @@ __all__ = [
     "uarch_sim_time", "gate_sim_time", "speedup_over_uarch",
     "speedup_over_gate_sim", "measured_params",
     "run_strober", "StroberRun", "get_circuits", "get_replay_engine",
+    "clear_caches",
 ]

@@ -6,10 +6,14 @@ Ties the whole methodology together (Figures 2, 4, 5):
 2. run the workload on the FAME1 simulator, reservoir-sampling
    replayable snapshots;
 3. run the ASIC flow (synthesis, placement, formal matching) on the
-   tapeout circuit;
-4. replay every snapshot on gate level (with output verification and
-   retimed-datapath warm-up) and aggregate power with confidence
-   intervals, DRAM power from the activity counters, and CPI/EPI.
+   tapeout circuit — or load it from the content-addressed artifact
+   cache when a prior process already paid that cost;
+4. replay every snapshot on gate level (optionally fanned out across a
+   worker-process pool) and aggregate power with confidence intervals,
+   DRAM power from the activity counters, and CPI/EPI.
+
+Per-stage wall-clock (flow / sim / replay / energy) is recorded on the
+returned :class:`StroberRun` so both accelerations are measurable.
 """
 
 from __future__ import annotations
@@ -19,8 +23,10 @@ from dataclasses import dataclass, field
 
 from ..targets.soc import run_workload
 from ..isa.programs import ALL_PROGRAMS
+from ..hdl.ir import circuit_fingerprint
+from ..parallel.cache import get_cache, cache_enabled
 from .configs import get_config
-from .replay import ReplayEngine, run_asic_flow
+from .replay import ReplayEngine, run_asic_flow, replay_port_names
 from .energy import estimate_energy
 from .attribution import refine_attribution, soc_grouping
 from ..gatelevel import synthesize, place, match_netlist
@@ -38,6 +44,9 @@ class StroberRun:
     energy: object               # EnergyEstimate
     engine: ReplayEngine
     wall_seconds: float = 0.0
+    # per-stage wall-clock: flow/sim/replay/energy seconds, replay
+    # worker count, and whether the ASIC flow came from the disk cache
+    timings: dict = field(default_factory=dict)
 
     @property
     def cycles(self):
@@ -49,20 +58,49 @@ class StroberRun:
 
 
 _CIRCUIT_CACHE = {}
-_ENGINE_CACHE = {}
+_ENGINE_CACHE = {}   # (design, freq_hz) -> ReplayEngine
 
 
-def _soc_asic_flow(circuit):
-    """ASIC flow with functional-unit attribution and floorplanning."""
+def clear_caches(disk=False):
+    """Empty the in-memory circuit/engine caches (and optionally the
+    on-disk artifact cache) so tests and long-running processes can
+    bound memory and force cold paths."""
+    _CIRCUIT_CACHE.clear()
+    _ENGINE_CACHE.clear()
+    if disk:
+        get_cache().clear()
+
+
+def _soc_asic_flow(circuit, use_cache=True):
+    """ASIC flow with functional-unit attribution and floorplanning.
+
+    Cached on disk under its own artifact kind (``asicflow-soc``): the
+    SoC flow refines attribution and clusters by functional unit, so
+    its artifacts differ from the generic :func:`run_asic_flow` output
+    for the same circuit.
+    """
+    from .replay import AsicFlow
+
     t0 = time.perf_counter()
+    fingerprint = ""
+    if use_cache and cache_enabled():
+        fingerprint = circuit_fingerprint(circuit)
+        flow = get_cache().get("asicflow-soc", fingerprint)
+        if flow is not None:
+            flow.cache_hit = True
+            flow.synthesis_seconds = time.perf_counter() - t0
+            return flow
     netlist, hints = synthesize(circuit)
     refine_attribution(netlist)
     placement = place(netlist, cluster_fn=soc_grouping)
     name_map = match_netlist(circuit, netlist, hints)
-    from .replay import AsicFlow
-    return AsicFlow(netlist=netlist, hints=hints, placement=placement,
-                    name_map=name_map,
+    flow = AsicFlow(netlist=netlist, hints=hints, placement=placement,
+                    name_map=name_map, fingerprint=fingerprint,
+                    port_names=replay_port_names(circuit),
                     synthesis_seconds=time.perf_counter() - t0)
+    if use_cache and cache_enabled():
+        get_cache().put("asicflow-soc", fingerprint, flow)
+    return flow
 
 
 def get_circuits(design):
@@ -78,23 +116,32 @@ def get_circuits(design):
     return _CIRCUIT_CACHE[design]
 
 
-def get_replay_engine(design, freq_hz=None):
-    if design not in _ENGINE_CACHE:
+def get_replay_engine(design, freq_hz=None, use_cache=True):
+    """The (cached) gate-level replay engine for a named configuration.
+
+    Keyed by ``(design, freq_hz)``: the frequency feeds straight into
+    power analysis, so engines at different frequencies must not share
+    a cache slot.  ``use_cache=False`` skips the on-disk artifact cache
+    (the in-memory engine cache still applies).
+    """
+    key = (design, freq_hz)
+    if key not in _ENGINE_CACHE:
         _, target = get_circuits(design)
-        flow = _soc_asic_flow(target)
-        _ENGINE_CACHE[design] = ReplayEngine(
+        flow = _soc_asic_flow(target, use_cache=use_cache)
+        _ENGINE_CACHE[key] = ReplayEngine(
             target, flow=flow, grouping=soc_grouping, freq_hz=freq_hz)
-    return _ENGINE_CACHE[design]
+    return _ENGINE_CACHE[key]
 
 
 def run_strober(design, workload, sample_size=30, replay_length=128,
                 max_cycles=2_000_000, backend="auto", seed=0,
                 confidence=0.99, workload_kwargs=None, strict_replay=True,
-                record_full_io=False):
+                record_full_io=False, workers=1):
     """The headline API: energy-evaluate ``workload`` on ``design``.
 
     ``workload`` is a benchmark name from :data:`ALL_PROGRAMS` or a
-    literal assembly source string.
+    literal assembly source string.  ``workers`` fans snapshot replays
+    out across that many processes (``None`` = all CPUs; 1 = serial).
     """
     t0 = time.perf_counter()
     config = get_config(design)
@@ -106,6 +153,7 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
         source = workload
         workload_name = "(custom)"
 
+    t_sim = time.perf_counter()
     result = run_workload(
         sim_circuit, source,
         max_cycles=max_cycles,
@@ -117,13 +165,22 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
         seed=seed,
         record_full_io=record_full_io,
     )
+    sim_seconds = time.perf_counter() - t_sim
     if not result.passed:
         raise RuntimeError(
             f"workload {workload_name} failed on {design}: "
             f"exit={result.exit_code}")
 
+    t_flow = time.perf_counter()
     engine = get_replay_engine(design, freq_hz=config.freq_hz)
-    replays = engine.replay_all(result.snapshots, strict=strict_replay)
+    flow_seconds = time.perf_counter() - t_flow
+
+    t_replay = time.perf_counter()
+    replays = engine.replay_all(result.snapshots, strict=strict_replay,
+                                workers=workers)
+    replay_seconds = time.perf_counter() - t_replay
+
+    t_energy = time.perf_counter()
     energy = estimate_energy(
         replays,
         total_cycles=result.cycles,
@@ -135,6 +192,7 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
         dram_counters=result.memory.counters,
         freq_hz=config.freq_hz,
     )
+    energy_seconds = time.perf_counter() - t_energy
     return StroberRun(
         design=design,
         workload=workload_name,
@@ -143,4 +201,12 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
         energy=energy,
         engine=engine,
         wall_seconds=time.perf_counter() - t0,
+        timings={
+            "sim_seconds": sim_seconds,
+            "flow_seconds": flow_seconds,
+            "replay_seconds": replay_seconds,
+            "energy_seconds": energy_seconds,
+            "workers": workers,
+            "flow_cache_hit": engine.flow.cache_hit,
+        },
     )

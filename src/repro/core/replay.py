@@ -12,6 +12,7 @@ power-analysis tool.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from ..gatelevel import (
@@ -37,7 +38,11 @@ class ReplayResult:
 
 @dataclass
 class AsicFlow:
-    """Synthesis + placement + formal matching artifacts for one design."""
+    """Synthesis + placement + formal matching artifacts for one design.
+
+    Picklable as a unit: it is both the payload shipped to replay worker
+    processes and the object stored in the on-disk artifact cache.
+    """
 
     netlist: object
     hints: object
@@ -45,25 +50,60 @@ class AsicFlow:
     name_map: object
     equivalence: object = None
     synthesis_seconds: float = 0.0
+    fingerprint: str = ""
+    cache_hit: bool = False
+
+    # port names the replay loop drives (from the source circuit); kept
+    # on the artifact so engines can be rebuilt without the circuit.
+    port_names: list = field(default_factory=list)
 
 
-def run_asic_flow(circuit, verify=False, verify_cycles=24):
-    """The 'ASIC tool chain' half of the methodology (T_ASIC)."""
+def replay_port_names(circuit):
+    """Input ports a replay drives (everything but the FAME1 host bit)."""
+    return [node.name for node in circuit.inputs
+            if node.name != HOST_ENABLE]
+
+
+def run_asic_flow(circuit, verify=False, verify_cycles=24,
+                  use_cache=False):
+    """The 'ASIC tool chain' half of the methodology (T_ASIC).
+
+    With ``use_cache=True`` the flow artifacts are looked up in (and
+    stored to) the content-addressed disk cache keyed by the circuit
+    fingerprint, so repeated invocations skip synthesis, placement, and
+    matching entirely; ``verify`` co-simulation always runs live.
+    """
+    from ..parallel.cache import get_cache, cache_enabled
+    from ..hdl.ir import circuit_fingerprint
+
     t0 = time.perf_counter()
-    netlist, hints = synthesize(circuit)
-    placement = place(netlist)
-    name_map = match_netlist(circuit, netlist, hints)
-    equivalence = None
+    fingerprint = ""
+    flow = None
+    if use_cache and cache_enabled():
+        fingerprint = circuit_fingerprint(circuit)
+        flow = get_cache().get("asicflow", fingerprint)
+        if flow is not None:
+            flow.cache_hit = True
+            flow.synthesis_seconds = time.perf_counter() - t0
+    if flow is None:
+        netlist, hints = synthesize(circuit)
+        placement = place(netlist)
+        name_map = match_netlist(circuit, netlist, hints)
+        flow = AsicFlow(netlist=netlist, hints=hints, placement=placement,
+                        name_map=name_map, fingerprint=fingerprint,
+                        port_names=replay_port_names(circuit),
+                        synthesis_seconds=time.perf_counter() - t0)
+        if use_cache and cache_enabled():
+            get_cache().put("asicflow", fingerprint, flow)
     if verify:
-        equivalence = verify_equivalence(circuit, netlist,
+        equivalence = verify_equivalence(circuit, flow.netlist,
                                          n_cycles=verify_cycles)
         if not equivalence.equivalent:
             raise ReplayError(
                 f"gate-level netlist is not equivalent to the RTL: "
                 f"{equivalence.counterexample}")
-    return AsicFlow(netlist=netlist, hints=hints, placement=placement,
-                    name_map=name_map, equivalence=equivalence,
-                    synthesis_seconds=time.perf_counter() - t0)
+        flow.equivalence = equivalence
+    return flow
 
 
 class ReplayEngine:
@@ -74,14 +114,31 @@ class ReplayEngine:
     """
 
     def __init__(self, circuit, flow=None, grouping=default_grouping,
-                 freq_hz=None, verify_equiv=False):
+                 freq_hz=None, verify_equiv=False, port_names=None):
+        if circuit is None and flow is None:
+            raise ValueError("ReplayEngine needs a circuit or a flow")
         self.circuit = circuit
         self.flow = flow or run_asic_flow(circuit, verify=verify_equiv)
         self.grouping = grouping
         self.freq_hz = freq_hz
         self.gl = GateLevelSimulator(self.flow.netlist)
-        self._port_names = [node.name for node in circuit.inputs
-                            if node.name != HOST_ENABLE]
+        if port_names is None:
+            if circuit is not None:
+                port_names = replay_port_names(circuit)
+            else:
+                port_names = self.flow.port_names
+        self._port_names = list(port_names)
+
+    @classmethod
+    def from_flow(cls, flow, port_names=None, grouping=default_grouping,
+                  freq_hz=None):
+        """Rebuild an engine from a shipped/cached :class:`AsicFlow`.
+
+        This is how replay worker processes come up: no circuit IR is
+        needed, only the (picklable) flow artifact.
+        """
+        return cls(None, flow=flow, grouping=grouping, freq_hz=freq_hz,
+                   port_names=port_names)
 
     def _warm_up_retimed(self, reg_state):
         """Force retimed-block inputs from the history registers."""
@@ -97,7 +154,9 @@ class ReplayEngine:
         snapshot.validate()
         t0 = time.perf_counter()
         gl = self.gl
-        gl.reset()
+        # Canonical starting state: replay results must not depend on
+        # what this simulator ran before (serial loop vs fresh worker).
+        gl.full_reset()
         self._warm_up_retimed(snapshot.state.regs)
         commands = self.flow.name_map.load_commands(snapshot.state.regs)
         gl.load_dffs(commands)
@@ -135,10 +194,34 @@ class ReplayEngine:
             wall_seconds=time.perf_counter() - t0,
         )
 
-    def replay_all(self, snapshots, strict=True):
-        """Replay every snapshot (the paper parallelizes this step; the
-        results are identical since replays are independent)."""
-        return [self.replay(s, strict=strict) for s in snapshots]
+    def replay_all(self, snapshots, strict=True, workers=1):
+        """Replay every snapshot; optionally across worker processes.
+
+        The paper parallelizes this step — each replay is independent,
+        so results are identical regardless of ``workers``.  With
+        ``workers=1`` (the default) this is exactly the serial loop;
+        ``workers=None`` uses every CPU.  Results preserve snapshot
+        order and worker exceptions (including strict-mode mismatches)
+        propagate.  If the flow payload cannot be pickled (e.g. a
+        closure grouping function), falls back to serial with a warning.
+        """
+        snapshots = list(snapshots)
+        if workers is None:
+            import os
+            workers = os.cpu_count() or 1
+        workers = max(1, min(int(workers), len(snapshots) or 1))
+        if workers == 1:
+            return [self.replay(s, strict=strict) for s in snapshots]
+        from ..parallel import replay_parallel, ParallelReplayError
+        try:
+            return replay_parallel(
+                self.flow, snapshots, workers=workers,
+                port_names=self._port_names, grouping=self.grouping,
+                freq_hz=self.freq_hz, strict=strict)
+        except ParallelReplayError as exc:
+            warnings.warn(f"parallel replay unavailable ({exc}); "
+                          "falling back to serial", RuntimeWarning)
+            return [self.replay(s, strict=strict) for s in snapshots]
 
     def replay_full_trace(self, io_trace, from_reset=True, strict=False):
         """Ground-truth run: replay an *entire* execution's I/O trace on
@@ -153,7 +236,7 @@ class ReplayEngine:
         if from_reset:
             for macro in self.flow.netlist.srams:
                 gl.load_sram(macro.name, [0] * macro.depth)
-            gl.reset()
+            gl.full_reset()
         gl.clear_activity()
         mismatches = 0
         for inputs, expected in io_trace:

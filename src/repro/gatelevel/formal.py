@@ -41,6 +41,23 @@ class NameMap:
     points: list = field(default_factory=list)
     retimed: list = field(default_factory=list)   # RetimedHint passthrough
 
+    # Name maps ship to replay workers and into the artifact cache; a
+    # big design has one MatchPoint per register *bit*, so pickle them
+    # as plain tuples rather than dataclass instances.
+    def __getstate__(self):
+        return {
+            "v": 1,
+            "points": [(p.reg_path, p.bit, p.kind, p.dff_name,
+                        p.const_value) for p in self.points],
+            "retimed": self.retimed,
+        }
+
+    def __setstate__(self, state):
+        self.points = [MatchPoint(reg_path, bit, kind, dff_name, const)
+                       for reg_path, bit, kind, dff_name, const
+                       in state["points"]]
+        self.retimed = state["retimed"]
+
     def loadable_points(self):
         return [p for p in self.points if p.kind in ("dff", "merged")]
 

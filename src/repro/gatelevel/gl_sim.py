@@ -126,6 +126,27 @@ class GateLevelSimulator:
             self._values[self._dff_q[:len(self.netlist.dffs)]] = \
                 self._dff_init[:len(self.netlist.dffs)]
 
+    def full_reset(self):
+        """Return every net, force, memory, and read-port memo to the
+        just-constructed state (activity counters aside).
+
+        Replays call this so each snapshot starts from one canonical
+        state regardless of what ran on this simulator before — the
+        property that makes serial and worker-pool replays bit-identical
+        (a fresh worker's simulator has no history to inherit).  Note
+        retimed-datapath warm-up runs *before* snapshot SRAM loading, so
+        memory contents at warm-up time are part of that canonical state.
+        """
+        self._values[:] = 0
+        self._values[CONST1] = 1
+        self._forces.clear()
+        self._rebuild_force_arrays()
+        self._sram_last_addr.clear()
+        for data in self._sram_data:
+            data[:] = [0] * len(data)
+        self.reset()
+        np.copyto(self._prev, self._values)
+
     def clear_activity(self):
         self.toggles[:] = 0
         self.cycles = 0

@@ -36,6 +36,28 @@ class Placement:
     net_wire_cap_ff: np.ndarray = None               # per net id
     total_area_um2: float = 0.0
 
+    # Placements travel with AsicFlow artifacts through the replay worker
+    # pool and the on-disk cache; pack cluster boxes as tuples and keep
+    # the (large) per-net cap vector as a single contiguous ndarray.
+    def __getstate__(self):
+        return {
+            "v": 1,
+            "die_width": self.die_width,
+            "die_height": self.die_height,
+            "clusters": [(b.name, b.x, b.y, b.width, b.height, b.area)
+                         for b in self.clusters],
+            "net_wire_cap_ff": self.net_wire_cap_ff,
+            "total_area_um2": self.total_area_um2,
+        }
+
+    def __setstate__(self, state):
+        self.die_width = state["die_width"]
+        self.die_height = state["die_height"]
+        self.clusters = [ClusterBox(*fields)
+                         for fields in state["clusters"]]
+        self.net_wire_cap_ff = state["net_wire_cap_ff"]
+        self.total_area_um2 = state["total_area_um2"]
+
     def floorplan_text(self):
         """Render the floorplan as indented text (Figure 6 flavour)."""
         lines = [f"die {self.die_width:.0f} x {self.die_height:.0f} um"]

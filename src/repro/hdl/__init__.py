@@ -7,12 +7,16 @@ Public surface:
 * Node constructors/combinators: :func:`const`, :func:`mux`, :func:`cat`.
 """
 
-from .ir import Node, MemDecl, const, lift, mux, cat, mask, MAX_WIDTH
+from .ir import (
+    Node, MemDecl, const, lift, mux, cat, mask, MAX_WIDTH,
+    circuit_fingerprint,
+)
 from .dsl import Module, Instance, current_module
 from .elaborate import elaborate, Circuit, ElaborationError
 
 __all__ = [
     "Node", "MemDecl", "const", "lift", "mux", "cat", "mask", "MAX_WIDTH",
+    "circuit_fingerprint",
     "Module", "Instance", "current_module",
     "elaborate", "Circuit", "ElaborationError",
 ]

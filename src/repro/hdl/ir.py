@@ -12,6 +12,7 @@ extension in the DSL layer.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 
 MAX_WIDTH = 64
@@ -335,6 +336,78 @@ def cat(*parts):
         result = Node("cat", min(part.width + result.width, MAX_WIDTH),
                       (part, result))
     return result
+
+
+# Salt for circuit_fingerprint(); bump whenever the IR node semantics or
+# the traversal below change so stale cached artifacts are never reused.
+_FINGERPRINT_VERSION = 1
+
+
+def circuit_fingerprint(circuit):
+    """Deterministic content hash of an elaborated circuit.
+
+    Node ``uid``s come from a process-global counter, so they differ
+    between processes that build the same design; this hash instead
+    assigns canonical indices by traversal order (inputs, registers,
+    then ``comb_order``, which is deterministic for a deterministic
+    builder) and hashes only structural content: ops, widths, params,
+    paths, reset values, connectivity, memory ports, and retimed-block
+    annotations.  Two processes elaborating the same design therefore
+    agree on the fingerprint, which keys the on-disk artifact cache
+    (``repro.parallel.cache``).
+    """
+    h = hashlib.blake2b(digest_size=20)
+
+    def feed(*parts):
+        for part in parts:
+            h.update(repr(part).encode())
+            h.update(b"\x1f")
+        h.update(b"\x1e")
+
+    ids = {}
+
+    def assign(node):
+        ids[node] = len(ids)
+
+    def ref(node):
+        # Constants are hashed inline: they never appear in comb_order.
+        if node.op == "const":
+            return ("c", node.width, node.params)
+        return ids[node]
+
+    feed("repro-circuit", _FINGERPRINT_VERSION, circuit.name)
+    for node in circuit.inputs:
+        assign(node)
+        feed("in", node.name, node.width)
+    for reg in circuit.regs:
+        assign(reg)
+        feed("reg", reg.path, reg.width, reg.init)
+    mem_ids = {}
+    for mem in circuit.mems:
+        mem_ids[mem] = len(mem_ids)
+        feed("mem", mem.path, mem.depth, mem.width)
+    for node in circuit.comb_order:
+        assign(node)
+        if node.op == "memread":
+            feed("memread", node.width, mem_ids[node.mem],
+                 [ref(a) for a in node.args])
+        else:
+            feed(node.op, node.width, node.params,
+                 [ref(a) for a in node.args])
+    for name, driver in circuit.outputs:
+        feed("out", name, ref(driver))
+    for reg in circuit.regs:
+        feed("next", ids[reg], ref(circuit.reg_next[reg]))
+    for mem in circuit.mems:
+        for addr, data, en in mem.writes:
+            feed("write", mem_ids[mem], ref(addr), ref(data), ref(en))
+        for port in mem.read_ports:
+            feed("rport", mem_ids[mem], ref(port.args[0]))
+    for block in getattr(circuit, "retimed_blocks", ()):
+        feed("retimed", block.prefix, block.latency,
+             [(rin.name, rin.width, tuple(rin.hist_reg_paths))
+              for rin in block.inputs])
+    return h.hexdigest()
 
 
 class MemDecl:

@@ -1,0 +1,24 @@
+"""Parallel execution layer: replay pool + on-disk artifact cache.
+
+Two independent accelerators for the dominant costs of the Strober
+methodology:
+
+* :func:`replay_parallel` — fan snapshot replays out across worker
+  processes (the paper's "each replay is independent" observation);
+* :class:`ArtifactCache` — content-addressed disk cache of ASIC-flow
+  artifacts and generated RTL-evaluator sources, keyed by
+  :func:`repro.hdl.ir.circuit_fingerprint`, so repeated invocations
+  skip synthesis, placement, and formal matching entirely.
+"""
+
+from .cache import (
+    ArtifactCache, get_cache, cache_enabled, default_cache_dir,
+    CACHE_VERSION,
+)
+from .pool import replay_parallel, ParallelReplayError, default_workers
+
+__all__ = [
+    "ArtifactCache", "get_cache", "cache_enabled", "default_cache_dir",
+    "CACHE_VERSION",
+    "replay_parallel", "ParallelReplayError", "default_workers",
+]

@@ -1,0 +1,150 @@
+"""Content-addressed on-disk artifact cache.
+
+Strober's ASIC half (synthesis, placement, formal matching) and the
+RTL-evaluator code generators are pure functions of the elaborated
+circuit, so their outputs are cached on disk keyed by
+:func:`repro.hdl.ir.circuit_fingerprint`.  A warm cache lets a fresh
+process skip the entire flow — the "one-time mapping cost amortized
+across many runs" acceleration from the power-emulation literature.
+
+Layout::
+
+    <root>/v<VERSION>/<kind>/<key[:2]>/<key>.pkl
+
+* ``root`` is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+* ``kind`` namespaces artifact types (``asicflow``, ``asicflow-soc``,
+  ``pysim``, ``csim``).
+* ``key`` is the circuit fingerprint; invalidation is automatic because
+  any structural change to the design changes the key, and format
+  changes bump ``CACHE_VERSION``.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent processes
+never observe partial artifacts; corrupt entries are dropped and
+rebuilt.  Set ``REPRO_CACHE_DISABLE=1`` to bypass the cache entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+
+CACHE_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_DISABLE = "REPRO_CACHE_DISABLE"
+
+
+def cache_enabled():
+    return os.environ.get(_ENV_DISABLE, "") not in ("1", "true", "yes")
+
+
+def default_cache_dir():
+    return os.environ.get(_ENV_DIR) or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro")
+
+
+class ArtifactCache:
+    """Pickle store addressed by (kind, content-hash key)."""
+
+    def __init__(self, root=None):
+        self.root = os.path.join(root or default_cache_dir(),
+                                 f"v{CACHE_VERSION}")
+
+    def _path(self, kind, key):
+        return os.path.join(self.root, kind, key[:2], f"{key}.pkl")
+
+    def has(self, kind, key):
+        return os.path.exists(self._path(kind, key))
+
+    def get(self, kind, key):
+        """Load an artifact; returns None on miss or corruption."""
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as f:
+                return pickle.load(f)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt/truncated entry (e.g. interrupted writer before
+            # atomic rename existed, or a disk error): drop and rebuild.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def put(self, kind, key, obj):
+        """Atomically store an artifact; returns its path.
+
+        Best-effort: an unwritable cache root (read-only filesystem,
+        disk full, bogus ``REPRO_CACHE_DIR``) returns None instead of
+        failing the computation whose result was being cached.
+        """
+        path = self._path(kind, key)
+        tmp = None
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       prefix=".tmp-", suffix=".pkl")
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            if tmp is not None:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+            return None
+        except BaseException:
+            if tmp is not None:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+            raise
+        return path
+
+    def clear(self, kind=None):
+        """Delete all entries (or only one kind); returns count removed."""
+        base = self.root if kind is None else os.path.join(self.root, kind)
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for fname in filenames:
+                if fname.endswith(".pkl"):
+                    try:
+                        os.remove(os.path.join(dirpath, fname))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def stats(self):
+        """{kind: (entries, bytes)} for everything under the root."""
+        out = {}
+        if not os.path.isdir(self.root):
+            return out
+        for kind in sorted(os.listdir(self.root)):
+            kind_dir = os.path.join(self.root, kind)
+            count = size = 0
+            for dirpath, _dirnames, filenames in os.walk(kind_dir):
+                for fname in filenames:
+                    if fname.endswith(".pkl"):
+                        count += 1
+                        try:
+                            size += os.path.getsize(
+                                os.path.join(dirpath, fname))
+                        except OSError:
+                            pass
+            out[kind] = (count, size)
+        return out
+
+
+def get_cache():
+    """A cache bound to the current environment's root directory.
+
+    Constructed per call (it is just a path) so tests and long-running
+    processes that change ``REPRO_CACHE_DIR`` always see the right root.
+    """
+    return ArtifactCache()

@@ -1,0 +1,82 @@
+"""Multiprocessing snapshot-replay pool.
+
+The paper notes snapshot replays are embarrassingly parallel (each
+replay is independent, Section IV-C); this module fans them out across
+worker processes.  Each worker receives the pickled :class:`AsicFlow`
+artifact once at pool start-up, builds its gate-level simulator from it
+once, and then replays whichever snapshots the parent streams to it.
+
+Guarantees:
+
+* results come back in snapshot order (``pool.map`` semantics);
+* a strict-mode replay mismatch (or any worker exception) propagates to
+  the caller exactly as the serial path would raise it;
+* snapshots are dispatched one at a time (``chunksize=1``) so uneven
+  replay times load-balance across workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+
+
+class ParallelReplayError(Exception):
+    """The replay payload cannot be shipped to worker processes."""
+
+
+def default_workers():
+    return os.cpu_count() or 1
+
+
+def _pick_context(start_method=None):
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(start_method)
+
+
+# Per-worker-process replay engine, built once by _init_worker.
+_WORKER_ENGINE = None
+
+
+def _init_worker(payload):
+    global _WORKER_ENGINE
+    from ..core.replay import ReplayEngine
+    flow, port_names, grouping, freq_hz = pickle.loads(payload)
+    _WORKER_ENGINE = ReplayEngine.from_flow(
+        flow, port_names=port_names, grouping=grouping, freq_hz=freq_hz)
+
+
+def _replay_one(task):
+    snapshot, strict = task
+    return _WORKER_ENGINE.replay(snapshot, strict=strict)
+
+
+def replay_parallel(flow, snapshots, *, workers, port_names,
+                    grouping=None, freq_hz=None, strict=True,
+                    start_method=None):
+    """Replay ``snapshots`` on ``workers`` processes; order-preserving.
+
+    Raises :class:`ParallelReplayError` if the flow/grouping payload is
+    not picklable (e.g. a closure grouping function) — callers may fall
+    back to the serial path.  Worker exceptions (including strict-mode
+    ``ReplayError`` mismatches) propagate unchanged.
+    """
+    snapshots = list(snapshots)
+    if not snapshots:
+        return []
+    try:
+        payload = pickle.dumps((flow, list(port_names), grouping, freq_hz),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ParallelReplayError(
+            f"replay payload is not picklable: {exc}") from exc
+    workers = max(1, min(int(workers), len(snapshots)))
+    ctx = _pick_context(start_method)
+    with ctx.Pool(workers, initializer=_init_worker,
+                  initargs=(payload,)) as pool:
+        return pool.map(_replay_one,
+                        [(snap, strict) for snap in snapshots],
+                        chunksize=1)

@@ -28,6 +28,17 @@ class ReplayableSnapshot:
     output_trace: list = field(default_factory=list)  # per-cycle dicts
     perf_counters: dict = field(default_factory=dict)
 
+    # Snapshots are the unit of work shipped to replay worker processes;
+    # keep their pickled form an explicit, versioned tuple so the wire
+    # format is stable and cheap (traces are lists of {str: int} dicts).
+    def __getstate__(self):
+        return ("v1", self.cycle, self.state, self.replay_length,
+                self.input_trace, self.output_trace, self.perf_counters)
+
+    def __setstate__(self, state):
+        (_v, self.cycle, self.state, self.replay_length,
+         self.input_trace, self.output_trace, self.perf_counters) = state
+
     @property
     def complete(self):
         """True once the I/O window has been fully recorded."""

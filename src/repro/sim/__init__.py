@@ -1,9 +1,9 @@
 """Cycle-accurate RTL simulation (compiled Python, optional C backend)."""
 
 from .rtl_sim import RTLSimulator, SimState, SimStateError, make_simulator
-from .compiler import compile_circuit, LoweringError
+from .compiler import compile_circuit, compile_circuit_cached, LoweringError
 
 __all__ = [
     "RTLSimulator", "SimState", "SimStateError", "make_simulator",
-    "compile_circuit", "LoweringError",
+    "compile_circuit", "compile_circuit_cached", "LoweringError",
 ]

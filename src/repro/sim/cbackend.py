@@ -233,21 +233,32 @@ void mem_set(int mem, uint64_t addr, uint64_t value) {{
     return "\n".join(parts), layout
 
 
-def compile_circuit_c(circuit, keep_dir=None):
-    """Compile a circuit to a shared object and wrap it ctypes-side.
+def _build_so(circuit, workdir, so_path, use_cache):
+    """Produce circuit.so in ``workdir``; returns the evaluator layout.
 
-    Returns ``(cycle_fn, layout)`` matching the Python backend interface,
-    except state lives inside the shared object (proxied by
-    :class:`_CStateProxy` lists).
+    Warm path: the generated C source and compiled shared object are
+    stored in the artifact cache keyed by the circuit fingerprint, so a
+    repeat invocation (any process) skips both codegen and the compiler.
     """
+    from ..parallel.cache import get_cache, cache_enabled
+
+    fingerprint = None
+    if use_cache and cache_enabled():
+        from ..hdl.ir import circuit_fingerprint
+        fingerprint = circuit_fingerprint(circuit)
+        entry = get_cache().get("csim", fingerprint)
+        if entry is not None:
+            with open(so_path, "wb") as f:
+                f.write(entry["so"])
+            layout = dict(entry["layout"])
+            layout["source"] = entry["source"]
+            return layout
+
     compiler = shutil.which("gcc") or shutil.which("cc")
     if compiler is None:
         raise CBackendUnavailable("no C compiler on PATH")
-
     source, layout = generate_c_source(circuit)
-    workdir = keep_dir or tempfile.mkdtemp(prefix="repro_csim_")
     c_path = os.path.join(workdir, "circuit.c")
-    so_path = os.path.join(workdir, "circuit.so")
     with open(c_path, "w") as f:
         f.write(source)
     cmd = [compiler, "-O1", "-fPIC", "-shared", "-o", so_path, c_path]
@@ -255,8 +266,34 @@ def compile_circuit_c(circuit, keep_dir=None):
         subprocess.run(cmd, check=True, capture_output=True, timeout=600)
     except (subprocess.CalledProcessError, subprocess.TimeoutExpired) as exc:
         raise CBackendUnavailable(f"C compilation failed: {exc}") from exc
+    layout["source"] = source
+    if fingerprint is not None:
+        with open(so_path, "rb") as f:
+            so_bytes = f.read()
+        get_cache().put("csim", fingerprint, {
+            "source": source,
+            "so": so_bytes,
+            "layout": {k: v for k, v in layout.items() if k != "source"},
+        })
+    return layout
 
-    lib = ctypes.CDLL(so_path)
+
+def compile_circuit_c(circuit, keep_dir=None, use_cache=True):
+    """Compile a circuit to a shared object and wrap it ctypes-side.
+
+    Returns ``(cycle_fn, layout)`` matching the Python backend interface,
+    except state lives inside the shared object (proxied by
+    :class:`_CStateProxy` lists).
+    """
+    workdir = keep_dir or tempfile.mkdtemp(prefix="repro_csim_")
+    so_path = os.path.join(workdir, "circuit.so")
+    layout = _build_so(circuit, workdir, so_path, use_cache)
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError:
+        # A cached .so from an incompatible toolchain/arch: rebuild live.
+        layout = _build_so(circuit, workdir, so_path, use_cache=False)
+        lib = ctypes.CDLL(so_path)
     lib.cycle.argtypes = [ctypes.POINTER(ctypes.c_uint64),
                           ctypes.POINTER(ctypes.c_uint64), ctypes.c_int]
     lib.get_regs.argtypes = [ctypes.POINTER(ctypes.c_uint64)]
@@ -285,7 +322,6 @@ def compile_circuit_c(circuit, keep_dir=None):
     cycle_fn.reg_buf = reg_buf
     cycle_fn.n_regs = len(circuit.regs)
     cycle_fn.workdir = workdir
-    layout["source"] = source
     return cycle_fn, layout
 
 

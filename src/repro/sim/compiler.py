@@ -178,3 +178,30 @@ def compile_circuit(circuit):
         "source": source,
     }
     return namespace["_cycle"], layout
+
+
+def compile_circuit_cached(circuit):
+    """Like :func:`compile_circuit`, via the on-disk artifact cache.
+
+    The generated source is self-contained (indices are baked into the
+    function body) and the layout is keyed by port name / state path,
+    so a cache entry fully reconstructs the evaluator without touching
+    the IR — codegen is skipped on warm runs.
+    """
+    from ..parallel.cache import get_cache, cache_enabled
+    from ..hdl.ir import circuit_fingerprint
+
+    if not cache_enabled():
+        return compile_circuit(circuit)
+    fingerprint = circuit_fingerprint(circuit)
+    cache = get_cache()
+    layout = cache.get("pysim", fingerprint)
+    if layout is not None:
+        namespace = {}
+        code = compile(layout["source"],
+                       f"<cached circuit {circuit.name}>", "exec")
+        exec(code, namespace)  # noqa: S102 - our own cached codegen
+        return namespace["_cycle"], layout
+    cycle_fn, layout = compile_circuit(circuit)
+    cache.put("pysim", fingerprint, layout)
+    return cycle_fn, layout

@@ -8,7 +8,7 @@ the reference model when validating gate-level replays.
 from __future__ import annotations
 
 from ..hdl.ir import mask
-from .compiler import compile_circuit
+from .compiler import compile_circuit_cached
 
 
 class SimStateError(Exception):
@@ -29,6 +29,14 @@ class SimState:
         return SimState(dict(self.regs),
                         {k: list(v) for k, v in self.mems.items()},
                         self.cycle)
+
+    # __slots__ classes need explicit state hooks to pickle under every
+    # protocol; snapshots embed a SimState and cross process boundaries.
+    def __getstate__(self):
+        return (self.regs, self.mems, self.cycle)
+
+    def __setstate__(self, state):
+        self.regs, self.mems, self.cycle = state
 
     def state_bits(self, circuit):
         reg_bits = sum(r.width for r in circuit.regs)
@@ -55,7 +63,7 @@ class RTLSimulator:
             self._mems = [CMemProxy(lib, i, mem.depth)
                           for i, mem in enumerate(circuit.mems)]
         else:
-            self._cycle, self._layout = compile_circuit(circuit)
+            self._cycle, self._layout = compile_circuit_cached(circuit)
             self._regs = [0] * len(circuit.regs)
             self._mems = [[0] * mem.depth for mem in circuit.mems]
         self._in = [0] * len(circuit.inputs)
