@@ -19,6 +19,7 @@ returned :class:`StroberRun` so both accelerations are measurable.
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field
 
 from ..targets.soc import run_workload
@@ -47,6 +48,9 @@ class StroberRun:
     # per-stage wall-clock: flow/sim/replay/energy seconds, replay
     # worker count, and whether the ASIC flow came from the disk cache
     timings: dict = field(default_factory=dict)
+    # ReplayHealthReport when the replay stage ran supervised (workers
+    # > 1): records every recovery action the supervisor took, or None
+    health: object = None
 
     @property
     def cycles(self):
@@ -136,12 +140,25 @@ def get_replay_engine(design, freq_hz=None, use_cache=True):
 def run_strober(design, workload, sample_size=30, replay_length=128,
                 max_cycles=2_000_000, backend="auto", seed=0,
                 confidence=0.99, workload_kwargs=None, strict_replay=True,
-                record_full_io=False, workers=1):
+                record_full_io=False, workers=1, journal=None,
+                replay_timeout=None, replay_retries=2):
     """The headline API: energy-evaluate ``workload`` on ``design``.
 
     ``workload`` is a benchmark name from :data:`ALL_PROGRAMS` or a
     literal assembly source string.  ``workers`` fans snapshot replays
-    out across that many processes (``None`` = all CPUs; 1 = serial).
+    out across that many processes (``None`` = all CPUs; 1 = serial);
+    multi-worker replays run under the fault-tolerant supervisor
+    (``replay_timeout`` seconds per snapshot, ``replay_retries``
+    attempts before the in-process fallback) and the resulting
+    :class:`~repro.robust.ReplayHealthReport` lands on the returned
+    run's ``health`` field.
+
+    ``journal`` names a crash-safe run journal file: the simulation
+    outcome, every sampled snapshot, and every completed replay result
+    are appended (checksummed, fsync'd) as they land, and a rerun with
+    the same parameters and the same ``journal`` path resumes from the
+    last good record — skipping the FAME simulation and all finished
+    replays — instead of restarting from scratch.
     """
     t0 = time.perf_counter()
     config = get_config(design)
@@ -153,46 +170,110 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
         source = workload
         workload_name = "(custom)"
 
-    t_sim = time.perf_counter()
-    result = run_workload(
-        sim_circuit, source,
-        max_cycles=max_cycles,
-        mem_latency=config.dram_latency,
-        line_words=config.line_words,
-        backend=backend,
-        sample_size=sample_size,
-        replay_length=replay_length,
-        seed=seed,
-        record_full_io=record_full_io,
-    )
-    sim_seconds = time.perf_counter() - t_sim
-    if not result.passed:
-        raise RuntimeError(
-            f"workload {workload_name} failed on {design}: "
-            f"exit={result.exit_code}")
+    journal_file = None
+    resume = None
+    if journal is not None:
+        from ..robust.journal import RunJournal, load_resume
+        run_key = {
+            "design": design,
+            "workload": workload_name,
+            "source_crc": zlib.crc32(source.encode())
+            if isinstance(source, str) else None,
+            "sample_size": sample_size,
+            "replay_length": replay_length,
+            "max_cycles": max_cycles,
+            "seed": seed,
+            "strict_replay": bool(strict_replay),
+            "workload_kwargs": workload_kwargs or {},
+        }
+        resume = load_resume(journal, run_key)
 
-    t_flow = time.perf_counter()
-    engine = get_replay_engine(design, freq_hz=config.freq_hz)
-    flow_seconds = time.perf_counter() - t_flow
+    try:
+        t_sim = time.perf_counter()
+        if resume is not None:
+            from ..robust.journal import JournaledWorkloadResult
+            result = JournaledWorkloadResult(resume.sim, resume.snapshots)
+        else:
+            result = run_workload(
+                sim_circuit, source,
+                max_cycles=max_cycles,
+                mem_latency=config.dram_latency,
+                line_words=config.line_words,
+                backend=backend,
+                sample_size=sample_size,
+                replay_length=replay_length,
+                seed=seed,
+                record_full_io=record_full_io,
+            )
+        sim_seconds = time.perf_counter() - t_sim
+        if not result.passed:
+            raise RuntimeError(
+                f"workload {workload_name} failed on {design}: "
+                f"exit={result.exit_code}")
 
-    t_replay = time.perf_counter()
-    replays = engine.replay_all(result.snapshots, strict=strict_replay,
-                                workers=workers)
-    replay_seconds = time.perf_counter() - t_replay
+        snapshots = list(result.snapshots)
+        done = dict(resume.results) if resume is not None else {}
 
-    t_energy = time.perf_counter()
-    energy = estimate_energy(
-        replays,
-        total_cycles=result.cycles,
-        replay_length=replay_length,
-        instructions=result.instret,
-        confidence=confidence,
-        workload=workload_name,
-        design=design,
-        dram_counters=result.memory.counters,
-        freq_hz=config.freq_hz,
-    )
-    energy_seconds = time.perf_counter() - t_energy
+        if journal is not None:
+            from ..robust.journal import (
+                TYPE_META, TYPE_SNAPSHOT, TYPE_SIM, TYPE_RESULT)
+            journal_file = RunJournal(journal).open()
+            if resume is None:
+                journal_file.reset()
+                journal_file.append(TYPE_META, run_key)
+                for i, snapshot in enumerate(snapshots):
+                    if snapshot.checksum is None:
+                        snapshot.seal()
+                    journal_file.append(TYPE_SNAPSHOT,
+                                        {"index": i, "snapshot": snapshot})
+                journal_file.append(TYPE_SIM, {
+                    "cycles": result.cycles,
+                    "instret": result.instret,
+                    "exit_code": result.exit_code,
+                    "dram_counters": result.memory.counters,
+                    "n_snapshots": len(snapshots),
+                })
+
+        t_flow = time.perf_counter()
+        engine = get_replay_engine(design, freq_hz=config.freq_hz)
+        flow_seconds = time.perf_counter() - t_flow
+
+        t_replay = time.perf_counter()
+        pending = [(i, s) for i, s in enumerate(snapshots) if i not in done]
+        on_result = None
+        if journal_file is not None:
+            pending_index = [i for i, _ in pending]
+
+            def on_result(pos, replay_result):
+                journal_file.append(TYPE_RESULT,
+                                    {"index": pending_index[pos],
+                                     "result": replay_result})
+
+        new_results = engine.replay_all(
+            [s for _, s in pending], strict=strict_replay, workers=workers,
+            on_result=on_result, timeout=replay_timeout,
+            max_retries=replay_retries)
+        for (i, _), replay_result in zip(pending, new_results):
+            done[i] = replay_result
+        replays = [done[i] for i in range(len(snapshots))]
+        replay_seconds = time.perf_counter() - t_replay
+
+        t_energy = time.perf_counter()
+        energy = estimate_energy(
+            replays,
+            total_cycles=result.cycles,
+            replay_length=replay_length,
+            instructions=result.instret,
+            confidence=confidence,
+            workload=workload_name,
+            design=design,
+            dram_counters=result.memory.counters,
+            freq_hz=config.freq_hz,
+        )
+        energy_seconds = time.perf_counter() - t_energy
+    finally:
+        if journal_file is not None:
+            journal_file.close()
     return StroberRun(
         design=design,
         workload=workload_name,
@@ -208,5 +289,8 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
             "energy_seconds": energy_seconds,
             "workers": workers,
             "flow_cache_hit": engine.flow.cache_hit,
+            "resumed_sim": resume is not None,
+            "resumed_replays": len(resume.results) if resume else 0,
         },
+        health=engine.last_health,
     )

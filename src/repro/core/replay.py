@@ -128,6 +128,8 @@ class ReplayEngine:
             else:
                 port_names = self.flow.port_names
         self._port_names = list(port_names)
+        # ReplayHealthReport of the most recent supervised replay_all
+        self.last_health = None
 
     @classmethod
     def from_flow(cls, flow, port_names=None, grouping=default_grouping,
@@ -194,34 +196,65 @@ class ReplayEngine:
             wall_seconds=time.perf_counter() - t0,
         )
 
-    def replay_all(self, snapshots, strict=True, workers=1):
+    def replay_all(self, snapshots, strict=True, workers=1,
+                   on_result=None, timeout=None, max_retries=2,
+                   fault_plan=None):
         """Replay every snapshot; optionally across worker processes.
 
         The paper parallelizes this step — each replay is independent,
         so results are identical regardless of ``workers``.  With
         ``workers=1`` (the default) this is exactly the serial loop;
         ``workers=None`` uses every CPU.  Results preserve snapshot
-        order and worker exceptions (including strict-mode mismatches)
-        propagate.  If the flow payload cannot be pickled (e.g. a
-        closure grouping function), falls back to serial with a warning.
+        order, and deterministic verification failures (strict-mode
+        mismatches, snapshot integrity failures) propagate.  If the
+        flow payload cannot be pickled (e.g. a closure grouping
+        function), falls back to serial with a warning.
+
+        Multi-worker runs go through the supervised pool
+        (:mod:`repro.robust.supervisor`): crashed or hung workers are
+        respawned, their snapshots retried with exponential backoff
+        (``max_retries`` attempts, per-snapshot ``timeout`` seconds),
+        and stragglers degrade to in-process serial replay.  The
+        resulting :class:`~repro.robust.ReplayHealthReport` lands on
+        ``self.last_health``.  ``on_result(index, result)`` fires as
+        each replay completes — the hook the crash-safe run journal
+        uses to persist progress incrementally.
         """
         snapshots = list(snapshots)
+        self.last_health = None
         if workers is None:
             import os
             workers = os.cpu_count() or 1
         workers = max(1, min(int(workers), len(snapshots) or 1))
+
+        def _serial():
+            out = []
+            for i, snap in enumerate(snapshots):
+                result = self.replay(snap, strict=strict)
+                if on_result is not None:
+                    on_result(i, result)
+                out.append(result)
+            return out
+
         if workers == 1:
-            return [self.replay(s, strict=strict) for s in snapshots]
-        from ..parallel import replay_parallel, ParallelReplayError
+            return _serial()
+        from ..parallel import ParallelReplayError
+        from ..robust.supervisor import replay_supervised
         try:
-            return replay_parallel(
+            results, health = replay_supervised(
                 self.flow, snapshots, workers=workers,
                 port_names=self._port_names, grouping=self.grouping,
-                freq_hz=self.freq_hz, strict=strict)
+                freq_hz=self.freq_hz, strict=strict, timeout=timeout,
+                max_retries=max_retries, fault_plan=fault_plan,
+                on_result=on_result, serial_engine=self)
+            self.last_health = health
+            if not health.healthy:
+                warnings.warn(health.summary(), RuntimeWarning)
+            return results
         except ParallelReplayError as exc:
             warnings.warn(f"parallel replay unavailable ({exc}); "
                           "falling back to serial", RuntimeWarning)
-            return [self.replay(s, strict=strict) for s in snapshots]
+            return _serial()
 
     def replay_full_trace(self, io_trace, from_reset=True, strict=False):
         """Ground-truth run: replay an *entire* execution's I/O trace on

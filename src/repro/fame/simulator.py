@@ -193,10 +193,19 @@ class Fame1Simulator:
 
     @property
     def snapshots(self):
-        """The reservoir contents, restricted to complete snapshots."""
+        """The reservoir contents, restricted to complete snapshots.
+
+        Completed snapshots are sealed (integrity-checksummed) on the
+        way out so any later corruption — in a worker pickle, the run
+        journal, or a fault-injection campaign — is detected at replay.
+        """
         if self.sampler is None:
             return []
-        return [s for s in self.sampler.sample if s.complete]
+        out = [s for s in self.sampler.sample if s.complete]
+        for snapshot in out:
+            if snapshot.checksum is None:
+                snapshot.seal()
+        return out
 
     def sampling_overhead_seconds(self):
         return self.stats.snapshot_wall_seconds

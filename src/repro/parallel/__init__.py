@@ -4,21 +4,22 @@ Two independent accelerators for the dominant costs of the Strober
 methodology:
 
 * :func:`replay_parallel` — fan snapshot replays out across worker
-  processes (the paper's "each replay is independent" observation);
-* :class:`ArtifactCache` — content-addressed disk cache of ASIC-flow
-  artifacts and generated RTL-evaluator sources, keyed by
+  processes (the paper's "each replay is independent" observation),
+  supervised by :mod:`repro.robust.supervisor` for fault tolerance;
+* :class:`ArtifactCache` — content-addressed, checksummed disk cache of
+  ASIC-flow artifacts and generated RTL-evaluator sources, keyed by
   :func:`repro.hdl.ir.circuit_fingerprint`, so repeated invocations
   skip synthesis, placement, and formal matching entirely.
 """
 
 from .cache import (
     ArtifactCache, get_cache, cache_enabled, default_cache_dir,
-    CACHE_VERSION,
+    cache_stats, reset_cache_stats, CACHE_VERSION,
 )
 from .pool import replay_parallel, ParallelReplayError, default_workers
 
 __all__ = [
     "ArtifactCache", "get_cache", "cache_enabled", "default_cache_dir",
-    "CACHE_VERSION",
+    "cache_stats", "reset_cache_stats", "CACHE_VERSION",
     "replay_parallel", "ParallelReplayError", "default_workers",
 ]

@@ -18,21 +18,85 @@ Layout::
   any structural change to the design changes the key, and format
   changes bump ``CACHE_VERSION``.
 
-Writes are atomic (temp file + ``os.replace``) so concurrent processes
-never observe partial artifacts; corrupt entries are dropped and
-rebuilt.  Set ``REPRO_CACHE_DISABLE=1`` to bypass the cache entirely.
+Entries are framed (magic + CRC32 over the pickle payload) so a
+truncated or bit-flipped file is *detected*, dropped, and rebuilt
+rather than deserialized into a subtly wrong artifact.  Writes are
+atomic (temp file + ``os.replace``) so concurrent processes never
+observe partial artifacts.  Every degraded event — a corrupt entry
+dropped, a best-effort write skipped — is counted in module-level
+:func:`cache_stats` and announced once per event class via
+``warnings.warn`` instead of disappearing silently.  Set
+``REPRO_CACHE_DISABLE=1`` to bypass the cache entirely.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import struct
 import tempfile
+import warnings
+import zlib
 
-CACHE_VERSION = 1
+# v2: entries framed with a magic + CRC32 header (v1 was a bare pickle).
+CACHE_VERSION = 2
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_CACHE_DISABLE"
+
+_MAGIC = b"RPC1"
+_FRAME = struct.Struct("<4sI")   # magic, crc32(payload)
+
+# Degraded-mode event counters.  The cache is best-effort by design —
+# a broken cache must never break the computation it accelerates — but
+# "best-effort" must not mean "invisible": these counters (and a
+# once-per-class warning) record every swallowed failure.
+STATS = {
+    "hits": 0,
+    "misses": 0,
+    "corrupt_dropped": 0,   # entries that failed the CRC/format check
+    "put_skipped": 0,       # best-effort writes that could not land
+}
+_WARNED = set()
+
+
+def cache_stats():
+    """Copy of the module-level degraded-event counters."""
+    return dict(STATS)
+
+
+def reset_cache_stats():
+    """Zero the counters and re-arm the once-per-class warnings."""
+    for key in STATS:
+        STATS[key] = 0
+    _WARNED.clear()
+
+
+def _count(event, message=None):
+    STATS[event] += 1
+    if message is not None and event not in _WARNED:
+        _WARNED.add(event)
+        warnings.warn(
+            f"{message} (further occurrences counted silently in "
+            f"repro.parallel.cache.cache_stats())", RuntimeWarning,
+            stacklevel=3)
+
+
+def _encode(obj):
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _FRAME.pack(_MAGIC, zlib.crc32(payload)) + payload
+
+
+def _decode(data):
+    if len(data) < _FRAME.size:
+        raise ValueError("short cache entry")
+    magic, crc = _FRAME.unpack_from(data)
+    if magic != _MAGIC:
+        raise ValueError("bad cache entry magic")
+    payload = data[_FRAME.size:]
+    if zlib.crc32(payload) != crc:
+        raise ValueError("cache entry checksum mismatch")
+    return pickle.loads(payload)
 
 
 def cache_enabled():
@@ -45,7 +109,7 @@ def default_cache_dir():
 
 
 class ArtifactCache:
-    """Pickle store addressed by (kind, content-hash key)."""
+    """Checksummed pickle store addressed by (kind, content-hash key)."""
 
     def __init__(self, root=None):
         self.root = os.path.join(root or default_cache_dir(),
@@ -62,24 +126,38 @@ class ArtifactCache:
         path = self._path(kind, key)
         try:
             with open(path, "rb") as f:
-                return pickle.load(f)
+                data = f.read()
         except FileNotFoundError:
+            _count("misses")
             return None
-        except Exception:
-            # Corrupt/truncated entry (e.g. interrupted writer before
-            # atomic rename existed, or a disk error): drop and rebuild.
+        except OSError as exc:
+            _count("misses",
+                   f"cache entry {path} unreadable ({exc}); rebuilding")
+            return None
+        try:
+            obj = _decode(data)
+        except Exception as exc:
+            # Corrupt/truncated entry (interrupted writer on a pre-CRC
+            # format, disk error, deliberate fault injection): the CRC
+            # frame catches it here — drop, record, rebuild.
+            _count("corrupt_dropped",
+                   f"dropping corrupt cache entry {path} ({exc}); "
+                   f"the artifact will be rebuilt")
             try:
                 os.remove(path)
             except OSError:
                 pass
             return None
+        _count("hits")
+        return obj
 
     def put(self, kind, key, obj):
         """Atomically store an artifact; returns its path.
 
         Best-effort: an unwritable cache root (read-only filesystem,
         disk full, bogus ``REPRO_CACHE_DIR``) returns None instead of
-        failing the computation whose result was being cached.
+        failing the computation whose result was being cached — but the
+        skip is counted and warned about, not swallowed invisibly.
         """
         path = self._path(kind, key)
         tmp = None
@@ -88,14 +166,16 @@ class ArtifactCache:
             fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                        prefix=".tmp-", suffix=".pkl")
             with os.fdopen(fd, "wb") as f:
-                pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
+                f.write(_encode(obj))
             os.replace(tmp, path)
-        except OSError:
+        except OSError as exc:
             if tmp is not None:
                 try:
                     os.remove(tmp)
                 except OSError:
                     pass
+            _count("put_skipped",
+                   f"cache write for {kind}/{key[:12]}… skipped ({exc})")
             return None
         except BaseException:
             if tmp is not None:

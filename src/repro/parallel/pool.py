@@ -2,28 +2,38 @@
 
 The paper notes snapshot replays are embarrassingly parallel (each
 replay is independent, Section IV-C); this module fans them out across
-worker processes.  Each worker receives the pickled :class:`AsicFlow`
-artifact once at pool start-up, builds its gate-level simulator from it
-once, and then replays whichever snapshots the parent streams to it.
+worker processes.  Since the robustness layer landed, the fan-out is
+handled by the *supervised* pool in :mod:`repro.robust.supervisor`:
+each worker builds its gate-level simulator once from the pickled
+:class:`AsicFlow` payload, and a supervisor imposes per-snapshot
+timeouts, respawns crashed workers, retries with exponential backoff,
+and degrades to in-process serial replay when retries are exhausted.
 
 Guarantees:
 
-* results come back in snapshot order (``pool.map`` semantics);
-* a strict-mode replay mismatch (or any worker exception) propagates to
-  the caller exactly as the serial path would raise it;
-* snapshots are dispatched one at a time (``chunksize=1``) so uneven
-  replay times load-balance across workers.
+* results come back in snapshot order;
+* a strict-mode replay mismatch (or a snapshot integrity failure)
+  propagates to the caller exactly as the serial path would raise it —
+  verification failures are deterministic and are never retried;
+* snapshots are dispatched one at a time so uneven replay times
+  load-balance across workers;
+* transient worker failures (crash, hang, spurious exception) are
+  retried and recorded in a :class:`repro.robust.ReplayHealthReport`
+  instead of hanging or killing the whole run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-import pickle
+import threading
 
 
 class ParallelReplayError(Exception):
     """The replay payload cannot be shipped to worker processes."""
+
+
+_ENV_START_METHOD = "REPRO_START_METHOD"
 
 
 def default_workers():
@@ -31,52 +41,55 @@ def default_workers():
 
 
 def _pick_context(start_method=None):
+    """Resolve the multiprocessing start method for replay workers.
+
+    Priority: explicit ``start_method`` argument, then the
+    ``$REPRO_START_METHOD`` environment override, then a platform
+    default.  The default prefers ``fork`` (cheap: workers inherit the
+    parent's loaded modules and compiled evaluators) — but only while
+    the parent process is single-threaded.  Forking a threaded parent
+    can deadlock the child on locks held by threads that do not exist
+    after the fork, so threaded parents fall back to ``spawn``.
+    """
     if start_method is None:
-        methods = multiprocessing.get_all_start_methods()
-        start_method = "fork" if "fork" in methods else "spawn"
+        start_method = os.environ.get(_ENV_START_METHOD) or None
+    methods = multiprocessing.get_all_start_methods()
+    if start_method is None:
+        if "fork" in methods and threading.active_count() == 1:
+            start_method = "fork"
+        else:
+            start_method = "spawn"
+    if start_method not in methods:
+        raise ValueError(
+            f"unsupported multiprocessing start method {start_method!r} "
+            f"(check ${_ENV_START_METHOD}); available: {', '.join(methods)}")
     return multiprocessing.get_context(start_method)
-
-
-# Per-worker-process replay engine, built once by _init_worker.
-_WORKER_ENGINE = None
-
-
-def _init_worker(payload):
-    global _WORKER_ENGINE
-    from ..core.replay import ReplayEngine
-    flow, port_names, grouping, freq_hz = pickle.loads(payload)
-    _WORKER_ENGINE = ReplayEngine.from_flow(
-        flow, port_names=port_names, grouping=grouping, freq_hz=freq_hz)
-
-
-def _replay_one(task):
-    snapshot, strict = task
-    return _WORKER_ENGINE.replay(snapshot, strict=strict)
 
 
 def replay_parallel(flow, snapshots, *, workers, port_names,
                     grouping=None, freq_hz=None, strict=True,
-                    start_method=None):
+                    start_method=None, timeout=None, max_retries=2,
+                    fault_plan=None, on_result=None, health=None):
     """Replay ``snapshots`` on ``workers`` processes; order-preserving.
 
-    Raises :class:`ParallelReplayError` if the flow/grouping payload is
-    not picklable (e.g. a closure grouping function) — callers may fall
-    back to the serial path.  Worker exceptions (including strict-mode
-    ``ReplayError`` mismatches) propagate unchanged.
+    Thin compatibility wrapper over
+    :func:`repro.robust.supervisor.replay_supervised`.  Raises
+    :class:`ParallelReplayError` if the flow/grouping payload is not
+    picklable (e.g. a closure grouping function) — callers may fall
+    back to the serial path.  Deterministic verification failures
+    (strict-mode ``ReplayError``, ``SnapshotError``) propagate
+    unchanged; transient worker failures are retried by the supervisor.
+
+    ``health``, if given, is a list the resulting
+    :class:`~repro.robust.ReplayHealthReport` is appended to.
     """
-    snapshots = list(snapshots)
-    if not snapshots:
-        return []
-    try:
-        payload = pickle.dumps((flow, list(port_names), grouping, freq_hz),
-                               protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:
-        raise ParallelReplayError(
-            f"replay payload is not picklable: {exc}") from exc
-    workers = max(1, min(int(workers), len(snapshots)))
-    ctx = _pick_context(start_method)
-    with ctx.Pool(workers, initializer=_init_worker,
-                  initargs=(payload,)) as pool:
-        return pool.map(_replay_one,
-                        [(snap, strict) for snap in snapshots],
-                        chunksize=1)
+    from ..robust.supervisor import replay_supervised
+    results, report = replay_supervised(
+        flow, snapshots, workers=workers, port_names=port_names,
+        grouping=grouping, freq_hz=freq_hz, strict=strict,
+        start_method=start_method, timeout=timeout,
+        max_retries=max_retries, fault_plan=fault_plan,
+        on_result=on_result)
+    if health is not None:
+        health.append(report)
+    return results

@@ -1,0 +1,44 @@
+"""Robustness layer for the replay pipeline.
+
+Strober's accuracy claim rests on every sampled snapshot replaying to
+completion with outputs verified against the captured I/O trace
+(Section III-B).  The parallel replay pool and the on-disk artifact
+cache introduce failure classes the serial in-process path never had —
+hung or crashed workers, truncated cache entries, corrupted snapshot
+state — and this package makes them either *detected* or *recovered*:
+
+* :mod:`repro.robust.supervisor` — a supervised worker pool with
+  per-snapshot timeouts, crash detection, retry with exponential
+  backoff, and graceful degradation to in-process serial replay; every
+  recovery action lands in a structured :class:`ReplayHealthReport`.
+* :mod:`repro.robust.journal` — an append-only, checksummed, fsync'd
+  run journal that lets an interrupted ``run_strober`` resume from the
+  last good record instead of restarting the FAME simulation and all
+  replays.
+* :mod:`repro.robust.faultinject` — deliberate fault injection
+  (snapshot bit-flips, cache/journal corruption, worker kills and
+  stalls) that turns the detect-or-recover guarantees into executable
+  tests.
+"""
+
+from .supervisor import (
+    ReplayHealthReport, ReplayIncident, replay_supervised,
+    default_replay_timeout,
+)
+from .journal import (
+    RunJournal, JournalError, read_journal,
+    TYPE_META, TYPE_SNAPSHOT, TYPE_SIM, TYPE_RESULT,
+)
+from .faultinject import (
+    FaultSpec, FaultPlan, flip_snapshot_bit, corrupt_file,
+    corrupt_cache_entry, corrupt_journal_tail, run_campaign,
+)
+
+__all__ = [
+    "ReplayHealthReport", "ReplayIncident", "replay_supervised",
+    "default_replay_timeout",
+    "RunJournal", "JournalError", "read_journal",
+    "TYPE_META", "TYPE_SNAPSHOT", "TYPE_SIM", "TYPE_RESULT",
+    "FaultSpec", "FaultPlan", "flip_snapshot_bit", "corrupt_file",
+    "corrupt_cache_entry", "corrupt_journal_tail", "run_campaign",
+]

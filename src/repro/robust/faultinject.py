@@ -1,0 +1,255 @@
+"""Deliberate fault injection for the replay pipeline.
+
+Correctness machinery that has never been watched firing is a hope, not
+a guarantee (the lesson of compiler-test infrastructures that inject
+faults to prove the checkers check).  This module sabotages the replay
+pipeline on purpose — bit-flips in captured snapshot state, truncated
+or corrupted cache entries and journal records, workers killed or
+stalled mid-replay — and the accompanying test suite asserts the
+robustness layer either *detects* the damage (strict-mode mismatch,
+checksum rejection) or *recovers* from it (retry, respawn, serial
+fallback, journal tail repair).
+
+Two halves:
+
+* **Worker sabotage** — :class:`FaultSpec` / :class:`FaultPlan` plug
+  into :func:`repro.robust.supervisor.replay_supervised`; the plan is
+  consumed supervisor-side, so a snapshot whose dispatch was sabotaged
+  is not re-faulted on retry (modelling transient faults).
+* **Data corruption** — :func:`flip_snapshot_bit`,
+  :func:`corrupt_file`, :func:`corrupt_cache_entry`,
+  :func:`corrupt_journal_tail` damage artifacts the way real storage
+  and memory do.
+
+:func:`run_campaign` strings the standard battery together and reports
+one verdict per fault — the executable form of the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultSpec:
+    """One deliberate fault, executed inside a replay worker."""
+
+    kind: str                # "kill" | "stall" | "error"
+    index: int = None        # snapshot position to hit (None = any)
+    times: int = 1           # how many dispatch attempts to sabotage
+    seconds: float = 3600.0  # stall duration (stall faults)
+    exit_code: int = 43      # worker exit status (kill faults)
+
+
+class FaultPlan:
+    """Decides which task dispatches get sabotaged.
+
+    ``pick`` runs in the *supervisor* (parent) process, so consuming a
+    spec's ``times`` budget there guarantees the retry of a sabotaged
+    snapshot runs clean — the definition of a transient fault.
+    """
+
+    def __init__(self, specs):
+        self.specs = list(specs)
+
+    def pick(self, index, snapshot):
+        for spec in self.specs:
+            if spec.times > 0 and (spec.index is None
+                                   or spec.index == index):
+                spec.times -= 1
+                return spec
+        return None
+
+
+def apply_worker_fault(spec):
+    """Executed inside a worker process just before a replay."""
+    if spec.kind == "kill":
+        os._exit(spec.exit_code)
+    elif spec.kind == "stall":
+        time.sleep(spec.seconds)
+    elif spec.kind == "error":
+        raise RuntimeError(
+            f"injected transient worker fault (snapshot {spec.index})")
+    else:
+        raise ValueError(f"unknown fault kind {spec.kind!r}")
+
+
+# -- data corruption ---------------------------------------------------------
+
+
+def flip_snapshot_bit(snapshot, where="state", rng=None):
+    """Flip one bit of a snapshot in place; returns a description.
+
+    ``where="state"`` hits a captured register (a sealed snapshot must
+    then fail ``validate()``); ``where="trace"`` hits a recorded output
+    token (an unsealed snapshot must then fail strict replay).
+    """
+    rng = rng or random.Random(0)
+    if where == "state":
+        paths = sorted(snapshot.state.regs)
+        path = paths[rng.randrange(len(paths))]
+        snapshot.state.regs[path] ^= 1
+        return f"flipped bit 0 of register {path}"
+    if where == "trace":
+        cycles = [i for i, d in enumerate(snapshot.output_trace) if d]
+        cyc = cycles[rng.randrange(len(cycles))]
+        names = sorted(snapshot.output_trace[cyc])
+        name = names[rng.randrange(len(names))]
+        snapshot.output_trace[cyc][name] ^= 1
+        return f"flipped bit 0 of output {name} at trace cycle {cyc}"
+    raise ValueError(f"unknown flip target {where!r}")
+
+
+def corrupt_file(path, mode="truncate", rng=None):
+    """Damage an on-disk artifact the way storage does; returns a
+    description.  ``truncate`` halves the file (torn write);
+    ``bitflip`` flips one bit mid-file (media error)."""
+    size = os.path.getsize(path)
+    if mode == "truncate":
+        keep = size // 2
+        os.truncate(path, keep)
+        return f"truncated {path} from {size} to {keep} byte(s)"
+    if mode == "bitflip":
+        rng = rng or random.Random(0)
+        offset = size // 2 if size else 0
+        with open(path, "r+b") as f:
+            f.seek(offset)
+            byte = f.read(1)
+            f.seek(offset)
+            f.write(bytes([byte[0] ^ 0x40]))
+        return f"flipped a bit of byte {offset} in {path}"
+    raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+def corrupt_cache_entry(cache, kind, key, mode="truncate"):
+    """Damage one artifact-cache entry on disk."""
+    return corrupt_file(cache._path(kind, key), mode=mode)
+
+
+def corrupt_journal_tail(path, mode="truncate"):
+    """Damage the tail of a run journal (torn final record)."""
+    size = os.path.getsize(path)
+    if mode == "truncate":
+        os.truncate(path, max(0, size - 3))
+        return f"tore 3 byte(s) off the tail of {path}"
+    if mode == "bitflip":
+        offset = max(0, size - 2)
+        with open(path, "r+b") as f:
+            f.seek(offset)
+            byte = f.read(1)
+            f.seek(offset)
+            f.write(bytes([byte[0] ^ 0x40]))
+        return f"flipped a bit of tail byte {offset} in {path}"
+    raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+# -- the standard campaign ---------------------------------------------------
+
+
+def _result_key(result):
+    return (result.snapshot_cycle, result.cycles, result.mismatches,
+            result.power.total_w,
+            tuple(sorted(result.power.by_group.items())))
+
+
+def run_campaign(engine, snapshots, workers=2, timeout=10.0,
+                 backoff_base=0.05):
+    """Run the standard fault battery; returns ``{fault: verdict}``.
+
+    Every verdict must be ``"recovered"`` (the run completed with
+    results identical to a clean run and the incident on the health
+    report) or ``"detected"`` (the run refused to produce a number).
+    Anything else — a silent wrong answer, a hang — shows up as
+    ``"missed"`` and is a robustness bug.
+    """
+    from .supervisor import replay_supervised
+    from .journal import RunJournal, read_journal, TYPE_META
+    from ..core.replay import ReplayError
+    from ..scan.snapshot import SnapshotError
+
+    snapshots = list(snapshots)
+    baseline = [_result_key(r)
+                for r in engine.replay_all(snapshots, workers=1)]
+    verdicts = {}
+
+    def supervised(snaps, plan=None):
+        return replay_supervised(
+            engine.flow, snaps, workers=workers,
+            port_names=engine._port_names, grouping=engine.grouping,
+            freq_hz=engine.freq_hz, strict=True, timeout=timeout,
+            backoff_base=backoff_base, fault_plan=plan,
+            serial_engine=engine)
+
+    def expect_recovery(name, plan):
+        try:
+            results, health = supervised(snapshots, plan)
+        except Exception:
+            verdicts[name] = "missed"
+            return
+        ok = ([_result_key(r) for r in results] == baseline
+              and not health.healthy)
+        verdicts[name] = "recovered" if ok else "missed"
+
+    expect_recovery("worker-kill",
+                    FaultPlan([FaultSpec("kill", index=0)]))
+    expect_recovery("worker-stall",
+                    FaultPlan([FaultSpec("stall", index=1,
+                                         seconds=timeout * 10)]))
+    expect_recovery("worker-error",
+                    FaultPlan([FaultSpec("error", index=0)]))
+
+    def expect_detection(name, snaps, exc_types):
+        try:
+            supervised(snaps)
+        except exc_types:
+            verdicts[name] = "detected"
+        except Exception:
+            verdicts[name] = "missed"
+        else:
+            verdicts[name] = "missed"
+
+    flipped = copy.deepcopy(snapshots)
+    flip_snapshot_bit(flipped[0], where="state")
+    expect_detection("snapshot-bitflip", flipped, SnapshotError)
+
+    unsealed = copy.deepcopy(snapshots)
+    unsealed[0].checksum = None
+    flip_snapshot_bit(unsealed[0], where="trace")
+    expect_detection("trace-bitflip", unsealed, ReplayError)
+
+    # Cache corruption: a damaged entry must be dropped and rebuilt.
+    from ..parallel.cache import ArtifactCache
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ArtifactCache(tmp)
+        key = "ab" * 20
+        cache.put("campaign", key, {"x": 1})
+        corrupt_cache_entry(cache, "campaign", key, mode="bitflip")
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore")
+            dropped = cache.get("campaign", key) is None
+        rebuilt = (cache.put("campaign", key, {"x": 1}) is not None
+                   and cache.get("campaign", key) == {"x": 1})
+        verdicts["cache-corruption"] = (
+            "recovered" if dropped and rebuilt else "missed")
+
+        # Journal tail corruption: torn record truncated, not fatal.
+        jpath = os.path.join(tmp, "run.journal")
+        with RunJournal(jpath) as journal:
+            journal.append(TYPE_META, {"campaign": True})
+            journal.append(TYPE_META, {"record": 2})
+        corrupt_journal_tail(jpath, mode="bitflip")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore")
+            records = read_journal(jpath)
+        verdicts["journal-corruption"] = (
+            "recovered" if len(records) == 1
+            and records[0] == (TYPE_META, {"campaign": True})
+            else "missed")
+
+    return verdicts

@@ -1,0 +1,383 @@
+"""Supervised replay pool: fault-tolerant snapshot fan-out.
+
+The bare ``pool.map`` fan-out had three failure modes that either hung
+``replay_all`` forever or killed the whole run on the first transient
+fault: a worker that crashes (OOM-killed, segfault in a native
+extension), a worker that hangs (deadlocked fork, runaway replay), and
+a worker that raises a spurious one-off exception.  This supervisor
+replaces it with an explicitly managed set of worker processes:
+
+* each snapshot gets a wall-clock deadline derived from its replay
+  length (overridable per call or via ``$REPRO_REPLAY_TIMEOUT``);
+* a dead or overdue worker is killed and respawned, and its snapshot is
+  retried — up to ``max_retries`` times, with exponential backoff — on
+  a fresh worker;
+* a snapshot that exhausts its retries degrades gracefully to an
+  in-process serial replay, so one poisoned worker environment cannot
+  sink the run;
+* deterministic verification failures (strict-mode ``ReplayError``
+  mismatches, ``SnapshotError`` integrity failures) are *never*
+  retried: they are the detection machinery firing, and they propagate
+  to the caller exactly as the serial path would raise them;
+* every recovery action is recorded as a :class:`ReplayIncident` in a
+  structured :class:`ReplayHealthReport` so a run that needed healing
+  is distinguishable from a clean one.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queuelib
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..parallel.pool import ParallelReplayError, _pick_context
+
+_ENV_TIMEOUT = "REPRO_REPLAY_TIMEOUT"
+_MIN_TIMEOUT_S = 30.0
+_PER_CYCLE_BUDGET_S = 0.25
+_POLL_S = 0.02
+
+
+def default_replay_timeout(replay_length):
+    """Per-snapshot deadline: generous per-cycle budget with a floor.
+
+    ``$REPRO_REPLAY_TIMEOUT`` (seconds) overrides the derivation.
+    """
+    env = os.environ.get(_ENV_TIMEOUT)
+    if env:
+        return float(env)
+    return max(_MIN_TIMEOUT_S, _PER_CYCLE_BUDGET_S * float(replay_length))
+
+
+@dataclass
+class ReplayIncident:
+    """One recovery (or detection) action the supervisor took."""
+
+    kind: str            # timeout | worker-crash | worker-error |
+                         # serial-fallback
+    snapshot_index: int
+    snapshot_cycle: int
+    attempt: int         # 1-based attempt number that failed
+    detail: str = ""
+
+
+@dataclass
+class ReplayHealthReport:
+    """Structured account of how a supervised replay run went."""
+
+    workers: int = 0
+    timeout_seconds: float = 0.0
+    total_snapshots: int = 0
+    completed_parallel: int = 0
+    completed_serial: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    worker_errors: int = 0
+    respawns: int = 0
+    serial_fallbacks: int = 0
+    incidents: list = field(default_factory=list)
+
+    @property
+    def healthy(self):
+        return not self.incidents
+
+    def record(self, kind, index, cycle, attempt, detail=""):
+        self.incidents.append(
+            ReplayIncident(kind=kind, snapshot_index=index,
+                           snapshot_cycle=cycle, attempt=attempt,
+                           detail=detail))
+
+    def summary(self):
+        if self.healthy:
+            return (f"replay pool healthy: {self.completed_parallel} "
+                    f"snapshot(s) on {self.workers} worker(s), no incidents")
+        return (f"replay pool recovered: {self.crashes} crash(es), "
+                f"{self.timeouts} timeout(s), {self.worker_errors} worker "
+                f"error(s); {self.retries} retry(ies), "
+                f"{self.serial_fallbacks} serial fallback(s) over "
+                f"{self.total_snapshots} snapshot(s)")
+
+
+def _shippable(exc):
+    """Exceptions cross the result queue by pickle; guard against ones
+    that can't (a broken queue feeder thread would look like a hang)."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(
+            f"worker raised unpicklable {type(exc).__name__}: {exc!r}")
+
+
+def _worker_main(payload, task_q, result_q):
+    """Worker process: build the engine once, replay streamed tasks."""
+    try:
+        from ..core.replay import ReplayEngine
+        flow, port_names, grouping, freq_hz = pickle.loads(payload)
+        engine = ReplayEngine.from_flow(
+            flow, port_names=port_names, grouping=grouping, freq_hz=freq_hz)
+    except BaseException as exc:
+        result_q.put((None, "init-error", f"{type(exc).__name__}: {exc}"))
+        return
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        idx, snapshot, strict, fault = task
+        try:
+            if fault is not None:
+                from .faultinject import apply_worker_fault
+                apply_worker_fault(fault)
+            result_q.put((idx, "ok", engine.replay(snapshot, strict=strict)))
+        except Exception as exc:
+            result_q.put((idx, "error", _shippable(exc)))
+
+
+class _Worker:
+    """Parent-side handle: one process, one task in flight at a time."""
+
+    def __init__(self, ctx, payload, result_q):
+        self.task_q = ctx.Queue()
+        self.proc = ctx.Process(target=_worker_main,
+                                args=(payload, self.task_q, result_q),
+                                daemon=True)
+        self.proc.start()
+        self.task = None          # snapshot index in flight, or None
+        self.deadline = None
+        self.attempt = 0
+
+    def dispatch(self, idx, snapshot, strict, fault, timeout, attempt):
+        self.task = idx
+        self.attempt = attempt
+        self.deadline = time.monotonic() + timeout
+        self.task_q.put((idx, snapshot, strict, fault))
+
+    def clear(self):
+        self.task = None
+        self.deadline = None
+
+    def shutdown(self):
+        """Polite stop for an idle, healthy worker."""
+        try:
+            self.task_q.put(None)
+        except Exception:
+            pass
+        self.proc.join(timeout=2.0)
+        if self.proc.is_alive():
+            self.kill()
+        else:
+            self._close_queue()
+
+    def kill(self):
+        self.proc.terminate()
+        self.proc.join(timeout=2.0)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=2.0)
+        self._close_queue()
+
+    def _close_queue(self):
+        try:
+            self.task_q.cancel_join_thread()
+            self.task_q.close()
+        except Exception:
+            pass
+
+
+def replay_supervised(flow, snapshots, *, workers, port_names,
+                      grouping=None, freq_hz=None, strict=True,
+                      start_method=None, timeout=None, max_retries=2,
+                      backoff_base=0.25, fault_plan=None, on_result=None,
+                      serial_engine=None):
+    """Replay ``snapshots`` under supervision; order-preserving.
+
+    Returns ``(results, ReplayHealthReport)``.  ``on_result(index,
+    result)`` fires as each replay completes (in completion order, with
+    the snapshot's position in ``snapshots``) — the hook the crash-safe
+    run journal uses to persist progress incrementally.
+
+    ``fault_plan`` (a :class:`repro.robust.FaultPlan`) deliberately
+    sabotages chosen dispatches; it exists for the fault-injection
+    harness and is consumed supervisor-side so a retried snapshot is
+    not re-faulted once the plan is exhausted.
+
+    ``serial_engine`` is the engine used for last-resort in-process
+    replays; built lazily from ``flow`` when not supplied.
+    """
+    snapshots = list(snapshots)
+    n = len(snapshots)
+    report = ReplayHealthReport(total_snapshots=n)
+    if n == 0:
+        return [], report
+    try:
+        payload = pickle.dumps((flow, list(port_names), grouping, freq_hz),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ParallelReplayError(
+            f"replay payload is not picklable: {exc}") from exc
+    workers = max(1, min(int(workers), n))
+    if timeout is None:
+        timeout = default_replay_timeout(
+            max(s.replay_length for s in snapshots))
+    report.workers = workers
+    report.timeout_seconds = timeout
+
+    from ..core.replay import ReplayError
+    from ..scan.snapshot import SnapshotError
+
+    ctx = _pick_context(start_method)
+    result_q = ctx.Queue()
+    pool = [_Worker(ctx, payload, result_q) for _ in range(workers)]
+    results = [None] * n
+    completed = [False] * n
+    attempts = [0] * n
+    ready = deque(range(n))
+    waiting = []                   # (eligible_monotonic_time, index)
+    done = 0
+
+    def _get_serial_engine():
+        nonlocal serial_engine
+        if serial_engine is None:
+            from ..core.replay import ReplayEngine
+            serial_engine = ReplayEngine.from_flow(
+                flow, port_names=port_names, grouping=grouping,
+                freq_hz=freq_hz)
+        return serial_engine
+
+    def _complete(idx, result, serial=False):
+        nonlocal done
+        if completed[idx]:
+            return
+        completed[idx] = True
+        results[idx] = result
+        done += 1
+        if serial:
+            report.completed_serial += 1
+        else:
+            report.completed_parallel += 1
+        if on_result is not None:
+            on_result(idx, result)
+
+    def _retry_or_fallback(idx, kind, detail):
+        """Record the incident, then either reschedule or go serial."""
+        if completed[idx]:
+            return
+        attempts[idx] += 1
+        report.record(kind, idx, snapshots[idx].cycle, attempts[idx], detail)
+        if attempts[idx] > max_retries:
+            report.serial_fallbacks += 1
+            report.record("serial-fallback", idx, snapshots[idx].cycle,
+                          attempts[idx],
+                          "retries exhausted; replaying in-process")
+            _complete(idx,
+                      _get_serial_engine().replay(snapshots[idx],
+                                                  strict=strict),
+                      serial=True)
+        else:
+            report.retries += 1
+            delay = backoff_base * (2 ** (attempts[idx] - 1))
+            waiting.append((time.monotonic() + delay, idx))
+
+    def _worker_for(idx):
+        for w in pool:
+            if w.task == idx:
+                return w
+        return None
+
+    try:
+        while done < n:
+            now = time.monotonic()
+            if waiting:
+                still = []
+                for eligible, idx in waiting:
+                    if eligible <= now:
+                        ready.append(idx)
+                    else:
+                        still.append((eligible, idx))
+                waiting[:] = still
+
+            for w in pool:
+                if w.task is None and ready and w.proc.is_alive():
+                    idx = ready.popleft()
+                    fault = (fault_plan.pick(idx, snapshots[idx])
+                             if fault_plan is not None else None)
+                    w.dispatch(idx, snapshots[idx], strict, fault, timeout,
+                               attempts[idx] + 1)
+
+            # Drain every available result before health checks, so a
+            # worker that answered and then died is credited, not
+            # retried.
+            got_any = False
+            while True:
+                try:
+                    msg = result_q.get(timeout=0.0 if got_any else _POLL_S)
+                except queuelib.Empty:
+                    break
+                got_any = True
+                idx, status, body = msg
+                if status == "init-error":
+                    raise ParallelReplayError(
+                        f"replay worker failed to initialize: {body}")
+                w = _worker_for(idx)
+                if w is not None:
+                    w.clear()
+                if completed[idx]:
+                    continue
+                if status == "ok":
+                    _complete(idx, body)
+                else:
+                    if isinstance(body, (ReplayError, SnapshotError)):
+                        # Verification failure: deterministic, and the
+                        # whole point — detection, not a fault to heal.
+                        raise body
+                    report.worker_errors += 1
+                    _retry_or_fallback(
+                        idx, "worker-error",
+                        f"{type(body).__name__}: {body}")
+
+            now = time.monotonic()
+            for i, w in enumerate(pool):
+                if w.task is None:
+                    if not w.proc.is_alive() and (ready or waiting):
+                        # Idle corpse with work outstanding: replace it.
+                        w._close_queue()
+                        pool[i] = _Worker(ctx, payload, result_q)
+                        report.respawns += 1
+                    continue
+                idx = w.task
+                if not w.proc.is_alive():
+                    report.crashes += 1
+                    exitcode = w.proc.exitcode
+                    w.clear()
+                    w._close_queue()
+                    pool[i] = _Worker(ctx, payload, result_q)
+                    report.respawns += 1
+                    _retry_or_fallback(
+                        idx, "worker-crash",
+                        f"worker died mid-replay (exitcode {exitcode})")
+                elif now > w.deadline:
+                    report.timeouts += 1
+                    w.clear()
+                    w.kill()
+                    pool[i] = _Worker(ctx, payload, result_q)
+                    report.respawns += 1
+                    _retry_or_fallback(
+                        idx, "timeout",
+                        f"no result within {timeout:.1f}s; worker killed")
+    finally:
+        for w in pool:
+            if w.proc.is_alive() and w.task is None:
+                w.shutdown()
+            else:
+                w.kill()
+        try:
+            result_q.cancel_join_thread()
+            result_q.close()
+        except Exception:
+            pass
+
+    return results, report

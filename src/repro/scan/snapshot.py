@@ -6,15 +6,29 @@ state at cycle ``c`` plus the traces of all I/O signals over the replay
 length ``L`` starting at ``c``.  Output traces double as the correctness
 check during replay ("outputs are verified against the output values of
 the design").
+
+Snapshots carry an optional integrity checksum: :meth:`seal` fingerprints
+the captured state and I/O window once recording completes, and
+:meth:`validate` re-verifies it before every replay.  A snapshot whose
+bits were corrupted in transit (worker pickling, the on-disk run
+journal, a fault-injection campaign) is therefore *detected* up front
+instead of silently contributing a wrong power number.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 
 class SnapshotError(Exception):
     pass
+
+
+# Wire-format version tags accepted by __setstate__.  "v1" predates the
+# integrity checksum; "v2" appends it.
+PICKLE_VERSION = "v2"
+_KNOWN_VERSIONS = ("v1", "v2")
 
 
 @dataclass
@@ -27,17 +41,31 @@ class ReplayableSnapshot:
     input_trace: list = field(default_factory=list)   # per-cycle dicts
     output_trace: list = field(default_factory=list)  # per-cycle dicts
     perf_counters: dict = field(default_factory=dict)
+    checksum: int = None       # set by seal(); verified by validate()
 
     # Snapshots are the unit of work shipped to replay worker processes;
     # keep their pickled form an explicit, versioned tuple so the wire
     # format is stable and cheap (traces are lists of {str: int} dicts).
     def __getstate__(self):
-        return ("v1", self.cycle, self.state, self.replay_length,
-                self.input_trace, self.output_trace, self.perf_counters)
+        return (PICKLE_VERSION, self.cycle, self.state, self.replay_length,
+                self.input_trace, self.output_trace, self.perf_counters,
+                self.checksum)
 
     def __setstate__(self, state):
-        (_v, self.cycle, self.state, self.replay_length,
-         self.input_trace, self.output_trace, self.perf_counters) = state
+        tag = state[0] if isinstance(state, tuple) and state else None
+        if tag not in _KNOWN_VERSIONS:
+            raise SnapshotError(
+                f"unknown snapshot pickle version {tag!r} (supported: "
+                f"{', '.join(_KNOWN_VERSIONS)}); the snapshot came from an "
+                f"incompatible repro version or was corrupted")
+        if tag == "v1":
+            (_v, self.cycle, self.state, self.replay_length,
+             self.input_trace, self.output_trace, self.perf_counters) = state
+            self.checksum = None
+        else:
+            (_v, self.cycle, self.state, self.replay_length,
+             self.input_trace, self.output_trace, self.perf_counters,
+             self.checksum) = state
 
     @property
     def complete(self):
@@ -51,9 +79,34 @@ class ReplayableSnapshot:
             self.input_trace.append(dict(inputs))
             self.output_trace.append(dict(outputs))
 
+    def _compute_checksum(self):
+        """CRC over a canonical encoding of state + traces.
+
+        ``repr`` of sorted (path, int) pairs is a stable byte encoding
+        for the dict-of-int structures snapshots are made of.
+        """
+        h = zlib.crc32(repr((self.cycle, self.replay_length)).encode())
+        h = zlib.crc32(repr(sorted(self.state.regs.items())).encode(), h)
+        h = zlib.crc32(repr(sorted(self.state.mems.items())).encode(), h)
+        h = zlib.crc32(
+            repr([sorted(d.items()) for d in self.input_trace]).encode(), h)
+        h = zlib.crc32(
+            repr([sorted(d.items()) for d in self.output_trace]).encode(), h)
+        return h
+
+    def seal(self):
+        """Fingerprint the completed snapshot; validate() verifies it."""
+        self.checksum = self._compute_checksum()
+        return self.checksum
+
     def validate(self):
         if not self.complete:
             raise SnapshotError(
                 f"snapshot at cycle {self.cycle} has only "
                 f"{len(self.input_trace)}/{self.replay_length} traced cycles")
+        if (self.checksum is not None
+                and self._compute_checksum() != self.checksum):
+            raise SnapshotError(
+                f"snapshot at cycle {self.cycle} failed its integrity "
+                f"check: state or I/O trace was corrupted after capture")
         return True

@@ -55,6 +55,10 @@ class TestParallelReplay:
         bad = copy.deepcopy(snaps[1])
         bad.output_trace[0] = {k: v ^ 1
                                for k, v in bad.output_trace[0].items()}
+        # unseal so the corruption reaches the strict replay comparison
+        # (a sealed snapshot is rejected earlier by its checksum —
+        # covered in tests/test_robust_faultinject.py)
+        bad.checksum = None
         with pytest.raises(ReplayError):
             engine.replay_all([snaps[0], bad, snaps[2]], workers=2)
 
@@ -242,6 +246,62 @@ class TestArtifactCache:
         assert cold.peek("out") == warm.peek("out") == 33
         cache = ArtifactCache(str(tmp_path))
         assert cache.has("pysim", circuit_fingerprint(circuit))
+
+
+class TestStartMethodSelection:
+    def test_env_override_is_honored(self, monkeypatch):
+        from repro.parallel.pool import _pick_context
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        assert _pick_context().get_start_method() == "spawn"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        from repro.parallel.pool import _pick_context
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        assert _pick_context("fork").get_start_method() == "fork"
+
+    def test_bogus_env_value_is_a_clear_error(self, monkeypatch):
+        from repro.parallel.pool import _pick_context
+        monkeypatch.setenv("REPRO_START_METHOD", "teleport")
+        with pytest.raises(ValueError, match="teleport"):
+            _pick_context()
+
+    def test_threaded_parent_avoids_fork(self, monkeypatch):
+        """fork in a threaded parent can deadlock the child; the
+        default must only pick fork while single-threaded."""
+        from repro.parallel import pool as pool_mod
+        monkeypatch.delenv("REPRO_START_METHOD", raising=False)
+        monkeypatch.setattr(pool_mod.threading, "active_count", lambda: 3)
+        assert pool_mod._pick_context().get_start_method() != "fork"
+
+
+class TestCacheCorruptionFlow:
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_corrupt_flow_entry_rebuilds_and_records_drop(
+            self, tmp_path, monkeypatch, mode):
+        """A damaged asicflow cache entry must be detected (CRC frame),
+        dropped, counted, and transparently rebuilt by the flow."""
+        from repro.core.replay import run_asic_flow
+        from repro.parallel import cache_stats, reset_cache_stats
+        from repro.robust import corrupt_cache_entry
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        circuit = elaborate(_Pipeline())
+        cold = run_asic_flow(circuit, use_cache=True)
+        assert not cold.cache_hit
+        fingerprint = circuit_fingerprint(circuit)
+        cache = ArtifactCache(str(tmp_path))
+        assert cache.has("asicflow", fingerprint)
+
+        corrupt_cache_entry(cache, "asicflow", fingerprint, mode=mode)
+        reset_cache_stats()
+        with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+            rebuilt = run_asic_flow(circuit, use_cache=True)
+        assert not rebuilt.cache_hit
+        assert cache_stats()["corrupt_dropped"] == 1
+        assert rebuilt.netlist.stats() == cold.netlist.stats()
+
+        # the rebuild wrote a fresh, valid entry
+        warm = run_asic_flow(circuit, use_cache=True)
+        assert warm.cache_hit
 
 
 class TestWarmFlowCache:

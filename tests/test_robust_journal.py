@@ -1,0 +1,204 @@
+"""Crash-safe run journal: framed/checksummed records, torn-tail
+repair, and run_strober interrupt-and-resume (repro.robust.journal)."""
+
+import os
+
+import pytest
+
+from repro.core import run_strober, clear_caches
+from repro.core.replay import ReplayEngine
+from repro.robust import (
+    RunJournal, read_journal, corrupt_journal_tail,
+    TYPE_META, TYPE_SNAPSHOT, TYPE_SIM, TYPE_RESULT,
+)
+from repro.robust.journal import load_resume
+
+
+RUN_KW = dict(design="rocket_mini", workload="towers", sample_size=6,
+              replay_length=32, backend="auto", seed=3)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_strober(**RUN_KW)
+
+
+def _energy_key(energy):
+    return (energy.power.mean, energy.power.half_width,
+            energy.total_cycles, energy.instructions,
+            energy.dram_power_mw,
+            tuple(sorted((g, e.mean, e.half_width)
+                         for g, e in energy.breakdown.items())))
+
+
+class TestRecordFraming:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "j")
+        with RunJournal(path) as journal:
+            journal.append(TYPE_META, {"design": "x", "seed": 1})
+            journal.append(TYPE_SNAPSHOT, {"index": 0, "snapshot": [1, 2]})
+            journal.append(TYPE_RESULT, {"index": 0, "result": "r"})
+        records = read_journal(path)
+        assert records == [
+            (TYPE_META, {"design": "x", "seed": 1}),
+            (TYPE_SNAPSHOT, {"index": 0, "snapshot": [1, 2]}),
+            (TYPE_RESULT, {"index": 0, "result": "r"}),
+        ]
+
+    def test_append_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "j")
+        with RunJournal(path) as journal:
+            journal.append(TYPE_META, {"a": 1})
+        with RunJournal(path) as journal:
+            journal.append(TYPE_SIM, {"b": 2})
+        assert len(read_journal(path)) == 2
+
+    def test_reset_empties_the_file(self, tmp_path):
+        path = str(tmp_path / "j")
+        with RunJournal(path) as journal:
+            journal.append(TYPE_META, {"a": 1})
+            journal.reset()
+            journal.append(TYPE_META, {"a": 2})
+        assert read_journal(path) == [(TYPE_META, {"a": 2})]
+
+
+class TestTornTailRepair:
+    def _journal_with(self, path, n):
+        with RunJournal(path) as journal:
+            for i in range(n):
+                journal.append(TYPE_RESULT, {"index": i, "result": i * 10})
+
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_corrupt_tail_dropped_and_truncated(self, tmp_path, mode):
+        path = str(tmp_path / "j")
+        self._journal_with(path, 3)
+        corrupt_journal_tail(path, mode=mode)
+        with pytest.warns(RuntimeWarning, match="journal"):
+            records = read_journal(path)
+        assert records == [(TYPE_RESULT, {"index": 0, "result": 0}),
+                           (TYPE_RESULT, {"index": 1, "result": 10})]
+        # the damage was physically removed: re-read is clean and the
+        # journal is appendable again
+        assert read_journal(path) == records
+        with RunJournal(path) as journal:
+            journal.append(TYPE_RESULT, {"index": 2, "result": 20})
+        assert len(read_journal(path)) == 3
+
+    def test_trailing_garbage_dropped(self, tmp_path):
+        path = str(tmp_path / "j")
+        self._journal_with(path, 2)
+        with open(path, "ab") as f:
+            f.write(b"XXXXXXXXXXXXXXXXXXXXXXX")
+        with pytest.warns(RuntimeWarning, match="magic"):
+            assert len(read_journal(path)) == 2
+
+    def test_wholly_corrupt_journal_yields_nothing(self, tmp_path):
+        path = str(tmp_path / "j")
+        with open(path, "wb") as f:
+            f.write(b"not a journal at all")
+        with pytest.warns(RuntimeWarning):
+            assert read_journal(path) == []
+
+
+class TestLoadResume:
+    def test_missing_or_empty_file(self, tmp_path):
+        path = str(tmp_path / "j")
+        assert load_resume(path, {"a": 1}) is None
+        open(path, "wb").close()
+        assert load_resume(path, {"a": 1}) is None
+
+    def test_parameter_mismatch_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "j")
+        with RunJournal(path) as journal:
+            journal.append(TYPE_META, {"seed": 1})
+        with pytest.warns(RuntimeWarning, match="different run"):
+            assert load_resume(path, {"seed": 2}) is None
+
+    def test_interrupted_before_sim_finished(self, tmp_path):
+        path = str(tmp_path / "j")
+        with RunJournal(path) as journal:
+            journal.append(TYPE_META, {"seed": 1})
+            journal.append(TYPE_SNAPSHOT, {"index": 0, "snapshot": "s"})
+        with pytest.warns(RuntimeWarning, match="before the simulation"):
+            assert load_resume(path, {"seed": 1}) is None
+
+
+class TestRunStroberResume:
+    def test_interrupt_and_resume_bit_identical(self, baseline, tmp_path,
+                                                monkeypatch):
+        """Acceptance: a run interrupted mid-replay resumes from the
+        journal — skipping the FAME simulation and the finished
+        replays — and produces a bit-identical energy estimate."""
+        jpath = str(tmp_path / "run.journal")
+        calls = {"n": 0}
+        orig = ReplayEngine.replay
+
+        def bomb(self, snapshot, strict=True):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise RuntimeError("simulated crash mid-replay")
+            return orig(self, snapshot, strict=strict)
+
+        monkeypatch.setattr(ReplayEngine, "replay", bomb)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            run_strober(**RUN_KW, journal=jpath)
+        monkeypatch.setattr(ReplayEngine, "replay", orig)
+
+        # resume must not rerun the FAME simulation
+        import repro.core.flow as flow_mod
+        clear_caches()
+
+        def no_sim(*args, **kwargs):
+            raise AssertionError("run_workload ran despite the journal")
+
+        monkeypatch.setattr(flow_mod, "run_workload", no_sim)
+        resumed = run_strober(**RUN_KW, journal=jpath)
+        assert resumed.timings["resumed_sim"]
+        assert resumed.timings["resumed_replays"] == 3
+        assert _energy_key(resumed.energy) == _energy_key(baseline.energy)
+
+    def test_completed_journal_resumes_everything(self, baseline,
+                                                  tmp_path):
+        jpath = str(tmp_path / "run.journal")
+        first = run_strober(**RUN_KW, journal=jpath)
+        again = run_strober(**RUN_KW, journal=jpath)
+        assert again.timings["resumed_sim"]
+        assert again.timings["resumed_replays"] == len(first.snapshots)
+        assert _energy_key(again.energy) == _energy_key(baseline.energy)
+
+    def test_journal_records_are_complete(self, tmp_path):
+        jpath = str(tmp_path / "run.journal")
+        run = run_strober(**RUN_KW, journal=jpath)
+        records = read_journal(jpath)
+        types = [rtype for rtype, _obj in records]
+        n = len(run.snapshots)
+        assert types[0] == TYPE_META
+        assert types.count(TYPE_SNAPSHOT) == n
+        assert types.count(TYPE_SIM) == 1
+        assert types.count(TYPE_RESULT) == n
+        sim = next(obj for rtype, obj in records if rtype == TYPE_SIM)
+        assert sim["cycles"] == run.cycles
+        assert sim["n_snapshots"] == n
+
+    def test_changed_parameters_invalidate_the_journal(self, tmp_path):
+        jpath = str(tmp_path / "run.journal")
+        run_strober(**RUN_KW, journal=jpath)
+        other_kw = dict(RUN_KW, seed=RUN_KW["seed"] + 1)
+        with pytest.warns(RuntimeWarning, match="different run"):
+            fresh = run_strober(**other_kw, journal=jpath)
+        assert not fresh.timings["resumed_sim"]
+        # the journal now belongs to the new run
+        resumed = run_strober(**other_kw, journal=jpath)
+        assert resumed.timings["resumed_sim"]
+
+    def test_torn_journal_tail_still_resumes(self, baseline, tmp_path):
+        jpath = str(tmp_path / "run.journal")
+        run_strober(**RUN_KW, journal=jpath)
+        corrupt_journal_tail(jpath, mode="truncate")
+        with pytest.warns(RuntimeWarning, match="journal"):
+            resumed = run_strober(**RUN_KW, journal=jpath)
+        # the torn final record cost one replay result, nothing more
+        assert resumed.timings["resumed_sim"]
+        assert resumed.timings["resumed_replays"] == \
+            len(baseline.snapshots) - 1
+        assert _energy_key(resumed.energy) == _energy_key(baseline.energy)

@@ -1,0 +1,192 @@
+"""Supervised replay pool: per-snapshot timeouts, crash detection and
+respawn, retry with backoff, graceful serial fallback, and the
+structured health report (repro.robust.supervisor)."""
+
+import copy
+import time
+
+import pytest
+
+from repro.core import run_strober
+from repro.core.replay import ReplayError
+from repro.robust import (
+    FaultPlan, FaultSpec, ReplayHealthReport, default_replay_timeout,
+    replay_supervised,
+)
+from repro.scan.snapshot import SnapshotError
+
+
+@pytest.fixture(scope="module")
+def towers_run():
+    return run_strober("rocket_mini", "towers", sample_size=6,
+                       replay_length=32, backend="auto", seed=3)
+
+
+def _keys(results):
+    return [(r.snapshot_cycle, r.cycles, r.mismatches, r.power.total_w,
+             tuple(sorted(r.power.by_group.items()))) for r in results]
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(towers_run):
+    return _keys(towers_run.engine.replay_all(towers_run.snapshots,
+                                              workers=1))
+
+
+def _supervised(engine, snaps, **kwargs):
+    kwargs.setdefault("timeout", 60.0)
+    kwargs.setdefault("backoff_base", 0.05)
+    workers = kwargs.pop("workers", 2)
+    return replay_supervised(
+        engine.flow, snaps, workers=workers,
+        port_names=engine._port_names, grouping=engine.grouping,
+        freq_hz=engine.freq_hz, serial_engine=engine, **kwargs)
+
+
+class TestHappyPath:
+    def test_identical_to_serial_with_healthy_report(self, towers_run,
+                                                     serial_baseline):
+        results, health = _supervised(towers_run.engine,
+                                      list(towers_run.snapshots))
+        assert _keys(results) == serial_baseline
+        assert health.healthy
+        assert health.completed_parallel == len(serial_baseline)
+        assert health.completed_serial == 0
+        assert "healthy" in health.summary()
+
+    def test_empty_snapshot_list(self, towers_run):
+        results, health = _supervised(towers_run.engine, [])
+        assert results == []
+        assert health.healthy
+
+    def test_on_result_fires_with_positions(self, towers_run,
+                                            serial_baseline):
+        seen = {}
+        results, _health = _supervised(
+            towers_run.engine, list(towers_run.snapshots),
+            on_result=lambda i, r: seen.__setitem__(i, r))
+        assert sorted(seen) == list(range(len(results)))
+        assert all(seen[i] is results[i] for i in seen)
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_respawned_and_snapshot_retried(
+            self, towers_run, serial_baseline):
+        plan = FaultPlan([FaultSpec("kill", index=1)])
+        results, health = _supervised(towers_run.engine,
+                                      list(towers_run.snapshots),
+                                      fault_plan=plan)
+        assert _keys(results) == serial_baseline
+        assert not health.healthy
+        assert health.crashes >= 1
+        assert health.respawns >= 1
+        assert health.retries >= 1
+        kinds = {i.kind for i in health.incidents}
+        assert "worker-crash" in kinds
+        incident = next(i for i in health.incidents
+                        if i.kind == "worker-crash")
+        assert incident.snapshot_index == 1
+        assert "exitcode" in incident.detail
+
+    def test_two_killed_workers(self, towers_run, serial_baseline):
+        plan = FaultPlan([FaultSpec("kill", index=0),
+                          FaultSpec("kill", index=3)])
+        results, health = _supervised(towers_run.engine,
+                                      list(towers_run.snapshots),
+                                      fault_plan=plan)
+        assert _keys(results) == serial_baseline
+        assert health.crashes >= 2
+
+
+class TestStallRecovery:
+    def test_stalled_worker_hits_timeout_and_recovers(self, towers_run,
+                                                      serial_baseline):
+        plan = FaultPlan([FaultSpec("stall", index=0, seconds=300.0)])
+        t0 = time.monotonic()
+        results, health = _supervised(towers_run.engine,
+                                      list(towers_run.snapshots),
+                                      fault_plan=plan, timeout=3.0)
+        assert time.monotonic() - t0 < 60.0
+        assert _keys(results) == serial_baseline
+        assert health.timeouts >= 1
+        assert health.respawns >= 1
+        assert any(i.kind == "timeout" for i in health.incidents)
+
+
+class TestRetriesAndFallback:
+    def test_transient_error_is_retried(self, towers_run,
+                                        serial_baseline):
+        plan = FaultPlan([FaultSpec("error", index=2, times=1)])
+        results, health = _supervised(towers_run.engine,
+                                      list(towers_run.snapshots),
+                                      fault_plan=plan)
+        assert _keys(results) == serial_baseline
+        assert health.worker_errors >= 1
+        assert health.retries >= 1
+        assert health.serial_fallbacks == 0
+
+    def test_exhausted_retries_degrade_to_serial(self, towers_run,
+                                                 serial_baseline):
+        # sabotage every dispatch of snapshot 0: the pool can never
+        # replay it, so the supervisor must do it in-process
+        plan = FaultPlan([FaultSpec("error", index=0, times=99)])
+        results, health = _supervised(towers_run.engine,
+                                      list(towers_run.snapshots),
+                                      fault_plan=plan, max_retries=1)
+        assert _keys(results) == serial_baseline
+        assert health.serial_fallbacks == 1
+        assert health.completed_serial == 1
+        assert health.completed_parallel == len(serial_baseline) - 1
+        assert any(i.kind == "serial-fallback" for i in health.incidents)
+        assert "recovered" in health.summary()
+
+
+class TestFatalErrors:
+    def test_strict_mismatch_is_not_retried(self, towers_run):
+        snaps = list(towers_run.snapshots)
+        bad = copy.deepcopy(snaps[1])
+        bad.output_trace[0] = {k: v ^ 1
+                               for k, v in bad.output_trace[0].items()}
+        bad.checksum = None      # reach the replay comparison itself
+        with pytest.raises(ReplayError):
+            _supervised(towers_run.engine, [snaps[0], bad, snaps[2]])
+
+    def test_corrupted_sealed_snapshot_is_rejected(self, towers_run):
+        snaps = list(towers_run.snapshots)
+        bad = copy.deepcopy(snaps[0])
+        bad.state.regs[sorted(bad.state.regs)[0]] ^= 1
+        with pytest.raises(SnapshotError):
+            _supervised(towers_run.engine, [bad] + snaps[1:3])
+
+
+class TestStartMethods:
+    def test_spawn_workers_end_to_end(self, towers_run, serial_baseline):
+        results, health = _supervised(towers_run.engine,
+                                      list(towers_run.snapshots)[:2],
+                                      start_method="spawn")
+        assert _keys(results) == serial_baseline[:2]
+        assert health.healthy
+
+
+class TestTimeoutDerivation:
+    def test_floor_and_scaling(self):
+        assert default_replay_timeout(32) == pytest.approx(30.0)
+        assert default_replay_timeout(10_000) == pytest.approx(2500.0)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_TIMEOUT", "7.5")
+        assert default_replay_timeout(10_000) == pytest.approx(7.5)
+
+
+class TestRunStroberIntegration:
+    def test_health_report_attached_to_run(self):
+        run = run_strober("rocket_mini", "towers", sample_size=4,
+                          replay_length=32, seed=3, workers=2)
+        assert isinstance(run.health, ReplayHealthReport)
+        assert run.health.healthy
+        assert run.health.completed_parallel == len(run.snapshots)
+
+    def test_serial_run_has_no_health_report(self):
+        run = run_strober("rocket_mini", "towers", sample_size=4,
+                          replay_length=32, seed=3, workers=1)
+        assert run.health is None
