@@ -1,9 +1,10 @@
 """Strober core: the paper's primary contribution, end to end."""
 
-from .compiler import StroberCompiler, StroberOutput
+from .compiler import StroberCompiler, StroberOutput, StroberCompileError
 from .configs import DesignConfig, CONFIGS, get_config
 from .replay import (
     ReplayEngine, ReplayResult, ReplayError, AsicFlow, run_asic_flow,
+    asic_pipeline, build_asic_flow,
 )
 from .energy import EnergyEstimate, estimate_energy
 from .attribution import soc_grouping, refine_attribution
@@ -17,10 +18,10 @@ from .flow import (
 )
 
 __all__ = [
-    "StroberCompiler", "StroberOutput",
+    "StroberCompiler", "StroberOutput", "StroberCompileError",
     "DesignConfig", "CONFIGS", "get_config",
     "ReplayEngine", "ReplayResult", "ReplayError", "AsicFlow",
-    "run_asic_flow",
+    "run_asic_flow", "asic_pipeline", "build_asic_flow",
     "EnergyEstimate", "estimate_energy",
     "soc_grouping", "refine_attribution",
     "StroberPerfParams", "PAPER_PARAMS", "PerfBreakdown", "strober_time",

@@ -24,14 +24,13 @@ from dataclasses import dataclass, field
 
 from ..targets.soc import run_workload
 from ..isa.programs import ALL_PROGRAMS
-from ..hdl.ir import circuit_fingerprint
-from ..parallel.cache import get_cache, cache_enabled
+from ..fame.transform import Fame1TransformPass
+from ..parallel.cache import get_cache
+from ..passes import PassManager
 from .configs import get_config
-from .replay import ReplayEngine, run_asic_flow, replay_port_names
+from .replay import ReplayEngine, asic_pipeline, build_asic_flow
 from .energy import estimate_energy
 from .attribution import refine_attribution, soc_grouping
-from ..gatelevel import synthesize, place, match_netlist
-from ..gatelevel.formal import NameMap
 
 
 @dataclass
@@ -75,36 +74,36 @@ def clear_caches(disk=False):
         get_cache().clear()
 
 
-def _soc_asic_flow(circuit, use_cache=True):
+def _soc_pipeline():
+    """The SoC ASIC pipeline: synthesis with functional-unit
+    attribution refinement, unit-level floorplanning, formal matching."""
+    return asic_pipeline(refine_fn=refine_attribution,
+                         cluster_fn=soc_grouping, name="asicflow-soc")
+
+
+def _sim_pipeline():
+    """The simulator-side instrumentation pipeline (FAME1 decoupling).
+
+    Scan-chain metadata is built inside the FAME1 simulator itself (it
+    owns the scan-width/readout cost model), so the host pipeline only
+    needs the decoupling transform.
+    """
+    return PassManager([Fame1TransformPass()], name="strober-sim")
+
+
+def _soc_asic_flow(circuit, use_cache=True, debug=False):
     """ASIC flow with functional-unit attribution and floorplanning.
 
-    Cached on disk under its own artifact kind (``asicflow-soc``): the
-    SoC flow refines attribution and clusters by functional unit, so
-    its artifacts differ from the generic :func:`run_asic_flow` output
-    for the same circuit.
+    Cached on disk under its own artifact kind (``asicflow-soc``); the
+    cache key composes the circuit fingerprint with the pipeline
+    fingerprint (covering the attribution refiner and floorplan
+    grouping), so the SoC flow's artifacts can never collide with the
+    generic :func:`~repro.core.replay.run_asic_flow` output — or with a
+    differently-parameterized pipeline — for the same circuit.
     """
-    from .replay import AsicFlow
-
-    t0 = time.perf_counter()
-    fingerprint = ""
-    if use_cache and cache_enabled():
-        fingerprint = circuit_fingerprint(circuit)
-        flow = get_cache().get("asicflow-soc", fingerprint)
-        if flow is not None:
-            flow.cache_hit = True
-            flow.synthesis_seconds = time.perf_counter() - t0
-            return flow
-    netlist, hints = synthesize(circuit)
-    refine_attribution(netlist)
-    placement = place(netlist, cluster_fn=soc_grouping)
-    name_map = match_netlist(circuit, netlist, hints)
-    flow = AsicFlow(netlist=netlist, hints=hints, placement=placement,
-                    name_map=name_map, fingerprint=fingerprint,
-                    port_names=replay_port_names(circuit),
-                    synthesis_seconds=time.perf_counter() - t0)
-    if use_cache and cache_enabled():
-        get_cache().put("asicflow-soc", fingerprint, flow)
-    return flow
+    return build_asic_flow(circuit, manager=_soc_pipeline(),
+                           kind="asicflow-soc", use_cache=use_cache,
+                           debug=debug)
 
 
 def get_circuits(design):
@@ -120,18 +119,19 @@ def get_circuits(design):
     return _CIRCUIT_CACHE[design]
 
 
-def get_replay_engine(design, freq_hz=None, use_cache=True):
+def get_replay_engine(design, freq_hz=None, use_cache=True, debug=False):
     """The (cached) gate-level replay engine for a named configuration.
 
     Keyed by ``(design, freq_hz)``: the frequency feeds straight into
     power analysis, so engines at different frequencies must not share
     a cache slot.  ``use_cache=False`` skips the on-disk artifact cache
-    (the in-memory engine cache still applies).
+    (the in-memory engine cache still applies); ``debug=True`` runs the
+    structural IR verifier between the ASIC pipeline's passes.
     """
     key = (design, freq_hz)
     if key not in _ENGINE_CACHE:
         _, target = get_circuits(design)
-        flow = _soc_asic_flow(target, use_cache=use_cache)
+        flow = _soc_asic_flow(target, use_cache=use_cache, debug=debug)
         _ENGINE_CACHE[key] = ReplayEngine(
             target, flow=flow, grouping=soc_grouping, freq_hz=freq_hz)
     return _ENGINE_CACHE[key]
@@ -141,7 +141,7 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 max_cycles=2_000_000, backend="auto", seed=0,
                 confidence=0.99, workload_kwargs=None, strict_replay=True,
                 record_full_io=False, workers=1, journal=None,
-                replay_timeout=None, replay_retries=2):
+                replay_timeout=None, replay_retries=2, debug=False):
     """The headline API: energy-evaluate ``workload`` on ``design``.
 
     ``workload`` is a benchmark name from :data:`ALL_PROGRAMS` or a
@@ -152,6 +152,14 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
     attempts before the in-process fallback) and the resulting
     :class:`~repro.robust.ReplayHealthReport` lands on the returned
     run's ``health`` field.
+
+    Every circuit transform runs through the pass pipeline
+    (:mod:`repro.passes`): the FAME1 decoupling on the simulator
+    circuit and the synthesis/placement/matching flow on the tapeout
+    circuit.  The per-pass wall-clock breakdown lands in the returned
+    run's ``timings`` (``sim_pipeline`` / ``asic_pipeline`` /
+    ``passes``); ``debug=True`` additionally runs the structural IR
+    verifier between passes.
 
     ``journal`` names a crash-safe run journal file: the simulation
     outcome, every sampled snapshot, and every completed replay result
@@ -185,15 +193,22 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
             "seed": seed,
             "strict_replay": bool(strict_replay),
             "workload_kwargs": workload_kwargs or {},
+            # pipeline fingerprints: a journal written under different
+            # transform pipelines must not be resumed
+            "pipelines": {"sim": _sim_pipeline().fingerprint(),
+                          "asic": _soc_pipeline().fingerprint()},
         }
         resume = load_resume(journal, run_key)
 
     try:
         t_sim = time.perf_counter()
+        sim_report = None
         if resume is not None:
             from ..robust.journal import JournaledWorkloadResult
             result = JournaledWorkloadResult(resume.sim, resume.snapshots)
         else:
+            sim_ctx = _sim_pipeline().run(sim_circuit, debug=debug)
+            sim_report = sim_ctx.report
             result = run_workload(
                 sim_circuit, source,
                 max_cycles=max_cycles,
@@ -235,7 +250,8 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 })
 
         t_flow = time.perf_counter()
-        engine = get_replay_engine(design, freq_hz=config.freq_hz)
+        engine = get_replay_engine(design, freq_hz=config.freq_hz,
+                                   debug=debug)
         flow_seconds = time.perf_counter() - t_flow
 
         t_replay = time.perf_counter()
@@ -282,15 +298,40 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
         energy=energy,
         engine=engine,
         wall_seconds=time.perf_counter() - t0,
-        timings={
-            "sim_seconds": sim_seconds,
-            "flow_seconds": flow_seconds,
-            "replay_seconds": replay_seconds,
-            "energy_seconds": energy_seconds,
-            "workers": workers,
-            "flow_cache_hit": engine.flow.cache_hit,
-            "resumed_sim": resume is not None,
-            "resumed_replays": len(resume.results) if resume else 0,
-        },
+        timings=_merge_timings(
+            {
+                "sim_seconds": sim_seconds,
+                "flow_seconds": flow_seconds,
+                "replay_seconds": replay_seconds,
+                "energy_seconds": energy_seconds,
+                "workers": workers,
+                "flow_cache_hit": engine.flow.cache_hit,
+                "resumed_sim": resume is not None,
+                "resumed_replays": len(resume.results) if resume else 0,
+            },
+            sim_report,
+            getattr(engine.flow, "pipeline_report", None),
+        ),
         health=engine.last_health,
     )
+
+
+def _merge_timings(timings, sim_report, asic_report):
+    """Fold the pass-pipeline reports into the run's timing dict.
+
+    ``passes`` is the flat per-pass wall-clock breakdown across both
+    pipelines; the full reports (IR deltas, fingerprints, stats) ride
+    along under ``sim_pipeline`` / ``asic_pipeline``.  A cache-hit ASIC
+    flow carries the report recorded when the artifact was first built.
+    """
+    passes = {}
+    for report in (sim_report, asic_report):
+        if report is not None:
+            for name, seconds in report.per_pass_seconds().items():
+                passes[f"{report.pipeline}/{name}"] = seconds
+    timings["passes"] = passes
+    timings["sim_pipeline"] = (sim_report.as_dict()
+                               if sim_report is not None else None)
+    timings["asic_pipeline"] = (asic_report.as_dict()
+                                if asic_report is not None else None)
+    return timings

@@ -16,9 +16,10 @@ import warnings
 from dataclasses import dataclass, field
 
 from ..gatelevel import (
-    synthesize, place, match_netlist, verify_equivalence,
-    GateLevelSimulator, analyze_power, default_grouping,
+    verify_equivalence, GateLevelSimulator, analyze_power,
+    default_grouping, SynthesisPass, PlacementPass, FormalMatchPass,
 )
+from ..passes import PassManager, compose_cache_key
 from ..fame.transform import HOST_ENABLE
 
 
@@ -57,6 +58,10 @@ class AsicFlow:
     # on the artifact so engines can be rebuilt without the circuit.
     port_names: list = field(default_factory=list)
 
+    # PipelineReport of the pass pipeline that built this artifact
+    # (None on artifacts cached by older versions).
+    pipeline_report: object = None
+
 
 def replay_port_names(circuit):
     """Input ports a replay drives (everything but the FAME1 host bit)."""
@@ -64,37 +69,72 @@ def replay_port_names(circuit):
             if node.name != HOST_ENABLE]
 
 
-def run_asic_flow(circuit, verify=False, verify_cycles=24,
-                  use_cache=False):
-    """The 'ASIC tool chain' half of the methodology (T_ASIC).
+def asic_pipeline(refine_fn=None, cluster_fn=None, cluster_depth=2,
+                  name="asicflow"):
+    """The ASIC tool chain (Figure 5) as one pass pipeline.
 
-    With ``use_cache=True`` the flow artifacts are looked up in (and
-    stored to) the content-addressed disk cache keyed by the circuit
-    fingerprint, so repeated invocations skip synthesis, placement, and
-    matching entirely; ``verify`` co-simulation always runs live.
+    synthesis (Design Compiler) -> placement (IC Compiler) -> formal
+    matching (Formality), with the attribution refiner and floorplan
+    grouping as declared pass parameters so the pipeline fingerprint —
+    and therefore the artifact-cache key — covers them.
+    """
+    return PassManager([
+        SynthesisPass(refine_fn=refine_fn),
+        PlacementPass(cluster_depth=cluster_depth, cluster_fn=cluster_fn),
+        FormalMatchPass(),
+    ], name=name)
+
+
+def build_asic_flow(circuit, manager=None, kind="asicflow",
+                    use_cache=False, debug=False):
+    """Run (or load from cache) an ASIC pass pipeline over a circuit.
+
+    The cache key composes the circuit's structural fingerprint with
+    the pipeline fingerprint, so the same design synthesized under
+    different pipelines (different refiners, floorplan groupings, or
+    pass versions) occupies distinct cache slots.
     """
     from ..parallel.cache import get_cache, cache_enabled
     from ..hdl.ir import circuit_fingerprint
 
+    manager = manager or asic_pipeline(name=kind)
     t0 = time.perf_counter()
-    fingerprint = ""
-    flow = None
+    key = ""
     if use_cache and cache_enabled():
-        fingerprint = circuit_fingerprint(circuit)
-        flow = get_cache().get("asicflow", fingerprint)
+        key = compose_cache_key(circuit_fingerprint(circuit),
+                                manager.fingerprint())
+        flow = get_cache().get(kind, key)
         if flow is not None:
             flow.cache_hit = True
             flow.synthesis_seconds = time.perf_counter() - t0
-    if flow is None:
-        netlist, hints = synthesize(circuit)
-        placement = place(netlist)
-        name_map = match_netlist(circuit, netlist, hints)
-        flow = AsicFlow(netlist=netlist, hints=hints, placement=placement,
-                        name_map=name_map, fingerprint=fingerprint,
-                        port_names=replay_port_names(circuit),
-                        synthesis_seconds=time.perf_counter() - t0)
-        if use_cache and cache_enabled():
-            get_cache().put("asicflow", fingerprint, flow)
+            # The pickled report describes the run that built the
+            # artifact, not this one; no passes executed here.
+            flow.pipeline_report = None
+            return flow
+    ctx = manager.run(circuit, debug=debug)
+    flow = AsicFlow(netlist=ctx["netlist"], hints=ctx["hints"],
+                    placement=ctx["placement"],
+                    name_map=ctx["name_map"], fingerprint=key,
+                    port_names=replay_port_names(circuit),
+                    synthesis_seconds=time.perf_counter() - t0,
+                    pipeline_report=ctx.report)
+    if use_cache and cache_enabled():
+        get_cache().put(kind, key, flow)
+    return flow
+
+
+def run_asic_flow(circuit, verify=False, verify_cycles=24,
+                  use_cache=False, debug=False):
+    """The 'ASIC tool chain' half of the methodology (T_ASIC).
+
+    With ``use_cache=True`` the flow artifacts are looked up in (and
+    stored to) the content-addressed disk cache keyed by the circuit
+    fingerprint composed with the pass-pipeline fingerprint, so
+    repeated invocations skip synthesis, placement, and matching
+    entirely; ``verify`` co-simulation always runs live.  ``debug``
+    runs the structural IR verifier between passes.
+    """
+    flow = build_asic_flow(circuit, use_cache=use_cache, debug=debug)
     if verify:
         equivalence = verify_equivalence(circuit, flow.netlist,
                                          n_cycles=verify_cycles)

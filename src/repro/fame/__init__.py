@@ -1,6 +1,9 @@
 """FAME1 transform and host-decoupled simulation."""
 
-from .transform import fame1_transform, is_fame1, Fame1Error, HOST_ENABLE
+from .transform import (
+    fame1_transform, is_fame1, Fame1Error, HOST_ENABLE,
+    Fame1TransformPass,
+)
 from .channel import Channel, TraceBuffer, ChannelError
 from .simulator import (
     Endpoint, ConstantEndpoint, Fame1Simulator, SimulationStats,
@@ -8,6 +11,7 @@ from .simulator import (
 
 __all__ = [
     "fame1_transform", "is_fame1", "Fame1Error", "HOST_ENABLE",
+    "Fame1TransformPass",
     "Channel", "TraceBuffer", "ChannelError",
     "Endpoint", "ConstantEndpoint", "Fame1Simulator", "SimulationStats",
 ]

@@ -10,6 +10,7 @@ pass provides the hardware half.
 from __future__ import annotations
 
 from ..hdl.ir import Node, mux
+from ..passes.base import Pass, PassResult
 
 HOST_ENABLE = "host_en"
 
@@ -55,3 +56,28 @@ def fame1_transform(circuit):
 
 def is_fame1(circuit):
     return any(node.name == HOST_ENABLE for node in circuit.inputs)
+
+
+class Fame1TransformPass(Pass):
+    """:func:`fame1_transform` as a scheduled pipeline pass.
+
+    Skipped automatically if the circuit already carries the host
+    enable, so pipelines stay idempotent over cached circuits.
+    """
+
+    name = "fame1"
+    requires = ("elaborated",)
+    produces = ("fame1",)
+    # the transform adds state muxes: any prior scan instrumentation
+    # metadata would describe the pre-transform design
+    preserves = ("elaborated", "fame1")
+
+    def is_satisfied(self, circuit):
+        return is_fame1(circuit)
+
+    def run(self, circuit, ctx):
+        channels = fame1_transform(circuit)
+        return PassResult(
+            artifacts={"channels": channels},
+            stats={"input_channels": len(channels["inputs"]),
+                   "output_channels": len(channels["outputs"])})

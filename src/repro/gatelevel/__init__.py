@@ -10,13 +10,13 @@ from .library import CELLS, TECH_45NM, TechParams, SramSpec, CellSpec
 from .netlist import GateNetlist, Gate, Dff, SramMacro, CONST0, CONST1
 from .synthesis import (
     synthesize, SynthesisError, SynthesisHints, DffHint, RetimedHint,
-    mangle,
+    mangle, SynthesisPass,
 )
-from .placement import place, Placement, ClusterBox
+from .placement import place, Placement, ClusterBox, PlacementPass
 from .gl_sim import GateLevelSimulator, GateSimError
 from .formal import (
     match_netlist, verify_equivalence, NameMap, MatchPoint, MatchError,
-    EquivalenceResult,
+    EquivalenceResult, FormalMatchPass,
 )
 from .power import analyze_power, PowerReport, default_grouping
 
@@ -24,10 +24,10 @@ __all__ = [
     "CELLS", "TECH_45NM", "TechParams", "SramSpec", "CellSpec",
     "GateNetlist", "Gate", "Dff", "SramMacro", "CONST0", "CONST1",
     "synthesize", "SynthesisError", "SynthesisHints", "DffHint",
-    "RetimedHint", "mangle",
-    "place", "Placement", "ClusterBox",
+    "RetimedHint", "mangle", "SynthesisPass",
+    "place", "Placement", "ClusterBox", "PlacementPass",
     "GateLevelSimulator", "GateSimError",
     "match_netlist", "verify_equivalence", "NameMap", "MatchPoint",
-    "MatchError", "EquivalenceResult",
+    "MatchError", "EquivalenceResult", "FormalMatchPass",
     "analyze_power", "PowerReport", "default_grouping",
 ]

@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..sim import RTLSimulator
+from ..passes.base import Pass, PassResult
 from .gl_sim import GateLevelSimulator
 
 
@@ -88,6 +89,25 @@ class NameMap:
                         f"{point.reg_path}[{point.bit}] differs from the "
                         f"synthesized constant")
         return commands
+
+
+class FormalMatchPass(Pass):
+    """:func:`match_netlist` as a pipeline pass (thin wrapper).
+
+    Consumes the ``netlist`` + ``hints`` artifacts and deposits the
+    ``name_map`` the replay engine loads snapshots through.
+    """
+
+    name = "formal-match"
+    requires = ("netlist",)
+    produces = ("name-map",)
+
+    def run(self, circuit, ctx):
+        name_map = match_netlist(circuit, ctx["netlist"], ctx["hints"])
+        return PassResult(
+            artifacts={"name_map": name_map},
+            stats={"match_points": len(name_map.points),
+                   "retimed_blocks": len(name_map.retimed)})
 
 
 def match_netlist(circuit, netlist, hints):

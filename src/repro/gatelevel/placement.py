@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..passes.base import Pass, PassResult
 from .library import CELLS, SramSpec, TECH_45NM
 
 
@@ -187,3 +188,32 @@ def place(netlist, tech=TECH_45NM, cluster_depth=2, cluster_fn=None):
         net_wire_cap_ff=net_caps,
         total_area_um2=total_area,
     )
+
+
+class PlacementPass(Pass):
+    """:func:`place` as a pipeline pass (thin wrapper).
+
+    Consumes the ``netlist`` artifact a synthesis pass left in the
+    context and deposits the ``placement``.  ``cluster_fn`` /
+    ``cluster_depth`` are declared parameters (different floorplans
+    must not share cached artifacts).
+    """
+
+    name = "placement"
+    requires = ("netlist",)
+    produces = ("placement",)
+
+    def __init__(self, cluster_depth=2, cluster_fn=None):
+        super().__init__(cluster_depth=cluster_depth,
+                         cluster_fn=cluster_fn)
+        self.cluster_depth = cluster_depth
+        self.cluster_fn = cluster_fn
+
+    def run(self, circuit, ctx):
+        netlist = ctx["netlist"]
+        placement = place(netlist, cluster_depth=self.cluster_depth,
+                          cluster_fn=self.cluster_fn)
+        return PassResult(
+            artifacts={"placement": placement},
+            stats={"clusters": len(placement.clusters),
+                   "area_um2": placement.total_area_um2})

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..hdl.ir import Node
+from ..passes.base import Pass, PassResult
 from .netlist import GateNetlist, SramMacro, CONST0, CONST1
 
 
@@ -504,6 +505,38 @@ def synthesize(circuit, name=None):
 
     _resolve_ties(netlist)
     return netlist, hints
+
+
+class SynthesisPass(Pass):
+    """:func:`synthesize` as a pipeline pass (thin wrapper).
+
+    Reads the elaborated circuit, leaves it untouched, and deposits the
+    ``netlist`` + ``hints`` artifacts in the pass context.  An optional
+    ``refine_fn(netlist)`` post-processes attribution (the SoC flow
+    passes :func:`repro.core.attribution.refine_attribution`); it is a
+    declared parameter, so flows with different refiners never share
+    cached artifacts.
+    """
+
+    name = "synthesis"
+    requires = ("elaborated",)
+    produces = ("netlist",)
+
+    def __init__(self, refine_fn=None):
+        super().__init__(refine_fn=refine_fn)
+        self.refine_fn = refine_fn
+
+    def run(self, circuit, ctx):
+        netlist, hints = synthesize(circuit)
+        if self.refine_fn is not None:
+            self.refine_fn(netlist)
+        return PassResult(
+            artifacts={"netlist": netlist, "hints": hints},
+            stats={"gates": len(netlist.gates),
+                   "dffs": len(netlist.dffs),
+                   "srams": len(netlist.srams),
+                   "removed_const_dffs": hints.removed_const_dffs,
+                   "merged_dffs": hints.merged_dffs})
 
 
 def _make_dff(d, q, init, name, origin):

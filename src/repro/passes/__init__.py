@@ -1,0 +1,45 @@
+"""repro.passes — the unified circuit-transform pipeline.
+
+Strober's enabling idea is a *transformable RTL IR*: the Figure 4 flow
+is a sequence of custom compiler transforms.  This package gives those
+transforms one substrate:
+
+* :class:`Pass` — the transform contract (declared ``requires`` /
+  ``produces`` / ``preserves`` IR properties, ``run(circuit, ctx)``);
+* :class:`PassManager` — scheduling, inter-pass structural
+  verification in debug mode, per-pass timing/IR-delta reporting
+  (:class:`PipelineReport`), and a deterministic pipeline fingerprint
+  that composes into artifact-cache keys via
+  :func:`compose_cache_key`;
+* :mod:`repro.passes.verifier` — the standalone structural IR lint
+  (width checks, dangling-wire detection, combinational-loop
+  detection), also runnable as ``python -m repro.passes.lint``.
+
+The concrete transform passes live with their transforms:
+:class:`repro.fame.transform.Fame1TransformPass`,
+:class:`repro.scan.chains.ScanChainSpecPass` /
+:class:`repro.scan.chains.InsertScanChainsPass`, and the gate-level
+wrappers in :mod:`repro.gatelevel.synthesis`,
+:mod:`repro.gatelevel.placement`, and :mod:`repro.gatelevel.formal`.
+"""
+
+from .base import (
+    Pass, FunctionPass, PassResult, PassContext, PassError,
+    PassScheduleError,
+)
+from .manager import (
+    PassManager, PipelineReport, PassRecord, VerifyPass,
+    compose_cache_key,
+)
+from .verifier import (
+    verify_circuit, assert_well_formed, VerifyIssue, VerificationError,
+)
+
+__all__ = [
+    "Pass", "FunctionPass", "PassResult", "PassContext", "PassError",
+    "PassScheduleError",
+    "PassManager", "PipelineReport", "PassRecord", "VerifyPass",
+    "compose_cache_key",
+    "verify_circuit", "assert_well_formed", "VerifyIssue",
+    "VerificationError",
+]

@@ -1,0 +1,170 @@
+"""The transform-pass contract every circuit transform implements.
+
+Strober's tool flow (Figure 4) is a sequence of custom compiler
+transforms over the elaborated IR — FAME1 decoupling, scan-chain
+insertion, synthesis, placement, formal matching.  This module defines
+the shared shape of those transforms: a :class:`Pass` declares which IR
+*properties* it requires, produces, and preserves, and implements
+``run(circuit, ctx) -> PassResult``.  The :class:`PassManager`
+(:mod:`repro.passes.manager`) schedules passes against those
+declarations, verifies the IR between passes in debug mode, and turns
+each pass's declared parameters into a deterministic pipeline
+fingerprint for the artifact cache.
+
+IR properties are plain strings.  The conventional ones:
+
+``elaborated``
+    The circuit came out of :func:`repro.hdl.elaborate.elaborate`
+    (every manager run starts with this).
+``fame1``
+    The FAME1 host-enable gating is in place.
+``scan-spec`` / ``scan-chains``
+    Scan-chain metadata is attached / scan hardware is inserted.
+``netlist`` / ``placement`` / ``name-map``
+    Gate-level artifacts exist in the pass context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class PassError(Exception):
+    """A pass could not run or produced an invalid result."""
+
+
+class PassScheduleError(PassError):
+    """Pipeline ordering violates a pass's declared requirements."""
+
+
+def stable_repr(value):
+    """repr() that is deterministic across processes.
+
+    Plain repr() of a function or bound method embeds a memory address,
+    which would make pipeline fingerprints differ between runs of the
+    same configuration; callables are described by their qualified name
+    instead.
+    """
+    if callable(value) and not isinstance(value, type):
+        module = getattr(value, "__module__", "?")
+        qualname = getattr(value, "__qualname__",
+                           getattr(value, "__name__", repr(value)))
+        return f"<callable {module}.{qualname}>"
+    if isinstance(value, type):
+        return f"<class {value.__module__}.{value.__qualname__}>"
+    if isinstance(value, (set, frozenset)):
+        return repr(sorted(value, key=repr))
+    return repr(value)
+
+
+@dataclass
+class PassResult:
+    """What one pass hands back to the manager.
+
+    ``artifacts`` are merged into the shared :class:`PassContext`
+    (e.g. ``channels``, ``scan_spec``, ``netlist``); ``stats`` are
+    free-form numbers recorded in the pipeline report.
+    """
+
+    artifacts: dict = field(default_factory=dict)
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class PassContext:
+    """Shared state threaded through one pipeline run.
+
+    ``artifacts`` accumulates every pass's side products keyed by name;
+    ``options`` carries caller-supplied knobs; ``debug`` turns on the
+    inter-pass IR verifier; ``report`` is the in-progress
+    :class:`~repro.passes.manager.PipelineReport`.
+    """
+
+    artifacts: dict = field(default_factory=dict)
+    options: dict = field(default_factory=dict)
+    debug: bool = False
+    report: object = None
+
+    def __getitem__(self, key):
+        return self.artifacts[key]
+
+    def get(self, key, default=None):
+        return self.artifacts.get(key, default)
+
+
+class Pass:
+    """Base class for circuit transforms.
+
+    Subclasses set the class attributes below and implement
+    :meth:`run`.  Parameters that change the transform's output must be
+    returned from :meth:`params` — they feed the pipeline fingerprint
+    that keys the on-disk artifact cache, so two differently-configured
+    instances of the same pass never share cached artifacts.
+    """
+
+    #: short stable identifier; defaults to the class name
+    name = None
+    #: bump when the transform's semantics change (cache invalidation)
+    version = 1
+    #: IR properties that must hold before this pass runs
+    requires = ("elaborated",)
+    #: IR properties established by this pass
+    produces = ()
+    #: "*" (keeps everything) or a tuple of the properties kept intact
+    preserves = "*"
+
+    def __init__(self, **params):
+        self._params = dict(params)
+
+    @property
+    def pass_name(self):
+        return self.name or type(self).__name__
+
+    def params(self):
+        """Cache-relevant parameters of this instance."""
+        return dict(self._params)
+
+    def is_satisfied(self, circuit):
+        """True if the circuit already has this pass's effect (skip)."""
+        return False
+
+    def run(self, circuit, ctx):
+        """Apply the transform in place; return a :class:`PassResult`."""
+        raise NotImplementedError
+
+    def cache_key_parts(self):
+        """Deterministic description for the pipeline fingerprint."""
+        return (self.pass_name, self.version,
+                tuple(sorted((str(k), stable_repr(v))
+                             for k, v in self.params().items())))
+
+    def __repr__(self):
+        params = ", ".join(f"{k}={v!r}"
+                           for k, v in sorted(self.params().items()))
+        return f"<pass {self.pass_name}({params})>"
+
+
+class FunctionPass(Pass):
+    """Adapt a plain ``fn(circuit, **params)`` into a :class:`Pass`.
+
+    The thin-wrapper path for transforms that live as functions (e.g.
+    the gate-level synthesis entry points): the function's return value
+    lands in the context artifacts under ``artifact`` when given.
+    """
+
+    def __init__(self, fn, name=None, requires=("elaborated",),
+                 produces=(), preserves="*", artifact=None, version=1,
+                 **params):
+        super().__init__(**params)
+        self._fn = fn
+        self.name = name or fn.__name__
+        self.requires = tuple(requires)
+        self.produces = tuple(produces)
+        self.preserves = preserves
+        self.version = version
+        self._artifact = artifact
+
+    def run(self, circuit, ctx):
+        value = self._fn(circuit, **self.params())
+        artifacts = {self._artifact: value} if self._artifact else {}
+        return PassResult(artifacts=artifacts)

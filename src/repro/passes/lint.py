@@ -1,0 +1,135 @@
+"""Standalone IR lint: ``python -m repro.passes.lint [targets...]``.
+
+Runs the structural verifier (:mod:`repro.passes.verifier`) over
+elaborated circuits without executing any flow.  A target is:
+
+* a design configuration name from :data:`repro.core.configs.CONFIGS`
+  (e.g. ``rocket_mini``), or
+* a Python file / directory of Python files (e.g. ``examples/``): each
+  file is imported and every zero-argument :class:`repro.hdl.dsl.Module`
+  subclass it defines is elaborated and linted.
+
+With no targets, every registered design configuration is linted.
+``--fame`` and ``--scan`` additionally lint a FAME1-transformed and a
+scan-chain-inserted copy of each circuit, exercising the transform
+passes themselves.  Exit status is non-zero if any issue is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import sys
+
+from .verifier import verify_circuit
+
+
+def lint_circuit(circuit):
+    """Verify one circuit; returns the list of issues (empty = clean)."""
+    return verify_circuit(circuit)
+
+
+def _module_classes_in_file(path):
+    """Import a Python file and yield the Module subclasses it defines."""
+    from ..hdl.dsl import Module
+
+    name = "_repro_lint_" + os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    # Imports only: files guard their entry points with __main__ checks.
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(name, None)
+    for attr in vars(module).values():
+        if (isinstance(attr, type) and issubclass(attr, Module)
+                and attr is not Module
+                and getattr(attr, "__module__", "") == name):
+            yield attr
+
+
+def iter_targets(names):
+    """Yield ``(label, build_fn)`` for every lintable target."""
+    from ..core.configs import CONFIGS
+
+    if not names:
+        names = sorted(CONFIGS)
+    for name in names:
+        if name in CONFIGS:
+            yield name, CONFIGS[name].build_circuit
+        elif os.path.isdir(name):
+            for fname in sorted(os.listdir(name)):
+                if fname.endswith(".py"):
+                    yield from iter_targets([os.path.join(name, fname)])
+        elif name.endswith(".py") and os.path.isfile(name):
+            from ..hdl.elaborate import elaborate
+            for cls in _module_classes_in_file(name):
+                try:
+                    instance = cls()
+                except TypeError:
+                    continue  # needs constructor arguments; not lintable
+                label = f"{os.path.basename(name)}:{cls.__name__}"
+                yield label, (lambda c=cls: elaborate(c()))
+        else:
+            raise SystemExit(
+                f"lint: unknown target {name!r} (not a design config, "
+                f".py file, or directory)")
+
+
+def _lint_variants(label, build_fn, fame, scan, scan_width):
+    """Lint a fresh circuit, plus transformed copies when requested."""
+    results = []
+    circuit = build_fn()
+    results.append((label, verify_circuit(circuit)))
+    if fame:
+        from ..fame.transform import fame1_transform, is_fame1
+        famed = build_fn()
+        if not is_fame1(famed):
+            fame1_transform(famed)
+        results.append((f"{label}+fame1", verify_circuit(famed)))
+    if scan:
+        from ..scan.chains import insert_scan_chains
+        scanned = build_fn()
+        insert_scan_chains(scanned, scan_width)
+        results.append((f"{label}+scan", verify_circuit(scanned)))
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.passes.lint",
+        description="Structural IR lint over designs and example files.")
+    parser.add_argument("targets", nargs="*",
+                        help="design config names, .py files, or "
+                             "directories (default: all configs)")
+    parser.add_argument("--fame", action="store_true",
+                        help="also lint a FAME1-transformed copy")
+    parser.add_argument("--scan", action="store_true",
+                        help="also lint a scan-chain-inserted copy")
+    parser.add_argument("--scan-width", type=int, default=8)
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only print findings and the final summary")
+    args = parser.parse_args(argv)
+
+    n_issues = 0
+    n_circuits = 0
+    for label, build_fn in iter_targets(args.targets):
+        for sub_label, issues in _lint_variants(
+                label, build_fn, args.fame, args.scan, args.scan_width):
+            n_circuits += 1
+            if issues:
+                n_issues += len(issues)
+                print(f"{sub_label}: {len(issues)} issue(s)")
+                for issue in issues:
+                    print(f"  {issue}")
+            elif not args.quiet:
+                print(f"{sub_label}: ok")
+    status = "clean" if n_issues == 0 else f"{n_issues} issue(s)"
+    print(f"lint: {n_circuits} circuit(s) checked, {status}")
+    return 1 if n_issues else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""PassManager: scheduled, verified, instrumented transform pipelines.
+
+The manager runs a declared sequence of :class:`~repro.passes.base.Pass`
+instances over one circuit:
+
+* **scheduling** — before each pass runs, its declared ``requires``
+  properties are checked against the set established so far (seeded
+  with ``elaborated`` plus whatever :meth:`Pass.is_satisfied` probes
+  detect), and a :class:`~repro.passes.base.PassScheduleError` names
+  the missing property instead of letting a mis-ordered pipeline
+  corrupt the IR;
+* **verification** — in debug mode the structural IR verifier
+  (:mod:`repro.passes.verifier`) runs after every IR-rewriting pass,
+  so the first pass that emits a malformed graph is the one blamed;
+* **instrumentation** — per-pass wall-clock and IR-delta statistics
+  land in a :class:`PipelineReport` that callers merge into run
+  timings and journals;
+* **fingerprinting** — every pass contributes its name, version, and
+  parameters to a deterministic pipeline fingerprint; composed with
+  the circuit fingerprint it keys the on-disk artifact cache, so
+  differently-configured pipelines never share cached artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from .base import Pass, PassContext, PassResult, PassScheduleError
+from .verifier import verify_circuit, VerificationError
+
+# Bump when the fingerprint composition itself changes format.
+_PIPELINE_FP_VERSION = 1
+
+
+@dataclass
+class PassRecord:
+    """One pass's entry in the pipeline report."""
+
+    name: str
+    seconds: float = 0.0
+    skipped: bool = False
+    ir_before: dict = field(default_factory=dict)
+    ir_after: dict = field(default_factory=dict)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ir_delta(self):
+        return {key: self.ir_after.get(key, 0) - self.ir_before.get(key, 0)
+                for key in self.ir_after}
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "skipped": self.skipped,
+            "ir_delta": self.ir_delta,
+            "stats": dict(self.stats),
+        }
+
+
+@dataclass
+class PipelineReport:
+    """Everything one pipeline run recorded."""
+
+    pipeline: str
+    fingerprint: str = ""
+    records: list = field(default_factory=list)   # PassRecord
+    total_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    verified: int = 0          # number of inter-pass verifier runs
+
+    def per_pass_seconds(self):
+        """{pass name: seconds} for merging into run timings."""
+        return {rec.name: rec.seconds for rec in self.records}
+
+    def as_dict(self):
+        return {
+            "pipeline": self.pipeline,
+            "fingerprint": self.fingerprint,
+            "total_seconds": self.total_seconds,
+            "verify_seconds": self.verify_seconds,
+            "verified": self.verified,
+            "passes": [rec.as_dict() for rec in self.records],
+        }
+
+    def summary(self):
+        lines = [f"pipeline {self.pipeline} "
+                 f"({self.total_seconds * 1e3:.1f} ms, "
+                 f"fingerprint {self.fingerprint[:12]})"]
+        for rec in self.records:
+            tag = " (skipped)" if rec.skipped else ""
+            delta = {k: v for k, v in rec.ir_delta.items() if v}
+            lines.append(f"  {rec.name:<24s} {rec.seconds * 1e3:8.2f} ms"
+                         f"{tag} {delta if delta else ''}")
+        return "\n".join(lines)
+
+
+def _ir_shape(circuit):
+    """Cheap structural summary used for per-pass IR deltas."""
+    return {
+        "inputs": len(circuit.inputs),
+        "outputs": len(circuit.outputs),
+        "regs": len(circuit.regs),
+        "mems": len(circuit.mems),
+        "comb_nodes": len(circuit.comb_order),
+    }
+
+
+def compose_cache_key(circuit_fingerprint, pipeline_fingerprint="",
+                      **extra):
+    """One artifact-cache key from circuit + pipeline + parameters.
+
+    ``extra`` carries instrumentation parameters that shape the artifact
+    but live outside both fingerprints (e.g. ``scan_width``); they are
+    hashed in sorted order so the key is deterministic.
+    """
+    h = hashlib.blake2b(digest_size=20)
+    h.update(b"repro-cache-key\x1f")
+    h.update(str(circuit_fingerprint).encode())
+    h.update(b"\x1f")
+    h.update(str(pipeline_fingerprint).encode())
+    for key in sorted(extra):
+        h.update(f"\x1f{key}={extra[key]!r}".encode())
+    return h.hexdigest()
+
+
+class VerifyPass(Pass):
+    """The structural verifier as an explicit pipeline step.
+
+    The manager already verifies between passes in debug mode; insert
+    this pass to force a verification point in release pipelines (e.g.
+    straight after elaboration, where it subsumes the ad-hoc checks
+    that used to live only inside :mod:`repro.hdl.elaborate`).
+    """
+
+    name = "verify"
+    requires = ("elaborated",)
+
+    def run(self, circuit, ctx):
+        t0 = time.perf_counter()
+        issues = verify_circuit(circuit)
+        if issues:
+            raise VerificationError(circuit.name, issues)
+        return PassResult(stats={
+            "issues": 0,
+            "seconds": time.perf_counter() - t0,
+        })
+
+
+class PassManager:
+    """Run a sequence of passes over a circuit with verification.
+
+    Args:
+        passes: ordered :class:`Pass` instances.
+        name: pipeline label used in reports.
+        verify: ``"debug"`` (default — verify only when ``run`` is
+            called with ``debug=True``), ``"always"``, or ``"never"``.
+    """
+
+    def __init__(self, passes, name="pipeline", verify="debug"):
+        self.passes = list(passes)
+        self.name = name
+        if verify not in ("debug", "always", "never"):
+            raise ValueError(f"verify must be debug/always/never, "
+                             f"got {verify!r}")
+        self.verify = verify
+
+    def add(self, pass_):
+        self.passes.append(pass_)
+        return self
+
+    def fingerprint(self):
+        """Deterministic digest of the pipeline's passes + parameters."""
+        h = hashlib.blake2b(digest_size=20)
+        h.update(f"repro-pipeline\x1f{_PIPELINE_FP_VERSION}".encode())
+        for pass_ in self.passes:
+            h.update(f"\x1f{pass_.cache_key_parts()!r}".encode())
+        return h.hexdigest()
+
+    def _verify(self, circuit, report, after):
+        t0 = time.perf_counter()
+        issues = verify_circuit(circuit)
+        report.verify_seconds += time.perf_counter() - t0
+        report.verified += 1
+        if issues:
+            raise VerificationError(
+                f"{circuit.name} (after pass {after!r})", issues)
+
+    def run(self, circuit, debug=False, options=None, artifacts=None):
+        """Execute the pipeline in place; returns the :class:`PassContext`.
+
+        The context's ``report`` is the :class:`PipelineReport`;
+        ``artifacts`` accumulates every pass's side products.  With
+        ``debug=True`` (or ``verify="always"``) the structural verifier
+        runs before the first pass and after each non-skipped pass, and
+        the first malformed graph raises
+        :class:`~repro.passes.verifier.VerificationError` naming the
+        offending pass.
+        """
+        report = PipelineReport(pipeline=self.name,
+                                fingerprint=self.fingerprint())
+        ctx = PassContext(artifacts=dict(artifacts or {}),
+                          options=dict(options or {}),
+                          debug=debug, report=report)
+        check = (self.verify == "always"
+                 or (self.verify == "debug" and debug))
+        t_start = time.perf_counter()
+        if check:
+            self._verify(circuit, report, after="<input>")
+        properties = {"elaborated"}
+        for pass_ in self.passes:
+            record = PassRecord(name=pass_.pass_name,
+                                ir_before=_ir_shape(circuit))
+            report.records.append(record)
+            if pass_.is_satisfied(circuit):
+                record.skipped = True
+                record.ir_after = record.ir_before
+                properties.update(pass_.produces)
+                continue
+            missing = [p for p in pass_.requires if p not in properties]
+            if missing:
+                raise PassScheduleError(
+                    f"pass {pass_.pass_name!r} requires IR properties "
+                    f"{missing} not established at this point in "
+                    f"pipeline {self.name!r} (have: {sorted(properties)}); "
+                    "reorder the pipeline or add the producing pass")
+            t0 = time.perf_counter()
+            result = pass_.run(circuit, ctx)
+            record.seconds = time.perf_counter() - t0
+            if result is None:
+                result = PassResult()
+            elif not isinstance(result, PassResult):
+                raise PassScheduleError(
+                    f"pass {pass_.pass_name!r} returned "
+                    f"{type(result).__name__}, not PassResult")
+            ctx.artifacts.update(result.artifacts)
+            record.stats = dict(result.stats)
+            record.ir_after = _ir_shape(circuit)
+            if pass_.preserves == "*":
+                properties.update(pass_.produces)
+            else:
+                properties = (properties & set(pass_.preserves)
+                              | set(pass_.produces) | {"elaborated"})
+            if check:
+                self._verify(circuit, report, after=pass_.pass_name)
+        report.total_seconds = time.perf_counter() - t_start
+        return ctx

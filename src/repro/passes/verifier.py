@@ -1,0 +1,307 @@
+"""Structural IR verifier: the inter-pass invariant checker.
+
+Every transform pass rewrites the circuit graph in place; a bug in any
+of them (a mux with a wide select, an argument pointing at a node the
+circuit no longer owns, a feedback path without a register) corrupts
+every downstream artifact silently.  This module is the static-analysis
+lint the :class:`~repro.passes.manager.PassManager` runs between passes
+in debug mode, and the engine behind ``python -m repro.passes.lint``.
+
+Checks:
+
+* **widths** — every node's width is in range and consistent with its
+  op and argument widths (comparisons/reductions are 1 bit, ``bits``
+  slices stay inside their argument, mux selects are 1 bit, mux arms
+  match the result width, register next-state drivers match the
+  register width, memory write ports match the memory geometry);
+* **dangling wires** — no un-elaborated ``wire`` aliases survive, and
+  every ``input``/``reg`` node reachable from a sink is actually owned
+  by the circuit (a transform that drops a register but leaves a
+  reference produces a net that never updates);
+* **combinational loops** — the sink fan-in graph is acyclic through
+  combinational ops (registers legitimately close cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl.ir import OP_ARITY, MAX_WIDTH
+
+
+@dataclass
+class VerifyIssue:
+    """One verifier finding."""
+
+    kind: str        # 'width' | 'dangling' | 'comb-loop' | 'structure'
+    message: str     # human-actionable description, with a fix hint
+    where: str = ""  # node repr / path context
+
+    def __str__(self):
+        prefix = f"[{self.kind}] "
+        if self.where:
+            return f"{prefix}{self.where}: {self.message}"
+        return f"{prefix}{self.message}"
+
+
+class VerificationError(Exception):
+    """Raised when :func:`verify_circuit` findings are fatal.
+
+    Carries the full issue list on ``.issues``.
+    """
+
+    def __init__(self, circuit_name, issues):
+        self.issues = list(issues)
+        lines = [f"IR verification failed for {circuit_name!r} "
+                 f"({len(self.issues)} issue(s)):"]
+        lines += [f"  {issue}" for issue in self.issues[:20]]
+        if len(self.issues) > 20:
+            lines.append(f"  ... and {len(self.issues) - 20} more")
+        super().__init__("\n".join(lines))
+
+
+_ONE_BIT_OPS = frozenset({"eq", "neq", "ltu", "leu", "lts", "les",
+                          "orr", "andr", "xorr"})
+
+
+def _sinks(circuit):
+    """circuit.sinks(), but tolerant of a missing reg_next entry (the
+    verifier must report that defect, not crash on it)."""
+    result = [driver for _, driver in circuit.outputs]
+    for reg in circuit.regs:
+        nxt = circuit.reg_next.get(reg)
+        if nxt is not None:
+            result.append(nxt)
+    for mem in circuit.mems:
+        for addr, data, en in mem.writes:
+            result.extend((addr, data, en))
+        result.extend(mem.read_ports)
+    return result
+
+
+def _iter_reachable(circuit):
+    """Every node reachable from a sink, each exactly once."""
+    seen = set()
+    stack = _sinks(circuit)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        yield node
+        if node.op not in ("const", "input", "reg"):
+            stack.extend(node.args)
+
+
+def _check_node(node, issues):
+    """Per-node structural and width rules."""
+    op = node.op
+    if op not in OP_ARITY:
+        issues.append(VerifyIssue(
+            "structure", f"unknown op {op!r}; the transform emitted a "
+            "node the IR does not define", repr(node)))
+        return
+    arity = OP_ARITY[op]
+    if arity is not None and len(node.args) != arity:
+        issues.append(VerifyIssue(
+            "structure", f"op {op!r} expects {arity} argument(s) but has "
+            f"{len(node.args)}; a graph rewrite dropped or duplicated an "
+            "argument", repr(node)))
+        return
+    if not (1 <= node.width <= MAX_WIDTH):
+        issues.append(VerifyIssue(
+            "width", f"width {node.width} out of range 1..{MAX_WIDTH}",
+            repr(node)))
+        return
+    if op in _ONE_BIT_OPS and node.width != 1:
+        issues.append(VerifyIssue(
+            "width", f"op {op!r} must be 1 bit wide, is {node.width}; "
+            "wrap the comparison result instead of widening the node",
+            repr(node)))
+    elif op == "not" and node.width != node.args[0].width:
+        issues.append(VerifyIssue(
+            "width", f"'not' is {node.width} bits but its argument is "
+            f"{node.args[0].width}; invert at the argument width and "
+            "pad/truncate explicitly", repr(node)))
+    elif op in ("and", "or", "xor"):
+        widest = max(a.width for a in node.args)
+        if node.width != widest:
+            issues.append(VerifyIssue(
+                "width", f"op {op!r} is {node.width} bits but its widest "
+                f"argument is {widest}; bitwise ops take the max argument "
+                "width", repr(node)))
+    elif op == "mux":
+        sel, a, b = node.args
+        if sel.width != 1:
+            issues.append(VerifyIssue(
+                "width", f"mux select is {sel.width} bits; reduce it to "
+                "1 bit (e.g. with .orr()) before muxing", repr(node)))
+        if a.width != node.width or b.width != node.width:
+            issues.append(VerifyIssue(
+                "width", f"mux arms are {a.width}/{b.width} bits but the "
+                f"mux is {node.width}; pad both arms to the result width",
+                repr(node)))
+    elif op == "bits":
+        hi, lo = node.params
+        src = node.args[0]
+        if not (0 <= lo <= hi < src.width):
+            issues.append(VerifyIssue(
+                "width", f"bits({hi},{lo}) reaches outside its "
+                f"{src.width}-bit argument; the slice must satisfy "
+                f"0 <= lo <= hi < {src.width}", repr(node)))
+        elif node.width != hi - lo + 1:
+            issues.append(VerifyIssue(
+                "width", f"bits({hi},{lo}) should be {hi - lo + 1} bits, "
+                f"node says {node.width}", repr(node)))
+    elif op == "cat":
+        total = node.args[0].width + node.args[1].width
+        if node.width > min(total, MAX_WIDTH):
+            issues.append(VerifyIssue(
+                "width", f"cat of {node.args[0].width}+"
+                f"{node.args[1].width} bits cannot be {node.width} bits "
+                "wide", repr(node)))
+    elif op == "memread":
+        if node.mem is None:
+            issues.append(VerifyIssue(
+                "structure", "memread node has no memory attached; "
+                "create read ports through MemDecl.read()", repr(node)))
+        elif node.width != node.mem.width:
+            issues.append(VerifyIssue(
+                "width", f"memread is {node.width} bits but memory "
+                f"{node.mem.path or node.mem.name!r} stores "
+                f"{node.mem.width}-bit words", repr(node)))
+
+
+def _check_ownership(circuit, issues):
+    """Dangling references: reachable state/ports the circuit disowns."""
+    owned_inputs = set(circuit.inputs)
+    owned_regs = set(circuit.regs)
+    for node in _iter_reachable(circuit):
+        if node.op == "wire":
+            issues.append(VerifyIssue(
+                "dangling", f"un-elaborated wire alias survives in the "
+                "graph; transforms must connect through the wire's "
+                "resolved driver, not the wire node itself", repr(node)))
+        elif node.op == "input" and node not in owned_inputs:
+            issues.append(VerifyIssue(
+                "dangling", f"input {node.name!r} is referenced but not "
+                "in circuit.inputs; append the node to circuit.inputs "
+                "(or reconnect its users) so it gets driven", repr(node)))
+        elif node.op == "reg" and node not in owned_regs:
+            issues.append(VerifyIssue(
+                "dangling", f"register {node.path or node.name!r} is "
+                "referenced but not in circuit.regs; its value would "
+                "never update — re-register it and give it a reg_next "
+                "driver", repr(node)))
+
+
+def _check_registers(circuit, issues):
+    for reg in circuit.regs:
+        nxt = circuit.reg_next.get(reg)
+        if nxt is None:
+            issues.append(VerifyIssue(
+                "dangling", f"register {reg.path or reg.name!r} has no "
+                "next-state driver in circuit.reg_next; every register "
+                "needs one (use the register itself for a hold)",
+                repr(reg)))
+        elif nxt.width != reg.width:
+            issues.append(VerifyIssue(
+                "width", f"register {reg.path or reg.name!r} is "
+                f"{reg.width} bits but its next-state driver is "
+                f"{nxt.width}; resize the driver to the register width",
+                repr(reg)))
+
+
+def _check_memories(circuit, issues):
+    for mem in circuit.mems:
+        where = f"<mem {mem.path or mem.name}>"
+        for addr, data, en in mem.writes:
+            if data.width != mem.width:
+                issues.append(VerifyIssue(
+                    "width", f"write data is {data.width} bits but the "
+                    f"memory stores {mem.width}-bit words", where))
+            if en.width != 1:
+                issues.append(VerifyIssue(
+                    "width", f"write enable is {en.width} bits; reduce "
+                    "it to 1 bit", where))
+            if addr.width > MAX_WIDTH:
+                issues.append(VerifyIssue(
+                    "width", f"write address is {addr.width} bits", where))
+        for port in mem.read_ports:
+            if port.mem is not mem:
+                issues.append(VerifyIssue(
+                    "structure", "read port's .mem does not point back "
+                    "at its memory", where))
+
+
+def _check_comb_loops(circuit, issues):
+    """Cycle detection through combinational ops, with the loop path.
+
+    Registers legitimately close sequential cycles, so traversal stops
+    at ``reg``/``input``/``const`` sources; anything that reaches itself
+    through combinational ops only is a genuine loop.  A duplicate stack
+    entry can only pop while its node is in-progress if the node is its
+    own combinational descendant, so the in-progress check is exact.
+    """
+    state = {}  # node -> 1 in progress, 2 done
+    for sink in _sinks(circuit):
+        if state.get(sink) == 2:
+            continue
+        path = []   # current in-progress DFS chain
+        todo = [(sink, 0)]
+        while todo:
+            node, phase = todo.pop()
+            if phase == 0:
+                st = state.get(node)
+                if st == 2:
+                    continue
+                if st == 1:
+                    cycle = []
+                    for p in reversed(path):
+                        cycle.append(p)
+                        if p is node:
+                            break
+                    loop = " -> ".join(repr(n) for n in reversed(cycle))
+                    issues.append(VerifyIssue(
+                        "comb-loop", f"combinational loop: {loop} -> "
+                        "(repeats); break it with a register or "
+                        "restructure the feedback", repr(node)))
+                    continue
+                state[node] = 1
+                path.append(node)
+                todo.append((node, 1))
+                if node.op not in ("const", "input", "reg"):
+                    for arg in node.args:
+                        todo.append((arg, 0))
+            else:
+                state[node] = 2
+                path.pop()
+
+
+def verify_circuit(circuit, max_issues=None):
+    """Run every structural check; returns a list of :class:`VerifyIssue`.
+
+    An empty list means the IR is well-formed.  Use
+    :func:`assert_well_formed` to raise instead.
+    """
+    issues = []
+    for node in _iter_reachable(circuit):
+        _check_node(node, issues)
+        if max_issues is not None and len(issues) >= max_issues:
+            return issues
+    _check_ownership(circuit, issues)
+    _check_registers(circuit, issues)
+    _check_memories(circuit, issues)
+    _check_comb_loops(circuit, issues)
+    if max_issues is not None:
+        issues = issues[:max_issues]
+    return issues
+
+
+def assert_well_formed(circuit):
+    """Raise :class:`VerificationError` if the circuit fails any check."""
+    issues = verify_circuit(circuit)
+    if issues:
+        raise VerificationError(getattr(circuit, "name", "<circuit>"),
+                                issues)
+    return True

@@ -2,10 +2,12 @@
 
 from .chains import (
     ScanChainSpec, RamChain, build_scan_chain_spec, insert_scan_chains,
+    ScanChainSpecPass, InsertScanChainsPass,
 )
 from .snapshot import ReplayableSnapshot, SnapshotError
 
 __all__ = [
     "ScanChainSpec", "RamChain", "build_scan_chain_spec",
     "insert_scan_chains", "ReplayableSnapshot", "SnapshotError",
+    "ScanChainSpecPass", "InsertScanChainsPass",
 ]

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..hdl.ir import Node, mux, cat, lift
+from ..passes.base import Pass, PassResult
 
 
 @dataclass
@@ -180,3 +181,65 @@ def insert_scan_chains(circuit, scan_width=8):
     circuit.retopo()
     circuit.scan_spec = spec
     return spec
+
+
+class ScanChainSpecPass(Pass):
+    """:func:`build_scan_chain_spec` as a pass (metadata only).
+
+    Attaches the chain layout + Trec cost model to the circuit and the
+    pass context without touching the graph — the software-snapshot
+    fast path.  ``scan_width`` is a declared parameter, so pipelines
+    built at different widths fingerprint (and therefore cache)
+    differently.
+    """
+
+    name = "scan-spec"
+    requires = ("elaborated",)
+    produces = ("scan-spec",)
+
+    def __init__(self, scan_width=32):
+        super().__init__(scan_width=scan_width)
+        self.scan_width = scan_width
+
+    def is_satisfied(self, circuit):
+        spec = getattr(circuit, "scan_spec", None)
+        return spec is not None and spec.scan_width == self.scan_width
+
+    def run(self, circuit, ctx):
+        spec = build_scan_chain_spec(circuit, self.scan_width)
+        circuit.scan_spec = spec
+        return PassResult(
+            artifacts={"scan_spec": spec},
+            stats={"reg_bits": spec.reg_bits,
+                   "chain_words": spec.chain_words,
+                   "ram_chains": len(spec.ram_chains)})
+
+
+class InsertScanChainsPass(Pass):
+    """:func:`insert_scan_chains` as a pass (real hardware insertion).
+
+    Adds the shadow registers, capture/shift control, and RAM address
+    generators; the resulting spec lands in the context under
+    ``scan_spec`` exactly like the metadata-only pass, so downstream
+    consumers are agnostic to which variant ran.
+    """
+
+    name = "scan-insert"
+    requires = ("elaborated",)
+    produces = ("scan-spec", "scan-chains")
+
+    def __init__(self, scan_width=8):
+        super().__init__(scan_width=scan_width)
+        self.scan_width = scan_width
+
+    def is_satisfied(self, circuit):
+        return any(node.name == "scan_capture" for node in circuit.inputs)
+
+    def run(self, circuit, ctx):
+        before_regs = len(circuit.regs)
+        spec = insert_scan_chains(circuit, self.scan_width)
+        return PassResult(
+            artifacts={"scan_spec": spec},
+            stats={"reg_bits": spec.reg_bits,
+                   "chain_words": spec.chain_words,
+                   "shadow_regs": len(circuit.regs) - before_regs})

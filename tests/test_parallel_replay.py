@@ -280,14 +280,16 @@ class TestCacheCorruptionFlow:
             self, tmp_path, monkeypatch, mode):
         """A damaged asicflow cache entry must be detected (CRC frame),
         dropped, counted, and transparently rebuilt by the flow."""
-        from repro.core.replay import run_asic_flow
+        from repro.core.replay import run_asic_flow, asic_pipeline
         from repro.parallel import cache_stats, reset_cache_stats
+        from repro.passes import compose_cache_key
         from repro.robust import corrupt_cache_entry
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         circuit = elaborate(_Pipeline())
         cold = run_asic_flow(circuit, use_cache=True)
         assert not cold.cache_hit
-        fingerprint = circuit_fingerprint(circuit)
+        fingerprint = compose_cache_key(circuit_fingerprint(circuit),
+                                        asic_pipeline().fingerprint())
         cache = ArtifactCache(str(tmp_path))
         assert cache.has("asicflow", fingerprint)
 
@@ -324,9 +326,9 @@ class TestWarmFlowCache:
         def boom(*args, **kwargs):
             raise AssertionError("synthesis ran despite a warm cache")
 
-        monkeypatch.setattr("repro.core.flow.synthesize", boom)
-        monkeypatch.setattr("repro.core.flow.place", boom)
-        monkeypatch.setattr("repro.core.flow.match_netlist", boom)
+        monkeypatch.setattr("repro.gatelevel.synthesis.synthesize", boom)
+        monkeypatch.setattr("repro.gatelevel.placement.place", boom)
+        monkeypatch.setattr("repro.gatelevel.formal.match_netlist", boom)
         warm = run_strober("rocket_mini", "vvadd",
                            workload_kwargs={"n": 16},
                            sample_size=4, replay_length=32,
