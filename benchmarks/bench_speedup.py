@@ -129,3 +129,96 @@ def test_speedup_hierarchy(benchmark, workers):
     # by >=2x; single/dual-core hosts only check for no regression
     if (os.cpu_count() or 1) >= 4 and workers >= 4:
         assert replay_speedup >= 2.0
+
+
+def test_batched_replay_speedup(workers, batch_lanes):
+    """Bit-parallel lane batching vs the scalar replay paths.
+
+    Measures snapshot replay throughput in four modes — serial scalar,
+    single-process batched, scalar worker pool, and batched x pool —
+    verifies all four are bit-identical, and writes
+    ``results/BENCH_replay_batch.json``.  ``--batch-lanes`` narrows the
+    lane width for quick smoke runs (CI uses 16).
+    """
+    lanes = max(2, min(batch_lanes, 64))
+    n_workers = max(2, min(workers, 4))
+    # two full-width batches' worth of snapshots, so the combined mode
+    # has several batches per worker and task overhead amortizes
+    n_snaps = max(2 * n_workers, 2 * lanes)
+    circuit, _ = get_circuits("rocket_mini")
+    sample = run_workload(circuit, MICROBENCHMARKS["towers"](n=7),
+                          max_cycles=2_000_000, mem_latency=20,
+                          backend="auto", sample_size=n_snaps,
+                          replay_length=32, seed=7)
+    assert sample.passed
+    snaps = sample.snapshots
+    engine = get_replay_engine("rocket_mini")
+    # lanes per batch in the combined mode, so the pool has one batch
+    # per worker rather than a single 64-lane batch on one worker
+    combo_lanes = max(1, lanes // n_workers)
+
+    def timed(**kwargs):
+        t0 = time.perf_counter()
+        results = engine.replay_all(snaps, **kwargs)
+        return results, time.perf_counter() - t0
+
+    serial, t_serial = timed(workers=1)
+    batched, t_batched = timed(workers=1, batch_lanes=lanes)
+    halved, t_halved = timed(workers=1, batch_lanes=combo_lanes)
+    pooled, t_pool = timed(workers=n_workers)
+    combo, t_combo = timed(workers=n_workers, batch_lanes=combo_lanes)
+    for other in (batched, halved, pooled, combo):
+        assert [r.power.total_w for r in other] == \
+            [r.power.total_w for r in serial]
+
+    rate = len(snaps) / max(t_serial, 1e-9)
+    batched_speedup = t_serial / max(t_batched, 1e-9)
+    halved_speedup = t_serial / max(t_halved, 1e-9)
+    pool_speedup = t_serial / max(t_pool, 1e-9)
+    combo_speedup = t_serial / max(t_combo, 1e-9)
+    # how close combined is to perfectly multiplicative composition
+    compose_ratio = combo_speedup / max(halved_speedup * pool_speedup,
+                                        1e-9)
+
+    rows = [
+        [f"serial scalar ({len(snaps)} snapshots)",
+         f"{t_serial:.2f} s", "1.00x"],
+        [f"batched, {lanes} lanes", f"{t_batched:.2f} s",
+         f"{batched_speedup:.2f}x"],
+        [f"batched, {combo_lanes} lanes", f"{t_halved:.2f} s",
+         f"{halved_speedup:.2f}x"],
+        [f"pool, workers={n_workers}", f"{t_pool:.2f} s",
+         f"{pool_speedup:.2f}x"],
+        [f"batched x pool ({combo_lanes} lanes, {n_workers} workers)",
+         f"{t_combo:.2f} s", f"{combo_speedup:.2f}x"],
+        ["composition (combo / batched*pool)", "",
+         f"{compose_ratio:.2f}"],
+    ]
+    emit("replay_batch", fmt_table(["mode", "wall", "speedup"], rows))
+    save_json("BENCH_replay_batch", {
+        "snapshots": len(snaps),
+        "replay_length": 32,
+        "lanes": lanes,
+        "combo_lanes": combo_lanes,
+        "workers": n_workers,
+        "serial_s": t_serial,
+        "batched_s": t_batched,
+        "batched_half_s": t_halved,
+        "pool_s": t_pool,
+        "combo_s": t_combo,
+        "serial_snapshots_per_s": rate,
+        "batched_speedup": batched_speedup,
+        "batched_half_speedup": halved_speedup,
+        "pool_speedup": pool_speedup,
+        "combo_speedup": combo_speedup,
+        "compose_ratio": compose_ratio,
+        "cpu_count": os.cpu_count(),
+    })
+
+    # acceptance: full-width batching must beat serial by >=4x, and on
+    # a host with real parallelism the pool must compose on top of the
+    # lanes (within 30% of perfectly multiplicative)
+    assert batched_speedup > 1.0
+    if lanes >= 32:
+        assert batched_speedup >= 4.0
+        assert compose_ratio >= 0.7

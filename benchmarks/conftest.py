@@ -3,7 +3,9 @@
 ``--workers N`` controls the replay worker-pool size for the
 replay-heavy benches (Fig. 8, Table IV, speedup); it defaults to
 ``os.cpu_count()`` so benches exercise the parallel path wherever the
-host has cores to offer.
+host has cores to offer.  ``--batch-lanes N`` sets the bit-lane width
+the batched-replay bench measures (default: the full 64 lanes; CI
+smoke runs pass a smaller width to stay quick).
 """
 
 import os
@@ -15,9 +17,17 @@ def pytest_addoption(parser):
     parser.addoption(
         "--workers", type=int, default=None,
         help="replay worker processes (default: os.cpu_count())")
+    parser.addoption(
+        "--batch-lanes", type=int, default=64,
+        help="bit lanes for the batched-replay bench (default: 64)")
 
 
 @pytest.fixture
 def workers(request):
     value = request.config.getoption("--workers")
     return value if value is not None else (os.cpu_count() or 1)
+
+
+@pytest.fixture
+def batch_lanes(request):
+    return request.config.getoption("--batch-lanes")

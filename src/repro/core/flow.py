@@ -141,7 +141,8 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 max_cycles=2_000_000, backend="auto", seed=0,
                 confidence=0.99, workload_kwargs=None, strict_replay=True,
                 record_full_io=False, workers=1, journal=None,
-                replay_timeout=None, replay_retries=2, debug=False):
+                replay_timeout=None, replay_retries=2, batch_lanes=1,
+                debug=False):
     """The headline API: energy-evaluate ``workload`` on ``design``.
 
     ``workload`` is a benchmark name from :data:`ALL_PROGRAMS` or a
@@ -152,6 +153,11 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
     attempts before the in-process fallback) and the resulting
     :class:`~repro.robust.ReplayHealthReport` lands on the returned
     run's ``health`` field.
+
+    ``batch_lanes`` packs up to that many snapshots (``None`` = 64)
+    into the bit lanes of one batched gate-level replay, multiplying —
+    not replacing — the worker-process parallelism.  Results are
+    bit-identical to serial scalar replay for any setting.
 
     Every circuit transform runs through the pass pipeline
     (:mod:`repro.passes`): the FAME1 decoupling on the simulator
@@ -169,6 +175,7 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
     replays — instead of restarting from scratch.
     """
     t0 = time.perf_counter()
+    batch_lanes = 64 if batch_lanes is None else int(batch_lanes)
     config = get_config(design)
     sim_circuit, _target = get_circuits(design)
     if workload in ALL_PROGRAMS:
@@ -193,6 +200,7 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
             "seed": seed,
             "strict_replay": bool(strict_replay),
             "workload_kwargs": workload_kwargs or {},
+            "batch_lanes": batch_lanes,
             # pipeline fingerprints: a journal written under different
             # transform pipelines must not be resumed
             "pipelines": {"sim": _sim_pipeline().fingerprint(),
@@ -268,7 +276,7 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
         new_results = engine.replay_all(
             [s for _, s in pending], strict=strict_replay, workers=workers,
             on_result=on_result, timeout=replay_timeout,
-            max_retries=replay_retries)
+            max_retries=replay_retries, batch_lanes=batch_lanes)
         for (i, _), replay_result in zip(pending, new_results):
             done[i] = replay_result
         replays = [done[i] for i in range(len(snapshots))]
@@ -305,6 +313,7 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 "replay_seconds": replay_seconds,
                 "energy_seconds": energy_seconds,
                 "workers": workers,
+                "batch_lanes": batch_lanes,
                 "flow_cache_hit": engine.flow.cache_hit,
                 "resumed_sim": resume is not None,
                 "resumed_replays": len(resume.results) if resume else 0,

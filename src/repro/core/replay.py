@@ -15,9 +15,13 @@ import time
 import warnings
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..gatelevel import (
-    verify_equivalence, GateLevelSimulator, analyze_power,
-    default_grouping, SynthesisPass, PlacementPass, FormalMatchPass,
+    verify_equivalence, GateLevelSimulator, BatchedGateLevelSimulator,
+    build_schedule, pack_lane_words, MAX_LANES, SCHEDULE_VERSION,
+    analyze_power, default_grouping, SynthesisPass, PlacementPass,
+    FormalMatchPass,
 )
 from ..passes import PassManager, compose_cache_key
 from ..fame.transform import HOST_ENABLE
@@ -61,6 +65,61 @@ class AsicFlow:
     # PipelineReport of the pass pipeline that built this artifact
     # (None on artifacts cached by older versions).
     pipeline_report: object = None
+
+
+def load_levelized_schedule(flow):
+    """The levelized gate-evaluation schedule for a flow's netlist.
+
+    Levelization costs tens of milliseconds per simulator construction
+    and its output is pure structure, so it is persisted in the on-disk
+    artifact cache next to the :class:`AsicFlow` (keyed by the flow
+    fingerprint + schedule version).  Replay worker processes hit the
+    cache instead of re-levelizing at start-up; the time a hit saves is
+    credited to ``cache_stats()['sched_seconds_saved']``.  Flows without
+    a fingerprint (cache disabled or never cached) just build it live.
+    """
+    from ..parallel.cache import (
+        get_cache, cache_enabled, note_schedule_reuse)
+
+    if flow.fingerprint and cache_enabled():
+        key = f"{flow.fingerprint}-sched{SCHEDULE_VERSION}"
+        cache = get_cache()
+        schedule = cache.get("glsched", key)
+        if (schedule is not None
+                and getattr(schedule, "version", None) == SCHEDULE_VERSION):
+            note_schedule_reuse(schedule.build_seconds)
+            return schedule
+        schedule = build_schedule(flow.netlist)
+        cache.put("glsched", key, schedule)
+        return schedule
+    return build_schedule(flow.netlist)
+
+
+def make_replay_batches(snapshots, lanes):
+    """Pack snapshot indices into bit-lane batches of at most ``lanes``.
+
+    Batches hold *consecutive* indices so results and journal callbacks
+    keep snapshot order; a new batch starts whenever the lane limit is
+    reached or the trace length changes (every lane of a batch must
+    step the same number of cycles).  ``N % lanes != 0`` simply leaves
+    a ragged final batch.
+    """
+    if not 1 <= lanes <= MAX_LANES:
+        raise ValueError(f"lanes must be in 1..{MAX_LANES}, got {lanes}")
+    batches = []
+    current = []
+    current_len = None
+    for i, snapshot in enumerate(snapshots):
+        n_cycles = len(snapshot.input_trace)
+        if current and (len(current) >= lanes
+                        or n_cycles != current_len):
+            batches.append(current)
+            current = []
+        current.append(i)
+        current_len = n_cycles
+    if current:
+        batches.append(current)
+    return batches
 
 
 def replay_port_names(circuit):
@@ -161,7 +220,12 @@ class ReplayEngine:
         self.flow = flow or run_asic_flow(circuit, verify=verify_equiv)
         self.grouping = grouping
         self.freq_hz = freq_hz
-        self.gl = GateLevelSimulator(self.flow.netlist)
+        # One levelized schedule (cached on disk next to the flow)
+        # shared by the scalar simulator and every batched simulator.
+        self._schedule = load_levelized_schedule(self.flow)
+        self.gl = GateLevelSimulator(self.flow.netlist,
+                                     schedule=self._schedule)
+        self._batched = {}           # lanes -> BatchedGateLevelSimulator
         if port_names is None:
             if circuit is not None:
                 port_names = replay_port_names(circuit)
@@ -236,9 +300,142 @@ class ReplayEngine:
             wall_seconds=time.perf_counter() - t0,
         )
 
+    def _get_batched(self, lanes):
+        if lanes not in self._batched:
+            self._batched[lanes] = BatchedGateLevelSimulator(
+                self.flow.netlist, lanes=lanes, schedule=self._schedule)
+        return self._batched[lanes]
+
+    def replay_batch(self, snapshots, strict=True):
+        """Replay up to :data:`MAX_LANES` snapshots bit-parallel.
+
+        All snapshots run in the lanes of one
+        :class:`BatchedGateLevelSimulator`: one netlist evaluation per
+        cycle advances every lane, each lane's outputs are verified
+        against its own I/O trace, and each lane's exact activity feeds
+        its own power analysis.  Results are bit-identical to
+        :meth:`replay`, in snapshot order.  Every snapshot in a batch
+        must share one trace length (see :func:`make_replay_batches`).
+        """
+        snapshots = list(snapshots)
+        n = len(snapshots)
+        if n == 0:
+            return []
+        if n > MAX_LANES:
+            raise ValueError(
+                f"batch of {n} snapshots exceeds {MAX_LANES} lanes")
+        if n == 1:
+            return [self.replay(snapshots[0], strict=strict)]
+        for snapshot in snapshots:
+            snapshot.validate()
+        if len({len(s.input_trace) for s in snapshots}) != 1:
+            raise ValueError(
+                "snapshots in one batch must share a trace length")
+        t0 = time.perf_counter()
+        netlist = self.flow.netlist
+        gl = self._get_batched(n)
+        gl.full_reset()
+        # Retimed warm-up, all lanes at once: same block-major,
+        # latency-descending order as the scalar path, with per-lane
+        # history values forced into each lane.
+        for block in self.flow.name_map.retimed:
+            for k in range(block.latency, 0, -1):
+                for _name, _width, label, hist_paths in block.inputs:
+                    gl.force_label_lanes(
+                        label, [s.state.regs[hist_paths[k - 1]]
+                                for s in snapshots])
+                gl.step()
+            gl.release_all()
+        commands = [self.flow.name_map.load_commands(s.state.regs)
+                    for s in snapshots]
+        load_counts = gl.load_dffs_lanes(commands)
+        for lane, snapshot in enumerate(snapshots):
+            for mem_path, contents in snapshot.state.mems.items():
+                gl.load_sram(mem_path, contents, lane=lane)
+        gl.clear_activity()
+
+        # Pre-pack stimulus and expected outputs into lane words: one
+        # masked scatter per port per cycle (lanes whose trace lacks a
+        # port that cycle keep their value, like the scalar poke loop).
+        n_cycles = len(snapshots[0].input_trace)
+        stimulus = []
+        checks = []
+        for t in range(n_cycles):
+            pokes = []
+            for port in self._port_names:
+                mask = 0
+                values = [0] * n
+                for lane, snapshot in enumerate(snapshots):
+                    inputs = snapshot.input_trace[t]
+                    if port in inputs:
+                        mask |= 1 << lane
+                        values[lane] = inputs[port]
+                if mask:
+                    nets = netlist.inputs.get(port)
+                    if nets is None:
+                        raise ReplayError(f"no input port {port!r}")
+                    pokes.append((np.array(nets, dtype=np.int64), mask,
+                                  pack_lane_words(values, len(nets))))
+            stimulus.append(pokes)
+            expected = {}
+            order = []
+            for lane, snapshot in enumerate(snapshots):
+                for name, value in snapshot.output_trace[t].items():
+                    if name not in expected:
+                        expected[name] = [0, [0] * n]
+                        order.append(name)
+                    expected[name][0] |= 1 << lane
+                    expected[name][1][lane] = value
+            cycle_checks = []
+            for name in order:
+                mask, values = expected[name]
+                nets = netlist.outputs.get(name)
+                if nets is None:
+                    raise ReplayError(f"no output port {name!r}")
+                cycle_checks.append(
+                    (name, np.array(nets, dtype=np.int64),
+                     np.uint64(mask), pack_lane_words(values, len(nets))))
+            checks.append(cycle_checks)
+
+        mismatches = [0] * n
+        for t in range(n_cycles):
+            for nets, mask, words in stimulus[t]:
+                gl.poke_packed(nets, mask, words)
+            gl.eval()
+            for name, nets, mask, exp_words in checks[t]:
+                diff = int(np.bitwise_or.reduce(
+                    gl.net_words(nets) ^ exp_words) & mask)
+                while diff:
+                    lane = (diff & -diff).bit_length() - 1
+                    diff &= diff - 1
+                    mismatches[lane] += 1
+                    if strict:
+                        snapshot = snapshots[lane]
+                        raise ReplayError(
+                            f"replay mismatch at snapshot cycle "
+                            f"{snapshot.cycle} (batch lane {lane}): "
+                            f"output {name} = "
+                            f"{gl.peek(name, lane=lane):#x}, trace has "
+                            f"{snapshot.output_trace[t][name]:#x}")
+            gl.step()
+
+        powers = [analyze_power(netlist, gl.activity(lane),
+                                self.flow.placement, freq_hz=self.freq_hz,
+                                grouping=self.grouping)
+                  for lane in range(n)]
+        per_lane_seconds = (time.perf_counter() - t0) / n
+        return [ReplayResult(
+                    snapshot_cycle=snapshot.cycle,
+                    power=powers[lane],
+                    cycles=gl.cycles,
+                    mismatches=mismatches[lane],
+                    load_commands=load_counts[lane],
+                    wall_seconds=per_lane_seconds)
+                for lane, snapshot in enumerate(snapshots)]
+
     def replay_all(self, snapshots, strict=True, workers=1,
                    on_result=None, timeout=None, max_retries=2,
-                   fault_plan=None):
+                   fault_plan=None, batch_lanes=1):
         """Replay every snapshot; optionally across worker processes.
 
         The paper parallelizes this step — each replay is independent,
@@ -259,21 +456,43 @@ class ReplayEngine:
         ``self.last_health``.  ``on_result(index, result)`` fires as
         each replay completes — the hook the crash-safe run journal
         uses to persist progress incrementally.
+
+        ``batch_lanes`` packs that many snapshots into the bit lanes of
+        one batched gate-level evaluation (``None`` = the full 64; 1 =
+        the scalar path).  Batching composes with ``workers``: each
+        worker process replays whole batches, and its per-snapshot
+        deadline scales to a per-batch deadline.  Results stay
+        bit-identical to the serial scalar path either way.
         """
         snapshots = list(snapshots)
         self.last_health = None
+        if batch_lanes is None:
+            batch_lanes = MAX_LANES
+        batch_lanes = int(batch_lanes)
+        if not 1 <= batch_lanes <= MAX_LANES:
+            raise ValueError(
+                f"batch_lanes must be in 1..{MAX_LANES}, got {batch_lanes}")
         if workers is None:
             import os
             workers = os.cpu_count() or 1
         workers = max(1, min(int(workers), len(snapshots) or 1))
 
         def _serial():
-            out = []
-            for i, snap in enumerate(snapshots):
-                result = self.replay(snap, strict=strict)
-                if on_result is not None:
-                    on_result(i, result)
-                out.append(result)
+            out = [None] * len(snapshots)
+            if batch_lanes == 1:
+                for i, snap in enumerate(snapshots):
+                    result = self.replay(snap, strict=strict)
+                    if on_result is not None:
+                        on_result(i, result)
+                    out[i] = result
+                return out
+            for batch in make_replay_batches(snapshots, batch_lanes):
+                batch_results = self.replay_batch(
+                    [snapshots[i] for i in batch], strict=strict)
+                for i, result in zip(batch, batch_results):
+                    if on_result is not None:
+                        on_result(i, result)
+                    out[i] = result
             return out
 
         if workers == 1:
@@ -286,7 +505,8 @@ class ReplayEngine:
                 port_names=self._port_names, grouping=self.grouping,
                 freq_hz=self.freq_hz, strict=strict, timeout=timeout,
                 max_retries=max_retries, fault_plan=fault_plan,
-                on_result=on_result, serial_engine=self)
+                on_result=on_result, serial_engine=self,
+                batch_lanes=batch_lanes)
             self.last_health = health
             if not health.healthy:
                 warnings.warn(health.summary(), RuntimeWarning)

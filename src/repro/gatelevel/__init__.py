@@ -13,7 +13,11 @@ from .synthesis import (
     mangle, SynthesisPass,
 )
 from .placement import place, Placement, ClusterBox, PlacementPass
-from .gl_sim import GateLevelSimulator, GateSimError
+from .gl_sim import (
+    GateLevelSimulator, BatchedGateLevelSimulator, GateSimError,
+    LevelizedSchedule, build_schedule, pack_lane_words, MAX_LANES,
+    SCHEDULE_VERSION,
+)
 from .formal import (
     match_netlist, verify_equivalence, NameMap, MatchPoint, MatchError,
     EquivalenceResult, FormalMatchPass,
@@ -26,7 +30,9 @@ __all__ = [
     "synthesize", "SynthesisError", "SynthesisHints", "DffHint",
     "RetimedHint", "mangle", "SynthesisPass",
     "place", "Placement", "ClusterBox", "PlacementPass",
-    "GateLevelSimulator", "GateSimError",
+    "GateLevelSimulator", "BatchedGateLevelSimulator", "GateSimError",
+    "LevelizedSchedule", "build_schedule", "pack_lane_words",
+    "MAX_LANES", "SCHEDULE_VERSION",
     "match_netlist", "verify_equivalence", "NameMap", "MatchPoint",
     "MatchError", "EquivalenceResult", "FormalMatchPass",
     "analyze_power", "PowerReport", "default_grouping",

@@ -8,9 +8,27 @@ are collected as the simulation runs.
 Supports net *forcing* (the Verilog ``force`` used to warm up retimed
 datapaths during replay, Section IV-C3) and direct DFF state loading via
 the VPI-style bulk loader interface (Section IV-C2).
+
+Two simulators share one levelized schedule (:class:`LevelizedSchedule`,
+picklable so the artifact cache can persist it next to the ASIC flow):
+
+* :class:`GateLevelSimulator` — the scalar simulator: one ``uint8`` value
+  per net, one stimulus at a time.
+* :class:`BatchedGateLevelSimulator` — the bit-parallel simulator: one
+  ``uint64`` word per net with up to :data:`MAX_LANES` independent
+  simulations packed into the bit *lanes*.  Logic cells are lane-oblivious
+  bitwise ops, so one netlist evaluation advances every lane at once —
+  the classic bit-parallel logic-simulation trick, applied here to
+  snapshot replay.  State loads, forces, and SRAM ports are lane-masked;
+  per-net x per-lane toggle counts are kept as bit-sliced vertical
+  counters (one ``uint64`` plane per count bit, ripple-carry updated from
+  the per-cycle XOR diff) so every lane still yields its own exact SAIF.
 """
 
 from __future__ import annotations
+
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,19 +39,181 @@ class GateSimError(Exception):
     pass
 
 
+#: Snapshots per uint64 word in the batched simulator.
+MAX_LANES = 64
+
+#: Bump when LevelizedSchedule's layout changes (cache invalidation).
+SCHEDULE_VERSION = 1
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ONE = np.uint64(1)
+
+
+@dataclass
+class LevelizedSchedule:
+    """Topologically levelized evaluation schedule for one netlist.
+
+    Everything :meth:`build_schedule` derives from a
+    :class:`~repro.gatelevel.netlist.GateNetlist` that is pure structure:
+    level groups with per-cell index arrays, DFF index arrays, read-port
+    address/data arrays, and the name->index tables.  It is picklable as
+    a unit so the on-disk artifact cache can store it next to the
+    ``AsicFlow`` — replay worker processes then skip re-levelizing the
+    netlist at start-up (``build_seconds`` records what a hit saves).
+    Simulators treat every array as read-only, so one schedule is safely
+    shared by any number of simulators in one process.
+    """
+
+    version: int
+    depth: int
+    levels: list          # [(groups, rams)]; groups: (cell,outs,in0,in1,in2)
+    dff_d: np.ndarray     # data-input net per DFF
+    dff_q: np.ndarray     # output net per DFF
+    dff_init: np.ndarray  # reset value bit per DFF
+    dff_index: dict       # DFF name -> index
+    ram_ports: list       # per macro: [(addr_arr, addr_weights, data_arr)]
+    sram_index: dict      # macro name -> index
+    build_seconds: float = 0.0
+
+
+def build_schedule(netlist):
+    """Levelize ``netlist`` into a reusable :class:`LevelizedSchedule`."""
+    t0 = time.perf_counter()
+    level_of = np.zeros(netlist.n_nets, dtype=np.int32)
+
+    producers = []
+    for gate in netlist.gates:
+        producers.append((gate.output, "gate", gate))
+    for macro_idx, macro in enumerate(netlist.srams):
+        for port_idx, (addr, data) in enumerate(macro.read_ports):
+            key = min(data) if data else 0
+            producers.append((key, "ram", (macro_idx, port_idx)))
+    producers.sort(key=lambda item: item[0])
+
+    schedule = {}  # level -> {"gates": {cell: [...]}, "rams": [...]}
+
+    def at_level(level):
+        return schedule.setdefault(level, {"gates": {}, "rams": []})
+
+    for _, kind, payload in producers:
+        if kind == "gate":
+            gate = payload
+            level = 1 + max((level_of[n] for n in gate.inputs),
+                            default=0)
+            level_of[gate.output] = level
+            at_level(level)["gates"].setdefault(gate.cell, []).append(
+                gate)
+        else:
+            macro_idx, port_idx = payload
+            macro = netlist.srams[macro_idx]
+            addr, data = macro.read_ports[port_idx]
+            level = 1 + max((level_of[n] for n in addr), default=0)
+            for n in data:
+                level_of[n] = level
+            at_level(level)["rams"].append((macro_idx, port_idx))
+
+    depth = max(schedule) if schedule else 0
+    levels = []
+    for level in sorted(schedule):
+        entry = schedule[level]
+        groups = []
+        for cell, gates in entry["gates"].items():
+            outs = np.array([g.output for g in gates], dtype=np.int64)
+            in0 = np.array([g.inputs[0] for g in gates], dtype=np.int64)
+            in1 = (np.array([g.inputs[1] for g in gates],
+                            dtype=np.int64)
+                   if cell not in ("INV", "BUF") else None)
+            in2 = (np.array([g.inputs[2] for g in gates],
+                            dtype=np.int64)
+                   if cell == "MUX2" else None)
+            groups.append((cell, outs, in0, in1, in2))
+        levels.append((groups, entry["rams"]))
+
+    n_dff = max(len(netlist.dffs), 1)
+    dff_d = np.zeros(n_dff, dtype=np.int64)
+    dff_q = np.zeros(n_dff, dtype=np.int64)
+    dff_init = np.zeros(n_dff, dtype=np.uint8)
+    dff_index = {}
+    for i, dff in enumerate(netlist.dffs):
+        dff_d[i] = dff.d
+        dff_q[i] = dff.q
+        dff_init[i] = dff.init
+        dff_index[dff.name] = i
+
+    # precompute read-port bit weights for address assembly
+    ram_ports = []
+    for macro in netlist.srams:
+        ports = []
+        for addr, data in macro.read_ports:
+            addr_arr = np.array(addr, dtype=np.int64)
+            addr_w = np.array([1 << i for i in range(len(addr))],
+                              dtype=np.int64)
+            data_arr = np.array(data, dtype=np.int64)
+            ports.append((addr_arr, addr_w, data_arr))
+        ram_ports.append(ports)
+
+    sram_index = {macro.name: i for i, macro in enumerate(netlist.srams)}
+
+    return LevelizedSchedule(
+        version=SCHEDULE_VERSION, depth=depth, levels=levels,
+        dff_d=dff_d, dff_q=dff_q, dff_init=dff_init, dff_index=dff_index,
+        ram_ports=ram_ports, sram_index=sram_index,
+        build_seconds=time.perf_counter() - t0)
+
+
+def _check_schedule(schedule, netlist):
+    if schedule is None:
+        return build_schedule(netlist)
+    if schedule.version != SCHEDULE_VERSION:
+        raise GateSimError(
+            f"levelized schedule version {schedule.version} does not match "
+            f"this simulator (wants {SCHEDULE_VERSION})")
+    return schedule
+
+
+def pack_lane_words(values, nbits):
+    """Pack per-lane integers into per-bit ``uint64`` lane words.
+
+    ``values[lane]`` is an integer whose low ``nbits`` bits matter; the
+    result is an array of ``nbits`` words where bit ``lane`` of word
+    ``i`` equals bit ``i`` of ``values[lane]`` — the transpose between
+    the scalar representation (one value per lane) and the bit-parallel
+    one (one word per net).
+    """
+    lanes = len(values)
+    if nbits <= 64:
+        keep = (1 << nbits) - 1
+        vals = np.array([v & keep for v in values], dtype=np.uint64)
+        bit_ids = np.arange(nbits, dtype=np.uint64)
+        lane_ids = np.arange(lanes, dtype=np.uint64)
+        bits = (vals[:, None] >> bit_ids[None, :]) & _ONE
+        return np.bitwise_or.reduce(bits << lane_ids[:, None], axis=0)
+    words = []
+    for i in range(nbits):
+        word = 0
+        for lane, value in enumerate(values):
+            word |= ((value >> i) & 1) << lane
+        words.append(word)
+    return np.array(words, dtype=np.uint64)
+
+
 class GateLevelSimulator:
     """Simulate a GateNetlist cycle by cycle, counting activity."""
 
-    def __init__(self, netlist):
+    def __init__(self, netlist, schedule=None):
         self.netlist = netlist
+        self.schedule = _check_schedule(schedule, netlist)
         self._values = np.zeros(netlist.n_nets, dtype=np.uint8)
         self._values[CONST1] = 1
         self._prev = self._values.copy()
-        self._levels = []          # list of level descriptors
-        self._dff_d = np.zeros(max(len(netlist.dffs), 1), dtype=np.int64)
-        self._dff_q = np.zeros(max(len(netlist.dffs), 1), dtype=np.int64)
-        self._dff_init = np.zeros(max(len(netlist.dffs), 1), dtype=np.uint8)
-        self._dff_index = {}
+        self.depth = self.schedule.depth
+        self._levels = self.schedule.levels
+        self._dff_d = self.schedule.dff_d
+        self._dff_q = self.schedule.dff_q
+        self._dff_init = self.schedule.dff_init
+        self._dff_index = self.schedule.dff_index
+        self._ram_ports = self.schedule.ram_ports
+        self._sram_index = self.schedule.sram_index
         self._forces = {}          # net -> value
         self._force_nets = None
         self._force_vals = None
@@ -43,80 +223,7 @@ class GateLevelSimulator:
         self.sram_writes = [0] * len(netlist.srams)
         self._sram_data = [[0] * macro.depth for macro in netlist.srams]
         self._sram_last_addr = {}
-        self._build_schedule()
         self.reset()
-
-    # -- construction -----------------------------------------------------
-
-    def _build_schedule(self):
-        netlist = self.netlist
-        level_of = np.zeros(netlist.n_nets, dtype=np.int32)
-
-        producers = []
-        for gate in netlist.gates:
-            producers.append((gate.output, "gate", gate))
-        for macro_idx, macro in enumerate(netlist.srams):
-            for port_idx, (addr, data) in enumerate(macro.read_ports):
-                key = min(data) if data else 0
-                producers.append((key, "ram", (macro_idx, port_idx)))
-        producers.sort(key=lambda item: item[0])
-
-        schedule = {}  # level -> {"gates": {cell: [...]}, "rams": [...]}
-
-        def at_level(level):
-            return schedule.setdefault(level, {"gates": {}, "rams": []})
-
-        for _, kind, payload in producers:
-            if kind == "gate":
-                gate = payload
-                level = 1 + max((level_of[n] for n in gate.inputs),
-                                default=0)
-                level_of[gate.output] = level
-                at_level(level)["gates"].setdefault(gate.cell, []).append(
-                    gate)
-            else:
-                macro_idx, port_idx = payload
-                macro = self.netlist.srams[macro_idx]
-                addr, data = macro.read_ports[port_idx]
-                level = 1 + max((level_of[n] for n in addr), default=0)
-                for n in data:
-                    level_of[n] = level
-                at_level(level)["rams"].append((macro_idx, port_idx))
-
-        self.depth = max(schedule) if schedule else 0
-        self._levels = []
-        for level in sorted(schedule):
-            entry = schedule[level]
-            groups = []
-            for cell, gates in entry["gates"].items():
-                outs = np.array([g.output for g in gates], dtype=np.int64)
-                in0 = np.array([g.inputs[0] for g in gates], dtype=np.int64)
-                in1 = (np.array([g.inputs[1] for g in gates],
-                                dtype=np.int64)
-                       if cell not in ("INV", "BUF") else None)
-                in2 = (np.array([g.inputs[2] for g in gates],
-                                dtype=np.int64)
-                       if cell == "MUX2" else None)
-                groups.append((cell, outs, in0, in1, in2))
-            self._levels.append((groups, entry["rams"]))
-
-        for i, dff in enumerate(self.netlist.dffs):
-            self._dff_d[i] = dff.d
-            self._dff_q[i] = dff.q
-            self._dff_init[i] = dff.init
-            self._dff_index[dff.name] = i
-
-        # precompute read-port bit weights for address assembly
-        self._ram_ports = []
-        for macro_idx, macro in enumerate(self.netlist.srams):
-            ports = []
-            for addr, data in macro.read_ports:
-                addr_arr = np.array(addr, dtype=np.int64)
-                addr_w = np.array([1 << i for i in range(len(addr))],
-                                  dtype=np.int64)
-                data_arr = np.array(data, dtype=np.int64)
-                ports.append((addr_arr, addr_w, data_arr))
-            self._ram_ports.append(ports)
 
     # -- state ---------------------------------------------------------------
 
@@ -168,19 +275,18 @@ class GateLevelSimulator:
         return len(values)
 
     def load_sram(self, name, contents):
-        for idx, macro in enumerate(self.netlist.srams):
-            if macro.name == name:
-                if len(contents) != macro.depth:
-                    raise GateSimError(f"SRAM {name} depth mismatch")
-                self._sram_data[idx][:] = contents
-                return
-        raise GateSimError(f"no SRAM named {name!r}")
+        idx = self._sram_index.get(name)
+        if idx is None:
+            raise GateSimError(f"no SRAM named {name!r}")
+        if len(contents) != self.netlist.srams[idx].depth:
+            raise GateSimError(f"SRAM {name} depth mismatch")
+        self._sram_data[idx][:] = contents
 
     def read_sram(self, name, addr):
-        for idx, macro in enumerate(self.netlist.srams):
-            if macro.name == name:
-                return self._sram_data[idx][addr]
-        raise GateSimError(f"no SRAM named {name!r}")
+        idx = self._sram_index.get(name)
+        if idx is None:
+            raise GateSimError(f"no SRAM named {name!r}")
+        return self._sram_data[idx][addr]
 
     # -- forcing ----------------------------------------------------------------
 
@@ -314,4 +420,430 @@ class GateLevelSimulator:
             "toggles": self.toggles.copy(),
             "sram_reads": list(self.sram_reads),
             "sram_writes": list(self.sram_writes),
+        }
+
+
+class BatchedGateLevelSimulator:
+    """Bit-parallel gate-level simulation: one snapshot per bit lane.
+
+    Net values are ``uint64`` words whose bit *lanes* are up to 64
+    independent simulations of the same netlist.  A logic cell is a
+    lane-oblivious bitwise op (``AND2`` is one ``&`` across all lanes),
+    so a single levelized evaluation advances every lane at once —
+    per-gate evaluation overhead is amortized across the whole batch.
+
+    Lane semantics match :class:`GateLevelSimulator` exactly, per lane:
+
+    * DFF loads, input pokes, and net forces are lane-masked read-modify-
+      write operations (``lane=None`` broadcasts to every lane);
+    * SRAM macros hold per-lane contents; read/write ports loop per lane
+      (addresses diverge between lanes) with per-lane access counters and
+      per-(port, lane) read-address memos;
+    * per-net toggle counts are kept per lane as bit-sliced *vertical
+      counters*: plane ``i`` holds bit ``i`` of every lane's count, and
+      each cycle's ``prev ^ cur`` diff word is ripple-carry added into
+      the planes.  :meth:`activity` extracts any lane's exact SAIF.
+    """
+
+    def __init__(self, netlist, lanes=MAX_LANES, schedule=None):
+        if not 1 <= lanes <= MAX_LANES:
+            raise GateSimError(
+                f"lanes must be in 1..{MAX_LANES}, got {lanes}")
+        self.netlist = netlist
+        self.lanes = lanes
+        self.active_mask = (_ALL_ONES if lanes == MAX_LANES
+                            else np.uint64((1 << lanes) - 1))
+        self._lane_ids = np.arange(lanes, dtype=np.uint64)
+        self.schedule = _check_schedule(schedule, netlist)
+        self.depth = self.schedule.depth
+        self._levels = self.schedule.levels
+        self._dff_d = self.schedule.dff_d
+        self._dff_q = self.schedule.dff_q
+        self._dff_index = self.schedule.dff_index
+        self._ram_ports = self.schedule.ram_ports
+        self._sram_index = self.schedule.sram_index
+        n_dff = len(netlist.dffs)
+        self._dff_init_words = np.where(
+            self.schedule.dff_init[:max(n_dff, 1)].astype(bool),
+            _ALL_ONES, np.uint64(0))
+        self._values = np.zeros(netlist.n_nets, dtype=np.uint64)
+        self._values[CONST1] = _ALL_ONES
+        self._prev = self._values.copy()
+        self._forces = {}          # net -> [lane_mask, packed_bits]
+        self._force_nets = None
+        self._force_masks = None
+        self._force_vals = None
+        self.cycles = 0
+        self._toggle_planes = []   # vertical counters, LSB plane first
+        n_srams = len(netlist.srams)
+        self.sram_reads = np.zeros((n_srams, lanes), dtype=np.int64)
+        self.sram_writes = np.zeros((n_srams, lanes), dtype=np.int64)
+        self._sram_data = [[[0] * macro.depth for _ in range(lanes)]
+                           for macro in netlist.srams]
+        self._sram_last_addr = {}  # (macro, port) -> per-lane addr array
+        self.reset()
+
+    def _check_lane(self, lane):
+        if not 0 <= lane < self.lanes:
+            raise GateSimError(
+                f"lane {lane} out of range (simulator has {self.lanes})")
+
+    # -- state ---------------------------------------------------------------
+
+    def reset(self):
+        """Registers to init values in every lane; memories preserved."""
+        n_dff = len(self.netlist.dffs)
+        if n_dff:
+            self._values[self._dff_q[:n_dff]] = self._dff_init_words[:n_dff]
+
+    def full_reset(self):
+        """Every lane back to the canonical just-constructed state
+        (activity counters aside) — see
+        :meth:`GateLevelSimulator.full_reset`."""
+        self._values[:] = 0
+        self._values[CONST1] = _ALL_ONES
+        self._forces.clear()
+        self._rebuild_force_arrays()
+        self._sram_last_addr.clear()
+        for per_lane in self._sram_data:
+            for data in per_lane:
+                data[:] = [0] * len(data)
+        self.reset()
+        np.copyto(self._prev, self._values)
+
+    def clear_activity(self):
+        self._toggle_planes = []
+        self.cycles = 0
+        self.sram_reads[:] = 0
+        self.sram_writes[:] = 0
+        self._prev = self._values.copy()
+
+    def _set_net_bit(self, net, bit, lane):
+        if lane is None:
+            self._values[net] = _ALL_ONES if bit else np.uint64(0)
+        else:
+            self._check_lane(lane)
+            mask = _ONE << np.uint64(lane)
+            if bit:
+                self._values[net] |= mask
+            else:
+                self._values[net] &= ~mask
+
+    def load_dff(self, name, value, lane=None):
+        """Lane-masked direct state load (``lane=None`` = every lane)."""
+        idx = self._dff_index.get(name)
+        if idx is None:
+            raise GateSimError(f"no DFF named {name!r}")
+        self._set_net_bit(self.netlist.dffs[idx].q, value & 1, lane)
+
+    def load_dffs(self, values, lane=None):
+        """Bulk load {name: bit} into one lane (or broadcast)."""
+        for name, value in values.items():
+            self.load_dff(name, value, lane=lane)
+        return len(values)
+
+    def load_dffs_lanes(self, commands_per_lane):
+        """Load one command dict per lane in a single packed scatter.
+
+        Equivalent to ``load_dffs(commands, lane=lane)`` per lane, but
+        the per-net lane masks and value words are accumulated first so
+        the netlist value array is touched once per distinct DFF instead
+        of once per (DFF, lane).  Returns the per-lane command counts.
+        """
+        if len(commands_per_lane) > self.lanes:
+            raise GateSimError(
+                f"{len(commands_per_lane)} command sets for "
+                f"{self.lanes} lanes")
+        masks = {}
+        vals = {}
+        counts = []
+        for lane, commands in enumerate(commands_per_lane):
+            lane_bit = 1 << lane
+            for name, value in commands.items():
+                idx = self._dff_index.get(name)
+                if idx is None:
+                    raise GateSimError(f"no DFF named {name!r}")
+                q = self.netlist.dffs[idx].q
+                masks[q] = masks.get(q, 0) | lane_bit
+                if value & 1:
+                    vals[q] = vals.get(q, 0) | lane_bit
+                else:
+                    vals.setdefault(q, 0)
+            counts.append(len(commands))
+        if masks:
+            nets = np.fromiter(masks.keys(), dtype=np.int64,
+                               count=len(masks))
+            lane_masks = np.fromiter((masks[n] for n in masks),
+                                     dtype=np.uint64, count=len(masks))
+            words = np.fromiter((vals[n] for n in masks),
+                                dtype=np.uint64, count=len(masks))
+            v = self._values
+            v[nets] = (v[nets] & ~lane_masks) | (words & lane_masks)
+        return counts
+
+    def load_sram(self, name, contents, lane=None):
+        idx = self._sram_index.get(name)
+        if idx is None:
+            raise GateSimError(f"no SRAM named {name!r}")
+        if len(contents) != self.netlist.srams[idx].depth:
+            raise GateSimError(f"SRAM {name} depth mismatch")
+        if lane is None:
+            for data in self._sram_data[idx]:
+                data[:] = contents
+        else:
+            self._check_lane(lane)
+            self._sram_data[idx][lane][:] = contents
+
+    def read_sram(self, name, addr, lane=0):
+        idx = self._sram_index.get(name)
+        if idx is None:
+            raise GateSimError(f"no SRAM named {name!r}")
+        self._check_lane(lane)
+        return self._sram_data[idx][lane][addr]
+
+    # -- forcing ----------------------------------------------------------------
+
+    def force_label(self, label, value, lane=None):
+        """Force a preserved net group to ``value`` in one or all lanes."""
+        if lane is None:
+            lane_mask = int(self.active_mask)
+            packed = [value] * self.lanes
+        else:
+            self._check_lane(lane)
+            lane_mask = 1 << lane
+            packed = [0] * self.lanes
+            packed[lane] = value
+        self._force_packed(label, lane_mask, packed)
+
+    def force_label_lanes(self, label, values):
+        """Force a preserved net group to a per-lane list of values."""
+        if len(values) != self.lanes:
+            raise GateSimError(
+                f"{len(values)} force values for {self.lanes} lanes")
+        self._force_packed(label, int(self.active_mask), values)
+
+    def _force_packed(self, label, lane_mask, values):
+        nets = self.netlist.preserved_nets.get(label)
+        if nets is None:
+            raise GateSimError(f"no preserved nets labelled {label!r}")
+        words = pack_lane_words(values, len(nets))
+        for i, net in enumerate(nets):
+            prior = self._forces.get(net, [0, 0])
+            keep = prior[0] & ~lane_mask
+            self._forces[net] = [
+                prior[0] | lane_mask,
+                (prior[1] & keep) | (int(words[i]) & lane_mask)]
+        self._rebuild_force_arrays()
+
+    def release_all(self):
+        self._forces.clear()
+        self._rebuild_force_arrays()
+
+    def _rebuild_force_arrays(self):
+        if self._forces:
+            self._force_nets = np.array(list(self._forces), dtype=np.int64)
+            self._force_masks = np.array(
+                [self._forces[n][0] for n in self._forces], dtype=np.uint64)
+            self._force_vals = np.array(
+                [self._forces[n][1] for n in self._forces], dtype=np.uint64)
+        else:
+            self._force_nets = None
+            self._force_masks = None
+            self._force_vals = None
+
+    def _apply_forces(self, v):
+        v[self._force_nets] = ((v[self._force_nets] & ~self._force_masks)
+                               | self._force_vals)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def poke(self, port, value, lane=None):
+        nets = self.netlist.inputs.get(port)
+        if nets is None:
+            raise GateSimError(f"no input port {port!r}")
+        if lane is None:
+            for i, net in enumerate(nets):
+                self._values[net] = (_ALL_ONES if (value >> i) & 1
+                                     else np.uint64(0))
+        else:
+            for i, net in enumerate(nets):
+                self._set_net_bit(net, (value >> i) & 1, lane)
+
+    def poke_lanes(self, port, values):
+        """Poke a per-lane list of values into ``port`` at once."""
+        nets = self.netlist.inputs.get(port)
+        if nets is None:
+            raise GateSimError(f"no input port {port!r}")
+        if len(values) != self.lanes:
+            raise GateSimError(
+                f"{len(values)} poke values for {self.lanes} lanes")
+        self._values[np.array(nets, dtype=np.int64)] = \
+            pack_lane_words(values, len(nets))
+
+    def poke_packed(self, nets, lane_mask, words):
+        """Masked bulk stimulus: lanes in ``lane_mask`` take ``words``.
+
+        ``nets`` is an int64 index array, ``words`` the matching packed
+        lane words (see :func:`pack_lane_words`); lanes outside the mask
+        keep their current values.  This is the replay fast path — one
+        masked scatter per port per cycle.
+        """
+        mask = np.uint64(lane_mask)
+        v = self._values
+        v[nets] = (v[nets] & ~mask) | (words & mask)
+
+    def net_words(self, nets):
+        """Raw packed lane words for an index array of nets."""
+        return self._values[nets]
+
+    def peek(self, port, lane=0):
+        nets = self.netlist.outputs.get(port)
+        if nets is None:
+            raise GateSimError(f"no output port {port!r}")
+        self._check_lane(lane)
+        value = 0
+        for i, net in enumerate(nets):
+            value |= ((int(self._values[net]) >> lane) & 1) << i
+        return value
+
+    def peek_all(self, lane=0):
+        return {name: self.peek(name, lane=lane)
+                for name in self.netlist.outputs}
+
+    def peek_net(self, net, lane=0):
+        self._check_lane(lane)
+        return (int(self._values[net]) >> lane) & 1
+
+    def eval(self):
+        """Settle combinational logic in every lane at once."""
+        v = self._values
+        if self._force_nets is not None:
+            self._apply_forces(v)
+        for groups, rams in self._levels:
+            for cell, outs, in0, in1, in2 in groups:
+                if cell == "INV":
+                    v[outs] = v[in0] ^ _ALL_ONES
+                elif cell == "BUF":
+                    v[outs] = v[in0]
+                elif cell == "AND2":
+                    v[outs] = v[in0] & v[in1]
+                elif cell == "OR2":
+                    v[outs] = v[in0] | v[in1]
+                elif cell == "XOR2":
+                    v[outs] = v[in0] ^ v[in1]
+                elif cell == "XNOR2":
+                    v[outs] = (v[in0] ^ v[in1]) ^ _ALL_ONES
+                elif cell == "NAND2":
+                    v[outs] = (v[in0] & v[in1]) ^ _ALL_ONES
+                elif cell == "NOR2":
+                    v[outs] = (v[in0] | v[in1]) ^ _ALL_ONES
+                elif cell == "MUX2":
+                    sel = v[in0]
+                    v[outs] = (sel & v[in1]) | (~sel & v[in2])
+                else:
+                    raise GateSimError(f"unknown cell {cell}")
+            for macro_idx, port_idx in rams:
+                self._eval_read_port(macro_idx, port_idx)
+            if self._force_nets is not None:
+                self._apply_forces(v)
+
+    def _eval_read_port(self, macro_idx, port_idx):
+        """Async read port: addresses diverge, so resolve per lane."""
+        addr_arr, addr_w, data_arr = self._ram_ports[macro_idx][port_idx]
+        v = self._values
+        macro = self.netlist.srams[macro_idx]
+        addr_words = v[addr_arr]
+        bits = ((addr_words[:, None] >> self._lane_ids[None, :])
+                & _ONE).astype(np.int64)
+        addrs = addr_w @ bits          # per-lane integer addresses
+        store = self._sram_data[macro_idx]
+        lane_words = [store[lane][addr] if addr < macro.depth else 0
+                      for lane, addr in enumerate(addrs.tolist())]
+        v[data_arr] = pack_lane_words(lane_words, len(data_arr))
+        key = (macro_idx, port_idx)
+        last = self._sram_last_addr.get(key)
+        if last is None:
+            self.sram_reads[macro_idx] += 1
+            self._sram_last_addr[key] = addrs
+        else:
+            changed = addrs != last
+            if changed.any():
+                self.sram_reads[macro_idx] += changed
+                self._sram_last_addr[key] = addrs
+
+    def step(self, n=1):
+        """Advance n clock cycles in every lane (eval, count, commit)."""
+        for _ in range(n):
+            self.eval()
+            diff = (self._values ^ self._prev) & self.active_mask
+            self._count_toggles(diff)
+            np.copyto(self._prev, self._values)
+            self._commit()
+            self.cycles += 1
+
+    def _count_toggles(self, diff):
+        # Ripple-carry add of the 1-bit diff word into the vertical
+        # counter planes; a surviving carry grows the counter width.
+        carry = diff
+        for plane in self._toggle_planes:
+            if not carry.any():
+                return
+            new_carry = plane & carry
+            plane ^= carry
+            carry = new_carry
+        if carry.any():
+            self._toggle_planes.append(carry.copy())
+
+    def _commit(self):
+        # SRAM writes sample their nets before DFF outputs change (the
+        # same pre-commit ordering as the scalar simulator), looping
+        # only over lanes whose enable bit is set.
+        v = self._values
+        active = int(self.active_mask)
+        for macro_idx, macro in enumerate(self.netlist.srams):
+            store = self._sram_data[macro_idx]
+            for en, addr_nets, data_nets in macro.write_ports:
+                en_word = int(v[en]) & active
+                if not en_word:
+                    continue
+                addr_words = [int(v[net]) for net in addr_nets]
+                data_words = [int(v[net]) for net in data_nets]
+                remaining = en_word
+                while remaining:
+                    lane = (remaining & -remaining).bit_length() - 1
+                    remaining &= remaining - 1
+                    addr = 0
+                    for i, word in enumerate(addr_words):
+                        addr |= ((word >> lane) & 1) << i
+                    if addr >= macro.depth:
+                        continue
+                    value = 0
+                    for i, word in enumerate(data_words):
+                        value |= ((word >> lane) & 1) << i
+                    store[lane][addr] = value
+                    self.sram_writes[macro_idx, lane] += 1
+        n_dff = len(self.netlist.dffs)
+        if n_dff:
+            v[self._dff_q[:n_dff]] = v[self._dff_d[:n_dff]]
+
+    # -- activity export -------------------------------------------------------------
+
+    def lane_toggles(self, lane):
+        """Exact per-net toggle counts for one lane."""
+        self._check_lane(lane)
+        out = np.zeros(self.netlist.n_nets, dtype=np.int64)
+        shift = np.uint64(lane)
+        for i, plane in enumerate(self._toggle_planes):
+            out += ((plane >> shift) & _ONE).astype(np.int64) << i
+        return out
+
+    def activity(self, lane):
+        """SAIF-style activity summary for one lane (same schema as
+        :meth:`GateLevelSimulator.activity`)."""
+        self._check_lane(lane)
+        return {
+            "cycles": self.cycles,
+            "toggles": self.lane_toggles(lane),
+            "sram_reads": [int(x) for x in self.sram_reads[:, lane]],
+            "sram_writes": [int(x) for x in self.sram_writes[:, lane]],
         }

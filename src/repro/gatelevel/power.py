@@ -9,6 +9,14 @@ per-module-group power:
 * clock tree power: every DFF clock pin toggles twice per cycle;
 * SRAM power: per-access read/write energy from the macro model;
 * leakage: per-cell and per-macro static power.
+
+The activity-independent part of the model (per-net capacitance, each
+net's attribution group, per-cell leakage) is built once per (netlist,
+placement, tech, grouping) and cached on the netlist, so analyzing an
+activity window costs a few vectorized array ops instead of a python
+loop over every net — batched replay calls this once per lane.  The
+vectorized path accumulates with ``np.add.at`` (unbuffered, in element
+order), so results are bit-identical to the original sequential loops.
 """
 
 from __future__ import annotations
@@ -51,6 +59,112 @@ def default_grouping(origin):
     return origin.split(".")[0]
 
 
+class _PowerModel:
+    """Activity-independent arrays for one (netlist, placement, tech,
+    grouping) combination.
+
+    Group accumulation uses integer *slots*; ``io_slot`` (driverless
+    nets, primary inputs) is last and only surfaces in ``by_group``
+    when a driverless net actually switched — matching the lazy
+    first-touch behaviour of the original dict accumulation.
+    """
+
+    def __init__(self, netlist, placement, tech, grouping):
+        # pin the keyed objects so their id()s stay valid while cached
+        self.placement = placement
+        self.tech = tech
+        self.grouping = grouping
+
+        n_nets = netlist.n_nets
+        net_cap = np.zeros(n_nets)
+        if placement is not None and placement.net_wire_cap_ff is not None:
+            net_cap += placement.net_wire_cap_ff
+
+        group_slot = {}
+
+        def slot(group):
+            if group not in group_slot:
+                group_slot[group] = len(group_slot)
+            return group_slot[group]
+
+        driver_slot = np.full(n_nets, -1, dtype=np.int64)
+        gate_slots = np.zeros(max(len(netlist.gates), 1), dtype=np.int64)
+        for i, gate in enumerate(netlist.gates):
+            spec = CELLS[gate.cell]
+            net_cap[gate.output] += spec.output_cap_ff
+            for net in gate.inputs:
+                net_cap[net] += spec.input_cap_ff
+            gate_slots[i] = driver_slot[gate.output] = slot(
+                grouping(gate.origin))
+        dff_spec = CELLS["DFF"]
+        dff_slots = np.zeros(max(len(netlist.dffs), 1), dtype=np.int64)
+        for i, dff in enumerate(netlist.dffs):
+            net_cap[dff.q] += dff_spec.output_cap_ff
+            net_cap[dff.d] += dff_spec.input_cap_ff
+            dff_slots[i] = driver_slot[dff.q] = slot(grouping(dff.origin))
+        self.sram_slots = [slot(grouping(macro.origin))
+                           for macro in netlist.srams]
+        self.sram_specs = [SramSpec(macro.depth, macro.width)
+                           for macro in netlist.srams]
+
+        self.io_slot = len(group_slot)          # always the last slot
+        self.group_names = list(group_slot)
+        self.net_cap = net_cap
+        self.switch_slot = np.where(driver_slot >= 0, driver_slot,
+                                    self.io_slot)
+        self.dff_slots = dff_slots[:len(netlist.dffs)]
+        self.n_dffs = len(netlist.dffs)
+
+        # Leakage is time-invariant: per-element values in the original
+        # accumulation order (gates, DFFs, macros).  The scalar total is
+        # a fixed sequential sum, so fold it once here.
+        leak_slots = []
+        leak_w = []
+        for i, gate in enumerate(netlist.gates):
+            leak_slots.append(gate_slots[i])
+            leak_w.append(CELLS[gate.cell].leakage_nw * 1e-9)
+        for i in range(len(netlist.dffs)):
+            leak_slots.append(dff_slots[i])
+            leak_w.append(dff_spec.leakage_nw * 1e-9)
+        for i, macro in enumerate(netlist.srams):
+            leak_slots.append(self.sram_slots[i])
+            leak_w.append(self.sram_specs[i].leakage_nw * 1e-9)
+        self.leak_slots = np.array(leak_slots, dtype=np.int64)
+        self.leak_w = np.array(leak_w)
+        total = 0.0
+        for w in leak_w:
+            total += w
+        self.leakage_w = total
+
+
+def _power_model(netlist, placement, tech, grouping):
+    cache = getattr(netlist, "_power_model_cache", None)
+    if cache is None:
+        # plain instance attribute: GateNetlist's explicit __getstate__
+        # keeps it out of pickles, so cached flows stay lean
+        cache = netlist._power_model_cache = {}
+    key = (id(placement), id(tech), grouping)
+    model = cache.get(key)
+    if (model is None or model.placement is not placement
+            or model.tech is not tech):
+        model = cache[key] = _PowerModel(netlist, placement, tech,
+                                         grouping)
+    return model
+
+
+def _ordered_sum(values):
+    """Sequential left-to-right float sum (what a python loop does).
+
+    ``np.add.at`` is documented unbuffered — each element is applied in
+    order — unlike ``np.sum``'s pairwise reduction, which rounds
+    differently.  Bit-identity with the pre-vectorization power
+    analysis depends on this.
+    """
+    buf = np.zeros(1)
+    np.add.at(buf, np.zeros(len(values), dtype=np.intp), values)
+    return float(buf[0])
+
+
 def analyze_power(netlist, activity, placement=None, tech=TECH_45NM,
                   freq_hz=None, grouping=default_grouping):
     """Compute a :class:`PowerReport` for one activity window."""
@@ -62,71 +176,43 @@ def analyze_power(netlist, activity, placement=None, tech=TECH_45NM,
     seconds = cycles / freq_hz
     vdd2 = tech.vdd * tech.vdd
 
-    # Per-net capacitance: driver output + sink input pins + wire.
-    net_cap = np.zeros(netlist.n_nets)
-    if placement is not None and placement.net_wire_cap_ff is not None:
-        net_cap += placement.net_wire_cap_ff
-    driver_group = [None] * netlist.n_nets
-
-    for gate in netlist.gates:
-        spec = CELLS[gate.cell]
-        net_cap[gate.output] += spec.output_cap_ff
-        for net in gate.inputs:
-            net_cap[net] += spec.input_cap_ff
-        driver_group[gate.output] = grouping(gate.origin)
-    dff_spec = CELLS["DFF"]
-    for dff in netlist.dffs:
-        net_cap[dff.q] += dff_spec.output_cap_ff
-        net_cap[dff.d] += dff_spec.input_cap_ff
-        driver_group[dff.q] = grouping(dff.origin)
+    model = _power_model(netlist, placement, tech, grouping)
+    acc = np.zeros(model.io_slot + 1)
 
     # Switching energy, attributed to each net's driver.
-    energy_fj = toggles * net_cap * 0.5 * vdd2
-    by_group = {}
-
-    def add(group, femtojoules):
-        watts = femtojoules * 1e-15 / seconds
-        by_group[group] = by_group.get(group, 0.0) + watts
-        return watts
-
-    switching_w = 0.0
+    energy_fj = toggles * model.net_cap * 0.5 * vdd2
     nonzero = np.nonzero(energy_fj)[0]
-    for net in nonzero:
-        group = driver_group[net] or "(io)"
-        switching_w += add(group, float(energy_fj[net]))
+    watts = energy_fj[nonzero] * 1e-15 / seconds
+    slots = model.switch_slot[nonzero]
+    np.add.at(acc, slots, watts)
+    switching_w = _ordered_sum(watts)
+    io_touched = bool((slots == model.io_slot).any())
 
     # Clock tree: two transitions per cycle into every DFF clock pin.
-    clock_w = 0.0
     clk_cap = tech.clock_pin_cap_ff * tech.clock_wire_factor
     clk_energy_per_ff_fj = 2 * 0.5 * clk_cap * vdd2 * cycles
-    for dff in netlist.dffs:
-        clock_w += add(grouping(dff.origin), clk_energy_per_ff_fj)
+    clk_watts = np.full(model.n_dffs, clk_energy_per_ff_fj * 1e-15
+                        / seconds)
+    np.add.at(acc, model.dff_slots, clk_watts)
+    clock_w = _ordered_sum(clk_watts)
 
-    # SRAM access energy.
+    # SRAM access energy (a handful of macros: plain loop).
     sram_dynamic_w = 0.0
-    for idx, macro in enumerate(netlist.srams):
-        spec = SramSpec(macro.depth, macro.width)
+    for idx, spec in enumerate(model.sram_specs):
         fj = (activity["sram_reads"][idx] * spec.read_energy_fj
               + activity["sram_writes"][idx] * spec.write_energy_fj)
-        sram_dynamic_w += add(grouping(macro.origin), fj)
+        w = fj * 1e-15 / seconds
+        acc[model.sram_slots[idx]] += w
+        sram_dynamic_w += w
 
-    # Leakage (time-invariant).
-    leakage_w = 0.0
-    for gate in netlist.gates:
-        nw = CELLS[gate.cell].leakage_nw
-        group = grouping(gate.origin)
-        by_group[group] = by_group.get(group, 0.0) + nw * 1e-9
-        leakage_w += nw * 1e-9
-    for dff in netlist.dffs:
-        nw = dff_spec.leakage_nw
-        group = grouping(dff.origin)
-        by_group[group] = by_group.get(group, 0.0) + nw * 1e-9
-        leakage_w += nw * 1e-9
-    for macro in netlist.srams:
-        nw = SramSpec(macro.depth, macro.width).leakage_nw
-        group = grouping(macro.origin)
-        by_group[group] = by_group.get(group, 0.0) + nw * 1e-9
-        leakage_w += nw * 1e-9
+    # Leakage (time-invariant; scalar total prefolded in the model).
+    np.add.at(acc, model.leak_slots, model.leak_w)
+    leakage_w = model.leakage_w
+
+    by_group = {name: float(acc[i])
+                for i, name in enumerate(model.group_names)}
+    if io_touched:
+        by_group["(io)"] = float(acc[model.io_slot])
 
     total = switching_w + clock_w + sram_dynamic_w + leakage_w
     return PowerReport(

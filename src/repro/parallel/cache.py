@@ -56,6 +56,9 @@ STATS = {
     "misses": 0,
     "corrupt_dropped": 0,   # entries that failed the CRC/format check
     "put_skipped": 0,       # best-effort writes that could not land
+    # levelization time skipped by loading a cached gate-evaluation
+    # schedule (kind "glsched") instead of rebuilding it
+    "sched_seconds_saved": 0.0,
 }
 _WARNED = set()
 
@@ -70,6 +73,11 @@ def reset_cache_stats():
     for key in STATS:
         STATS[key] = 0
     _WARNED.clear()
+
+
+def note_schedule_reuse(seconds):
+    """Credit a cached-schedule hit with the levelization time it saved."""
+    STATS["sched_seconds_saved"] += float(seconds)
 
 
 def _count(event, message=None):

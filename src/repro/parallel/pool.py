@@ -69,7 +69,8 @@ def _pick_context(start_method=None):
 def replay_parallel(flow, snapshots, *, workers, port_names,
                     grouping=None, freq_hz=None, strict=True,
                     start_method=None, timeout=None, max_retries=2,
-                    fault_plan=None, on_result=None, health=None):
+                    fault_plan=None, on_result=None, health=None,
+                    batch_lanes=1):
     """Replay ``snapshots`` on ``workers`` processes; order-preserving.
 
     Thin compatibility wrapper over
@@ -80,8 +81,11 @@ def replay_parallel(flow, snapshots, *, workers, port_names,
     (strict-mode ``ReplayError``, ``SnapshotError``) propagate
     unchanged; transient worker failures are retried by the supervisor.
 
-    ``health``, if given, is a list the resulting
-    :class:`~repro.robust.ReplayHealthReport` is appended to.
+    ``batch_lanes`` > 1 makes each worker replay bit-parallel lane
+    batches instead of single snapshots (same results, one netlist
+    evaluation per batch per cycle); ``health``, if given, is a list
+    the resulting :class:`~repro.robust.ReplayHealthReport` is
+    appended to.
     """
     from ..robust.supervisor import replay_supervised
     results, report = replay_supervised(
@@ -89,7 +93,7 @@ def replay_parallel(flow, snapshots, *, workers, port_names,
         grouping=grouping, freq_hz=freq_hz, strict=strict,
         start_method=start_method, timeout=timeout,
         max_retries=max_retries, fault_plan=fault_plan,
-        on_result=on_result)
+        on_result=on_result, batch_lanes=batch_lanes)
     if health is not None:
         health.append(report)
     return results

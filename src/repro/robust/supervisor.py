@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import os
 import pickle
-import queue as queuelib
+import struct
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mpconn
 
 from ..parallel.pool import ParallelReplayError, _pick_context
 
@@ -70,6 +71,7 @@ class ReplayHealthReport:
 
     workers: int = 0
     timeout_seconds: float = 0.0
+    batch_lanes: int = 1
     total_snapshots: int = 0
     completed_parallel: int = 0
     completed_serial: int = 0
@@ -113,7 +115,7 @@ def _shippable(exc):
             f"worker raised unpicklable {type(exc).__name__}: {exc!r}")
 
 
-def _worker_main(payload, task_q, result_q):
+def _worker_main(payload, task_conn, result_conn):
     """Worker process: build the engine once, replay streamed tasks."""
     try:
         from ..core.replay import ReplayEngine
@@ -121,40 +123,155 @@ def _worker_main(payload, task_q, result_q):
         engine = ReplayEngine.from_flow(
             flow, port_names=port_names, grouping=grouping, freq_hz=freq_hz)
     except BaseException as exc:
-        result_q.put((None, "init-error", f"{type(exc).__name__}: {exc}"))
+        result_conn.send((None, "init-error", f"{type(exc).__name__}: {exc}"))
         return
     while True:
-        task = task_q.get()
+        try:
+            task = task_conn.recv()
+        except EOFError:
+            return               # supervisor went away
         if task is None:
             return
-        idx, snapshot, strict, fault = task
+        # A task is one *batch* of snapshots (a single-snapshot list
+        # when batch_lanes == 1; replay_batch degenerates to the
+        # scalar replay for those).
+        tidx, snaps, strict, fault = task
         try:
             if fault is not None:
                 from .faultinject import apply_worker_fault
                 apply_worker_fault(fault)
-            result_q.put((idx, "ok", engine.replay(snapshot, strict=strict)))
+            result_conn.send((tidx, "ok",
+                              engine.replay_batch(snaps, strict=strict)))
         except Exception as exc:
-            result_q.put((idx, "error", _shippable(exc)))
+            result_conn.send((tidx, "error", _shippable(exc)))
 
 
 class _Worker:
-    """Parent-side handle: one process, one task in flight at a time."""
+    """Parent-side handle: one process, one task in flight at a time.
 
-    def __init__(self, ctx, payload, result_q):
-        self.task_q = ctx.Queue()
+    Each worker talks to the supervisor over a *private* pair of pipes
+    rather than a shared ``multiprocessing.Queue``.  A shared queue
+    funnels every worker's results through one cross-process write
+    lock, taken by a background feeder thread — so a worker dying at
+    the wrong instant (timeout kill, OOM kill, injected crash) while
+    its feeder holds the lock leaves the semaphore acquired forever
+    and silently starves every *other* worker's results, which the
+    supervisor can only read as a cascade of spurious timeouts and
+    serial fallbacks.  With one pipe per worker there is exactly one
+    writer and one reader per direction: a dying worker can corrupt
+    nothing but its own channel, which is discarded with it.
+
+    The parent side never blocks (and spawns no threads, which keeps
+    forked respawns safe): task writes are buffered and pumped from
+    the supervisor loop, and result reads parse ``Connection``'s
+    length-prefixed wire framing out of a byte buffer — a worker
+    killed mid-message leaves a partial frame that is simply never
+    completed, not a read the supervisor is stuck in.
+    """
+
+    def __init__(self, ctx, payload):
+        task_r, self._task_w = ctx.Pipe(duplex=False)
+        self._res_r, res_w = ctx.Pipe(duplex=False)
         self.proc = ctx.Process(target=_worker_main,
-                                args=(payload, self.task_q, result_q),
+                                args=(payload, task_r, res_w),
                                 daemon=True)
         self.proc.start()
-        self.task = None          # snapshot index in flight, or None
+        task_r.close()
+        res_w.close()
+        os.set_blocking(self._task_w.fileno(), False)
+        os.set_blocking(self._res_r.fileno(), False)
+        self._outbox = deque()     # framed task bytes awaiting write
+        self._inbox = bytearray()  # raw result bytes awaiting framing
+        self.task = None           # task index in flight, or None
         self.deadline = None
         self.attempt = 0
 
-    def dispatch(self, idx, snapshot, strict, fault, timeout, attempt):
-        self.task = idx
+    # ---- outgoing tasks (non-blocking, parent side) ----
+
+    def _send(self, obj):
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = struct.pack("!i", len(payload)) + payload
+        self._outbox.append(memoryview(frame))
+        self.pump()
+
+    def pump(self):
+        """Flush buffered task bytes; never blocks the supervisor."""
+        while self._outbox:
+            buf = self._outbox[0]
+            try:
+                n = os.write(self._task_w.fileno(), buf)
+            except BlockingIOError:
+                return             # pipe full; retry next loop tick
+            except OSError:
+                # Reader end is gone: the worker died.  Drop the
+                # backlog — crash detection reassigns its task.
+                self._outbox.clear()
+                return
+            if n == len(buf):
+                self._outbox.popleft()
+            else:
+                self._outbox[0] = buf[n:]
+
+    def dispatch(self, tidx, snaps, strict, fault, timeout, attempt):
+        self.task = tidx
         self.attempt = attempt
         self.deadline = time.monotonic() + timeout
-        self.task_q.put((idx, snapshot, strict, fault))
+        self._send((tidx, snaps, strict, fault))
+
+    # ---- incoming results (non-blocking, parent side) ----
+
+    def poll_conn(self):
+        """Connection to select on, or None once closed."""
+        return None if self._res_r.closed else self._res_r
+
+    def drain(self):
+        """Decode every complete result message currently available.
+
+        Non-blocking: a partial frame — worker still writing, or
+        worker killed mid-message — stays buffered, never waited on.
+        Works on a dead worker too (the pipe outlives the process), so
+        a worker that answered and then died is credited, not retried.
+        """
+        if self._res_r.closed:
+            return []
+        fd = self._res_r.fileno()
+        while True:
+            try:
+                chunk = os.read(fd, 1 << 16)
+            except BlockingIOError:
+                break
+            except OSError:
+                break
+            if not chunk:          # EOF: writer end closed
+                break
+            self._inbox += chunk
+        msgs = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                break
+            msgs.append(pickle.loads(frame))
+        return msgs
+
+    def _next_frame(self):
+        """Pop one ``Connection``-framed payload from the inbox."""
+        buf = self._inbox
+        if len(buf) < 4:
+            return None
+        size = int.from_bytes(buf[:4], "big", signed=True)
+        start = 4
+        if size == -1:             # Connection's >2 GiB long form
+            if len(buf) < 12:
+                return None
+            size = int.from_bytes(buf[4:12], "big")
+            start = 12
+        if len(buf) < start + size:
+            return None
+        frame = bytes(buf[start:start + size])
+        del buf[:start + size]
+        return frame
+
+    # ---- lifecycle ----
 
     def clear(self):
         self.task = None
@@ -163,14 +280,14 @@ class _Worker:
     def shutdown(self):
         """Polite stop for an idle, healthy worker."""
         try:
-            self.task_q.put(None)
+            self._send(None)
         except Exception:
             pass
         self.proc.join(timeout=2.0)
         if self.proc.is_alive():
             self.kill()
         else:
-            self._close_queue()
+            self._close_pipes()
 
     def kill(self):
         self.proc.terminate()
@@ -178,21 +295,21 @@ class _Worker:
         if self.proc.is_alive():
             self.proc.kill()
             self.proc.join(timeout=2.0)
-        self._close_queue()
+        self._close_pipes()
 
-    def _close_queue(self):
-        try:
-            self.task_q.cancel_join_thread()
-            self.task_q.close()
-        except Exception:
-            pass
+    def _close_pipes(self):
+        for conn in (self._task_w, self._res_r):
+            try:
+                conn.close()
+            except Exception:
+                pass
 
 
 def replay_supervised(flow, snapshots, *, workers, port_names,
                       grouping=None, freq_hz=None, strict=True,
                       start_method=None, timeout=None, max_retries=2,
                       backoff_base=0.25, fault_plan=None, on_result=None,
-                      serial_engine=None):
+                      serial_engine=None, batch_lanes=1):
     """Replay ``snapshots`` under supervision; order-preserving.
 
     Returns ``(results, ReplayHealthReport)``.  ``on_result(index,
@@ -200,17 +317,26 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
     the snapshot's position in ``snapshots``) — the hook the crash-safe
     run journal uses to persist progress incrementally.
 
+    ``batch_lanes`` > 1 packs snapshots into bit-lane batches (see
+    :func:`repro.core.replay.make_replay_batches`): the unit of
+    dispatch, deadline, retry, and serial fallback becomes the batch,
+    with the per-snapshot ``timeout`` scaled by each batch's size.
+    With the default of 1 every batch is a single snapshot and the
+    semantics are exactly the historical per-snapshot ones.
+
     ``fault_plan`` (a :class:`repro.robust.FaultPlan`) deliberately
     sabotages chosen dispatches; it exists for the fault-injection
     harness and is consumed supervisor-side so a retried snapshot is
-    not re-faulted once the plan is exhausted.
+    not re-faulted once the plan is exhausted.  Faults are matched on
+    the batch's first snapshot.
 
     ``serial_engine`` is the engine used for last-resort in-process
     replays; built lazily from ``flow`` when not supplied.
     """
     snapshots = list(snapshots)
     n = len(snapshots)
-    report = ReplayHealthReport(total_snapshots=n)
+    report = ReplayHealthReport(total_snapshots=n,
+                                batch_lanes=max(1, int(batch_lanes)))
     if n == 0:
         return [], report
     try:
@@ -219,7 +345,13 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
     except Exception as exc:
         raise ParallelReplayError(
             f"replay payload is not picklable: {exc}") from exc
-    workers = max(1, min(int(workers), n))
+    if batch_lanes > 1:
+        from ..core.replay import make_replay_batches
+        batches = make_replay_batches(snapshots, batch_lanes)
+    else:
+        batches = [[i] for i in range(n)]
+    n_tasks = len(batches)
+    workers = max(1, min(int(workers), n_tasks))
     if timeout is None:
         timeout = default_replay_timeout(
             max(s.replay_length for s in snapshots))
@@ -230,13 +362,12 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
     from ..scan.snapshot import SnapshotError
 
     ctx = _pick_context(start_method)
-    result_q = ctx.Queue()
-    pool = [_Worker(ctx, payload, result_q) for _ in range(workers)]
+    pool = [_Worker(ctx, payload) for _ in range(workers)]
     results = [None] * n
-    completed = [False] * n
-    attempts = [0] * n
-    ready = deque(range(n))
-    waiting = []                   # (eligible_monotonic_time, index)
+    completed = [False] * n_tasks
+    attempts = [0] * n_tasks
+    ready = deque(range(n_tasks))
+    waiting = []                   # (eligible_monotonic_time, task index)
     done = 0
 
     def _get_serial_engine():
@@ -248,136 +379,147 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                 freq_hz=freq_hz)
         return serial_engine
 
-    def _complete(idx, result, serial=False):
+    def _complete(tidx, batch_results, serial=False):
         nonlocal done
-        if completed[idx]:
+        if completed[tidx]:
             return
-        completed[idx] = True
-        results[idx] = result
+        completed[tidx] = True
         done += 1
-        if serial:
-            report.completed_serial += 1
-        else:
-            report.completed_parallel += 1
-        if on_result is not None:
-            on_result(idx, result)
+        for idx, result in zip(batches[tidx], batch_results):
+            results[idx] = result
+            if serial:
+                report.completed_serial += 1
+            else:
+                report.completed_parallel += 1
+            if on_result is not None:
+                on_result(idx, result)
 
-    def _retry_or_fallback(idx, kind, detail):
-        """Record the incident, then either reschedule or go serial."""
-        if completed[idx]:
+    def _batch_detail(tidx, detail):
+        size = len(batches[tidx])
+        if size > 1:
+            return f"{detail} (batch of {size} snapshots)"
+        return detail
+
+    def _retry_or_fallback(tidx, kind, detail):
+        """Record the incident, then either reschedule or go serial.
+
+        Incidents are attributed to the batch's first snapshot."""
+        if completed[tidx]:
             return
-        attempts[idx] += 1
-        report.record(kind, idx, snapshots[idx].cycle, attempts[idx], detail)
-        if attempts[idx] > max_retries:
+        first = batches[tidx][0]
+        attempts[tidx] += 1
+        report.record(kind, first, snapshots[first].cycle, attempts[tidx],
+                      _batch_detail(tidx, detail))
+        if attempts[tidx] > max_retries:
             report.serial_fallbacks += 1
-            report.record("serial-fallback", idx, snapshots[idx].cycle,
-                          attempts[idx],
-                          "retries exhausted; replaying in-process")
-            _complete(idx,
-                      _get_serial_engine().replay(snapshots[idx],
-                                                  strict=strict),
+            report.record("serial-fallback", first, snapshots[first].cycle,
+                          attempts[tidx],
+                          _batch_detail(
+                              tidx,
+                              "retries exhausted; replaying in-process"))
+            _complete(tidx,
+                      _get_serial_engine().replay_batch(
+                          [snapshots[i] for i in batches[tidx]],
+                          strict=strict),
                       serial=True)
         else:
             report.retries += 1
-            delay = backoff_base * (2 ** (attempts[idx] - 1))
-            waiting.append((time.monotonic() + delay, idx))
-
-    def _worker_for(idx):
-        for w in pool:
-            if w.task == idx:
-                return w
-        return None
+            delay = backoff_base * (2 ** (attempts[tidx] - 1))
+            waiting.append((time.monotonic() + delay, tidx))
 
     try:
-        while done < n:
+        while done < n_tasks:
             now = time.monotonic()
             if waiting:
                 still = []
-                for eligible, idx in waiting:
+                for eligible, tidx in waiting:
                     if eligible <= now:
-                        ready.append(idx)
+                        ready.append(tidx)
                     else:
-                        still.append((eligible, idx))
+                        still.append((eligible, tidx))
                 waiting[:] = still
 
             for w in pool:
+                w.pump()
                 if w.task is None and ready and w.proc.is_alive():
-                    idx = ready.popleft()
-                    fault = (fault_plan.pick(idx, snapshots[idx])
+                    tidx = ready.popleft()
+                    batch = batches[tidx]
+                    fault = (fault_plan.pick(batch[0],
+                                             snapshots[batch[0]])
                              if fault_plan is not None else None)
-                    w.dispatch(idx, snapshots[idx], strict, fault, timeout,
-                               attempts[idx] + 1)
+                    w.dispatch(tidx, [snapshots[i] for i in batch],
+                               strict, fault, timeout * len(batch),
+                               attempts[tidx] + 1)
 
-            # Drain every available result before health checks, so a
-            # worker that answered and then died is credited, not
-            # retried.
-            got_any = False
-            while True:
-                try:
-                    msg = result_q.get(timeout=0.0 if got_any else _POLL_S)
-                except queuelib.Empty:
-                    break
-                got_any = True
-                idx, status, body = msg
-                if status == "init-error":
-                    raise ParallelReplayError(
-                        f"replay worker failed to initialize: {body}")
-                w = _worker_for(idx)
-                if w is not None:
-                    w.clear()
-                if completed[idx]:
-                    continue
-                if status == "ok":
-                    _complete(idx, body)
-                else:
-                    if isinstance(body, (ReplayError, SnapshotError)):
-                        # Verification failure: deterministic, and the
-                        # whole point — detection, not a fault to heal.
-                        raise body
-                    report.worker_errors += 1
-                    _retry_or_fallback(
-                        idx, "worker-error",
-                        f"{type(body).__name__}: {body}")
+            # Sleep until some worker has bytes for us (or the poll
+            # tick elapses), then drain every complete message from
+            # every worker — dead ones included — before health
+            # checks, so a worker that answered and then died is
+            # credited, not retried.
+            conns = [c for c in (w.poll_conn() for w in pool
+                                 if w.proc.is_alive()) if c is not None]
+            if conns:
+                _mpconn.wait(conns, timeout=_POLL_S)
+            else:
+                time.sleep(_POLL_S)
+            for w in pool:
+                for msg in w.drain():
+                    tidx, status, body = msg
+                    if status == "init-error":
+                        raise ParallelReplayError(
+                            f"replay worker failed to initialize: {body}")
+                    if w.task == tidx:
+                        w.clear()
+                    if completed[tidx]:
+                        continue
+                    if status == "ok":
+                        _complete(tidx, body)
+                    else:
+                        if isinstance(body, (ReplayError, SnapshotError)):
+                            # Verification failure: deterministic, and
+                            # the whole point — detection, not a fault
+                            # to heal.
+                            raise body
+                        report.worker_errors += 1
+                        _retry_or_fallback(
+                            tidx, "worker-error",
+                            f"{type(body).__name__}: {body}")
 
             now = time.monotonic()
             for i, w in enumerate(pool):
                 if w.task is None:
                     if not w.proc.is_alive() and (ready or waiting):
                         # Idle corpse with work outstanding: replace it.
-                        w._close_queue()
-                        pool[i] = _Worker(ctx, payload, result_q)
+                        w._close_pipes()
+                        pool[i] = _Worker(ctx, payload)
                         report.respawns += 1
                     continue
-                idx = w.task
+                tidx = w.task
                 if not w.proc.is_alive():
                     report.crashes += 1
                     exitcode = w.proc.exitcode
                     w.clear()
-                    w._close_queue()
-                    pool[i] = _Worker(ctx, payload, result_q)
+                    w._close_pipes()
+                    pool[i] = _Worker(ctx, payload)
                     report.respawns += 1
                     _retry_or_fallback(
-                        idx, "worker-crash",
+                        tidx, "worker-crash",
                         f"worker died mid-replay (exitcode {exitcode})")
                 elif now > w.deadline:
                     report.timeouts += 1
                     w.clear()
                     w.kill()
-                    pool[i] = _Worker(ctx, payload, result_q)
+                    pool[i] = _Worker(ctx, payload)
                     report.respawns += 1
                     _retry_or_fallback(
-                        idx, "timeout",
-                        f"no result within {timeout:.1f}s; worker killed")
+                        tidx, "timeout",
+                        f"no result within {timeout * len(batches[tidx]):.1f}s;"
+                        f" worker killed")
     finally:
         for w in pool:
             if w.proc.is_alive() and w.task is None:
                 w.shutdown()
             else:
                 w.kill()
-        try:
-            result_q.cancel_join_thread()
-            result_q.close()
-        except Exception:
-            pass
 
     return results, report
