@@ -28,7 +28,7 @@ from repro.targets.soc import run_workload
 from _common import emit, fmt_table, save_json
 
 
-def test_robustness(benchmark, workers):
+def test_robustness(benchmark, workers, trace_dir):
     circuit, _ = get_circuits("rocket_mini")
     sample = run_workload(circuit, MICROBENCHMARKS["towers"](n=7),
                           max_cycles=2_000_000, mem_latency=20,
@@ -68,7 +68,22 @@ def test_robustness(benchmark, workers):
             [r.power.total_w for r in serial]
         return times
 
-    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    if trace_dir is None:
+        times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    else:
+        # --trace-dir DIR: record the supervised runs (worker spans,
+        # supervisor incidents, recovery timeline) as a Chrome trace
+        from repro.obs import Tracer, export_chrome_trace, \
+            get_registry, set_tracer
+        tracer = Tracer(distributed=True)
+        prev = set_tracer(tracer)
+        try:
+            times = benchmark.pedantic(measure, rounds=1, iterations=1)
+        finally:
+            set_tracer(prev)
+        export_chrome_trace(
+            os.path.join(trace_dir, "bench_robustness.json"), tracer,
+            registry=get_registry())
 
     campaign_t0 = time.perf_counter()
     verdicts = run_campaign(engine, snaps, workers=n_workers,

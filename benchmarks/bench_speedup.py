@@ -222,3 +222,96 @@ def test_batched_replay_speedup(workers, batch_lanes):
     if lanes >= 32:
         assert batched_speedup >= 4.0
         assert compose_ratio >= 0.7
+
+
+def test_obs_overhead(batch_lanes, trace_dir):
+    """What the observability layer costs on the batched-replay path.
+
+    Two numbers, written to ``results/BENCH_obs_overhead.json``:
+
+    * *disabled*: the instrumentation's cost when tracing is off (the
+      default) — the no-op tracer's per-span cost times the span sites
+      an enabled run actually hits, as a fraction of the disabled
+      run's wall-clock.  This is the tax every un-traced run pays and
+      it must stay under 2%.
+    * *enabled*: a collecting tracer's wall-clock ratio over the
+      disabled run — the price of asking for a trace.
+
+    ``--trace-dir DIR`` additionally exports the enabled run's trace.
+    """
+    from repro.obs import NullTracer, Tracer, export_chrome_trace, \
+        get_registry, set_tracer
+
+    lanes = max(2, min(batch_lanes, 64))
+    circuit, _ = get_circuits("rocket_mini")
+    sample = run_workload(circuit, MICROBENCHMARKS["towers"](n=7),
+                          max_cycles=2_000_000, mem_latency=20,
+                          backend="auto", sample_size=2 * lanes,
+                          replay_length=32, seed=7)
+    assert sample.passed
+    snaps = sample.snapshots
+    engine = get_replay_engine("rocket_mini")
+
+    def timed(tracer):
+        prev = set_tracer(tracer)
+        try:
+            t0 = time.perf_counter()
+            results = engine.replay_all(snaps, workers=1,
+                                        batch_lanes=lanes)
+            return results, time.perf_counter() - t0
+        finally:
+            set_tracer(prev)
+
+    timed(NullTracer())                       # warm every code path
+    disabled, t_disabled = timed(NullTracer())
+    tracer = Tracer()
+    enabled, t_enabled = timed(tracer)
+    assert [r.power.total_w for r in enabled] == \
+        [r.power.total_w for r in disabled]
+    span_sites = len(tracer.spans) + len(tracer.events)
+
+    # per-call cost of the no-op span (enter + exit on the shared
+    # null instance), measured directly
+    null = NullTracer()
+    reps = 200_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        with null.span("x"):
+            pass
+    noop_per_call = (time.perf_counter() - t0) / reps
+
+    disabled_overhead = noop_per_call * span_sites \
+        / max(t_disabled, 1e-9)
+    enabled_ratio = t_enabled / max(t_disabled, 1e-9)
+
+    if trace_dir is not None:
+        export_chrome_trace(os.path.join(trace_dir, "bench_obs.json"),
+                            tracer, registry=get_registry())
+
+    rows = [
+        [f"batched replay, tracing off ({len(snaps)} snapshots, "
+         f"{lanes} lanes)", f"{t_disabled:.2f} s"],
+        ["batched replay, tracing on", f"{t_enabled:.2f} s"],
+        ["enabled / disabled", f"{enabled_ratio:.3f}x"],
+        ["span sites hit per run", f"{span_sites}"],
+        ["no-op span cost", f"{noop_per_call * 1e9:.0f} ns"],
+        ["disabled-instrumentation overhead",
+         f"{disabled_overhead * 100:.3f}%"],
+    ]
+    emit("obs_overhead", fmt_table(["quantity", "value"], rows))
+    save_json("BENCH_obs_overhead", {
+        "snapshots": len(snaps),
+        "lanes": lanes,
+        "disabled_s": t_disabled,
+        "enabled_s": t_enabled,
+        "enabled_ratio": enabled_ratio,
+        "span_sites": span_sites,
+        "noop_span_ns": noop_per_call * 1e9,
+        "disabled_overhead_fraction": disabled_overhead,
+        "cpu_count": os.cpu_count(),
+    })
+
+    # acceptance: instrumentation left in the hot path must cost the
+    # un-traced run under 2%; a collecting tracer stays cheap too
+    assert disabled_overhead < 0.02
+    assert enabled_ratio < 1.25

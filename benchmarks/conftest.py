@@ -5,7 +5,10 @@ replay-heavy benches (Fig. 8, Table IV, speedup); it defaults to
 ``os.cpu_count()`` so benches exercise the parallel path wherever the
 host has cores to offer.  ``--batch-lanes N`` sets the bit-lane width
 the batched-replay bench measures (default: the full 64 lanes; CI
-smoke runs pass a smaller width to stay quick).
+smoke runs pass a smaller width to stay quick).  ``--trace-dir DIR``
+makes the benches that support it record Chrome-trace JSON files
+(see :mod:`repro.obs`) into ``DIR`` alongside their measurements
+(``--trace`` itself is taken by pytest's debugger hook).
 """
 
 import os
@@ -20,6 +23,10 @@ def pytest_addoption(parser):
     parser.addoption(
         "--batch-lanes", type=int, default=64,
         help="bit lanes for the batched-replay bench (default: 64)")
+    parser.addoption(
+        "--trace-dir", type=str, default=None, metavar="DIR",
+        help="write Chrome-trace JSON files for traced benches "
+             "into DIR (default: tracing off)")
 
 
 @pytest.fixture
@@ -31,3 +38,11 @@ def workers(request):
 @pytest.fixture
 def batch_lanes(request):
     return request.config.getoption("--batch-lanes")
+
+
+@pytest.fixture
+def trace_dir(request):
+    value = request.config.getoption("--trace-dir")
+    if value is not None:
+        os.makedirs(value, exist_ok=True)
+    return value

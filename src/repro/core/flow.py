@@ -18,6 +18,7 @@ returned :class:`StroberRun` so both accelerations are measurable.
 
 from __future__ import annotations
 
+import math
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -25,8 +26,12 @@ from dataclasses import dataclass, field
 from ..targets.soc import run_workload
 from ..isa.programs import ALL_PROGRAMS
 from ..fame.transform import Fame1TransformPass
+from ..obs import (
+    Tracer, set_tracer, get_registry, export_chrome_trace,
+)
 from ..parallel.cache import get_cache
 from ..passes import PassManager
+from ..sampling import estimate_mean
 from .configs import get_config
 from .replay import ReplayEngine, asic_pipeline, build_asic_flow
 from .energy import estimate_energy
@@ -50,6 +55,9 @@ class StroberRun:
     # ReplayHealthReport when the replay stage ran supervised (workers
     # > 1): records every recovery action the supervisor took, or None
     health: object = None
+    # Chrome-trace JSON path when the run was invoked with trace=path
+    # (read it with `python -m repro.obs.report <path>`), else None
+    trace_path: str = None
 
     @property
     def cycles(self):
@@ -137,12 +145,51 @@ def get_replay_engine(design, freq_hz=None, use_cache=True, debug=False):
     return _ENGINE_CACHE[key]
 
 
+class _SamplingTelemetry:
+    """Live confidence telemetry: one sample per completed replay.
+
+    As each snapshot's power lands (serial loop, worker pool, or
+    journal resume), the running mean and its confidence-interval
+    half-width over the replays so far are recomputed with the same
+    estimator the final report uses (eq. 7, finite-population
+    corrected) and emitted as trace counter samples — so the exported
+    trace shows the estimate *converging*, and the report CLI can say
+    how many replays the target error actually needed.
+    """
+
+    def __init__(self, tracer, population, confidence):
+        self.tracer = tracer
+        self.population = population
+        self.confidence = confidence
+        self.totals = []
+
+    def seed(self, results):
+        for result in results:
+            self.totals.append(result.power.total_mw)
+
+    def update(self, result):
+        self.totals.append(result.power.total_mw)
+        n = len(self.totals)
+        registry = get_registry()
+        registry.counter("sampling.replays_completed").inc()
+        if n < 2:
+            return      # one sample has no interval half-width yet
+        est = estimate_mean(self.totals, self.population,
+                            self.confidence)
+        rel_pct = est.relative_error_bound * 100.0
+        self.tracer.counter("sampling.n", n)
+        self.tracer.counter("sampling.mean_mw", est.mean)
+        self.tracer.counter("sampling.rel_error_pct", rel_pct)
+        registry.gauge("sampling.rel_error_pct").set(rel_pct)
+        registry.gauge("sampling.mean_mw").set(est.mean)
+
+
 def run_strober(design, workload, sample_size=30, replay_length=128,
                 max_cycles=2_000_000, backend="auto", seed=0,
                 confidence=0.99, workload_kwargs=None, strict_replay=True,
                 record_full_io=False, workers=1, journal=None,
                 replay_timeout=None, replay_retries=2, batch_lanes=1,
-                debug=False):
+                debug=False, trace=None):
     """The headline API: energy-evaluate ``workload`` on ``design``.
 
     ``workload`` is a benchmark name from :data:`ALL_PROGRAMS` or a
@@ -173,17 +220,68 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
     the same parameters and the same ``journal`` path resumes from the
     last good record — skipping the FAME simulation and all finished
     replays — instead of restarting from scratch.
+
+    ``trace`` names a Chrome-trace JSON output file and turns the
+    observability layer (:mod:`repro.obs`) all the way up: every flow
+    phase, compiler pass, FAME simulation, synthesis/placement step,
+    cache access, gate-level replay batch, and supervisor incident is
+    recorded as a span or event — replay *worker processes included*,
+    whose spans ship back over the supervisor pipes and merge into the
+    one exported timeline (open it in Perfetto, or run ``python -m
+    repro.obs.report <path>``).  Live sampling-error telemetry (the
+    running mean power and confidence half-width after each completed
+    replay) is embedded as counter tracks.  Even without ``trace`` the
+    run is spanned locally — the returned ``timings`` dict is *derived
+    from the trace* — but worker capture and the export only happen
+    when a path is given.
     """
-    t0 = time.perf_counter()
     batch_lanes = 64 if batch_lanes is None else int(batch_lanes)
-    config = get_config(design)
-    sim_circuit, _target = get_circuits(design)
-    if workload in ALL_PROGRAMS:
-        source = ALL_PROGRAMS[workload](**(workload_kwargs or {}))
-        workload_name = workload
-    else:
-        source = workload
-        workload_name = "(custom)"
+    workload_name = workload if workload in ALL_PROGRAMS else "(custom)"
+    tracer = Tracer(distributed=trace is not None)
+    prev_tracer = set_tracer(tracer)
+    try:
+        with tracer.span("strober.run", cat="flow", design=design,
+                         workload=workload_name, batch_lanes=batch_lanes,
+                         workers=-1 if workers is None else workers):
+            run = _run_strober(
+                design, workload, sample_size=sample_size,
+                replay_length=replay_length, max_cycles=max_cycles,
+                backend=backend, seed=seed, confidence=confidence,
+                workload_kwargs=workload_kwargs,
+                strict_replay=strict_replay,
+                record_full_io=record_full_io, workers=workers,
+                journal=journal, replay_timeout=replay_timeout,
+                replay_retries=replay_retries, batch_lanes=batch_lanes,
+                debug=debug, tracer=tracer)
+    finally:
+        set_tracer(prev_tracer)
+        if trace is not None:
+            export_chrome_trace(
+                trace, tracer, registry=get_registry(),
+                meta={"design": design, "workload": workload_name,
+                      "workers": workers, "batch_lanes": batch_lanes,
+                      "sample_size": sample_size,
+                      "replay_length": replay_length})
+    run.trace_path = trace
+    return run
+
+
+def _run_strober(design, workload, *, sample_size, replay_length,
+                 max_cycles, backend, seed, confidence, workload_kwargs,
+                 strict_replay, record_full_io, workers, journal,
+                 replay_timeout, replay_retries, batch_lanes, debug,
+                 tracer):
+    """The traced flow body; ``tracer`` is already installed."""
+    t0 = time.perf_counter()
+    with tracer.span("phase.elaborate", cat="phase", design=design):
+        config = get_config(design)
+        sim_circuit, _target = get_circuits(design)
+        if workload in ALL_PROGRAMS:
+            source = ALL_PROGRAMS[workload](**(workload_kwargs or {}))
+            workload_name = workload
+        else:
+            source = workload
+            workload_name = "(custom)"
 
     journal_file = None
     resume = None
@@ -209,26 +307,29 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
         resume = load_resume(journal, run_key)
 
     try:
-        t_sim = time.perf_counter()
         sim_report = None
-        if resume is not None:
-            from ..robust.journal import JournaledWorkloadResult
-            result = JournaledWorkloadResult(resume.sim, resume.snapshots)
-        else:
-            sim_ctx = _sim_pipeline().run(sim_circuit, debug=debug)
-            sim_report = sim_ctx.report
-            result = run_workload(
-                sim_circuit, source,
-                max_cycles=max_cycles,
-                mem_latency=config.dram_latency,
-                line_words=config.line_words,
-                backend=backend,
-                sample_size=sample_size,
-                replay_length=replay_length,
-                seed=seed,
-                record_full_io=record_full_io,
-            )
-        sim_seconds = time.perf_counter() - t_sim
+        with tracer.span("phase.sim", cat="phase",
+                         resumed=resume is not None) as sim_span:
+            if resume is not None:
+                from ..robust.journal import JournaledWorkloadResult
+                result = JournaledWorkloadResult(resume.sim,
+                                                 resume.snapshots)
+            else:
+                sim_ctx = _sim_pipeline().run(sim_circuit, debug=debug)
+                sim_report = sim_ctx.report
+                result = run_workload(
+                    sim_circuit, source,
+                    max_cycles=max_cycles,
+                    mem_latency=config.dram_latency,
+                    line_words=config.line_words,
+                    backend=backend,
+                    sample_size=sample_size,
+                    replay_length=replay_length,
+                    seed=seed,
+                    record_full_io=record_full_io,
+                )
+            sim_span.set(cycles=result.cycles)
+        sim_seconds = sim_span.dur
         if not result.passed:
             raise RuntimeError(
                 f"workload {workload_name} failed on {design}: "
@@ -240,61 +341,82 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
         if journal is not None:
             from ..robust.journal import (
                 TYPE_META, TYPE_SNAPSHOT, TYPE_SIM, TYPE_RESULT)
-            journal_file = RunJournal(journal).open()
-            if resume is None:
-                journal_file.reset()
-                journal_file.append(TYPE_META, run_key)
-                for i, snapshot in enumerate(snapshots):
-                    if snapshot.checksum is None:
-                        snapshot.seal()
-                    journal_file.append(TYPE_SNAPSHOT,
-                                        {"index": i, "snapshot": snapshot})
-                journal_file.append(TYPE_SIM, {
-                    "cycles": result.cycles,
-                    "instret": result.instret,
-                    "exit_code": result.exit_code,
-                    "dram_counters": result.memory.counters,
-                    "n_snapshots": len(snapshots),
-                })
+            with tracer.span("phase.journal", cat="phase",
+                             resumed=resume is not None):
+                journal_file = RunJournal(journal).open()
+                if resume is None:
+                    journal_file.reset()
+                    journal_file.append(TYPE_META, run_key)
+                    for i, snapshot in enumerate(snapshots):
+                        if snapshot.checksum is None:
+                            snapshot.seal()
+                        journal_file.append(TYPE_SNAPSHOT,
+                                            {"index": i,
+                                             "snapshot": snapshot})
+                    journal_file.append(TYPE_SIM, {
+                        "cycles": result.cycles,
+                        "instret": result.instret,
+                        "exit_code": result.exit_code,
+                        "dram_counters": result.memory.counters,
+                        "n_snapshots": len(snapshots),
+                    })
 
-        t_flow = time.perf_counter()
-        engine = get_replay_engine(design, freq_hz=config.freq_hz,
-                                   debug=debug)
-        flow_seconds = time.perf_counter() - t_flow
+        with tracer.span("phase.flow", cat="phase") as flow_span:
+            engine = get_replay_engine(design, freq_hz=config.freq_hz,
+                                       debug=debug)
+            flow_span.set(cache_hit=engine.flow.cache_hit)
+        flow_seconds = flow_span.dur
 
-        t_replay = time.perf_counter()
-        pending = [(i, s) for i, s in enumerate(snapshots) if i not in done]
-        on_result = None
-        if journal_file is not None:
-            pending_index = [i for i, _ in pending]
+        with tracer.span("phase.replay", cat="phase",
+                         workers=-1 if workers is None else workers,
+                         batch_lanes=batch_lanes) as replay_span:
+            pending = [(i, s) for i, s in enumerate(snapshots)
+                       if i not in done]
+            population = max(
+                int(math.ceil(result.cycles / replay_length)),
+                len(snapshots) or 1)
+            telemetry = _SamplingTelemetry(tracer, population,
+                                           confidence)
+            telemetry.seed(done[i] for i in sorted(done))
+            journal_hook = None
+            if journal_file is not None:
+                pending_index = [i for i, _ in pending]
+
+                def journal_hook(pos, replay_result):
+                    journal_file.append(TYPE_RESULT,
+                                        {"index": pending_index[pos],
+                                         "result": replay_result})
 
             def on_result(pos, replay_result):
-                journal_file.append(TYPE_RESULT,
-                                    {"index": pending_index[pos],
-                                     "result": replay_result})
+                if journal_hook is not None:
+                    journal_hook(pos, replay_result)
+                telemetry.update(replay_result)
 
-        new_results = engine.replay_all(
-            [s for _, s in pending], strict=strict_replay, workers=workers,
-            on_result=on_result, timeout=replay_timeout,
-            max_retries=replay_retries, batch_lanes=batch_lanes)
-        for (i, _), replay_result in zip(pending, new_results):
-            done[i] = replay_result
-        replays = [done[i] for i in range(len(snapshots))]
-        replay_seconds = time.perf_counter() - t_replay
+            new_results = engine.replay_all(
+                [s for _, s in pending], strict=strict_replay,
+                workers=workers, on_result=on_result,
+                timeout=replay_timeout, max_retries=replay_retries,
+                batch_lanes=batch_lanes)
+            for (i, _), replay_result in zip(pending, new_results):
+                done[i] = replay_result
+            replays = [done[i] for i in range(len(snapshots))]
+            replay_span.set(snapshots=len(snapshots),
+                            resumed=len(snapshots) - len(pending))
+        replay_seconds = replay_span.dur
 
-        t_energy = time.perf_counter()
-        energy = estimate_energy(
-            replays,
-            total_cycles=result.cycles,
-            replay_length=replay_length,
-            instructions=result.instret,
-            confidence=confidence,
-            workload=workload_name,
-            design=design,
-            dram_counters=result.memory.counters,
-            freq_hz=config.freq_hz,
-        )
-        energy_seconds = time.perf_counter() - t_energy
+        with tracer.span("phase.energy", cat="phase") as energy_span:
+            energy = estimate_energy(
+                replays,
+                total_cycles=result.cycles,
+                replay_length=replay_length,
+                instructions=result.instret,
+                confidence=confidence,
+                workload=workload_name,
+                design=design,
+                dram_counters=result.memory.counters,
+                freq_hz=config.freq_hz,
+            )
+        energy_seconds = energy_span.dur
     finally:
         if journal_file is not None:
             journal_file.close()
@@ -318,29 +440,33 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 "resumed_sim": resume is not None,
                 "resumed_replays": len(resume.results) if resume else 0,
             },
-            sim_report,
-            getattr(engine.flow, "pipeline_report", None),
+            ("sim_pipeline", sim_report),
+            ("asic_pipeline", getattr(engine.flow, "pipeline_report",
+                                      None)),
         ),
         health=engine.last_health,
     )
 
 
-def _merge_timings(timings, sim_report, asic_report):
-    """Fold the pass-pipeline reports into the run's timing dict.
+def _merge_timings(timings, *reports):
+    """Fold pass-pipeline reports into the run's timing dict.
 
-    ``passes`` is the flat per-pass wall-clock breakdown across both
-    pipelines; the full reports (IR deltas, fingerprints, stats) ride
-    along under ``sim_pipeline`` / ``asic_pipeline``.  A cache-hit ASIC
-    flow carries the report recorded when the artifact was first built.
+    ``reports`` are ``(label, report)`` pairs.  ``passes`` is the flat
+    per-pass wall-clock breakdown across every pipeline; each full
+    report (IR deltas, fingerprints, stats) rides along under its
+    label.  Tolerant by construction: a ``None`` report *anywhere* in
+    the list — a resumed simulation, a cache-hit ASIC flow (which
+    carries no report for this process's run), an old cached artifact
+    without one — contributes an explicit ``None`` under its label and
+    never stops later reports from being merged.
     """
     passes = {}
-    for report in (sim_report, asic_report):
-        if report is not None:
-            for name, seconds in report.per_pass_seconds().items():
-                passes[f"{report.pipeline}/{name}"] = seconds
+    for label, report in reports:
+        if report is None or not hasattr(report, "per_pass_seconds"):
+            timings[label] = None
+            continue
+        for name, seconds in report.per_pass_seconds().items():
+            passes[f"{report.pipeline}/{name}"] = seconds
+        timings[label] = report.as_dict()
     timings["passes"] = passes
-    timings["sim_pipeline"] = (sim_report.as_dict()
-                               if sim_report is not None else None)
-    timings["asic_pipeline"] = (asic_report.as_dict()
-                                if asic_report is not None else None)
     return timings

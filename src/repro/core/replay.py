@@ -25,6 +25,21 @@ from ..gatelevel import (
 )
 from ..passes import PassManager, compose_cache_key
 from ..fame.transform import HOST_ENABLE
+from ..obs import get_tracer, get_registry
+
+# Histogram buckets for how full replay batches run (lanes per batch).
+_LANE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _note_replay(n_lanes, n_cycles, toggles):
+    """Per-batch bookkeeping shared by the scalar and batched paths."""
+    registry = get_registry()
+    registry.counter("replay.batches").inc()
+    registry.counter("replay.snapshots").inc(n_lanes)
+    registry.counter("replay.lane_cycles").inc(n_lanes * n_cycles)
+    registry.counter("replay.toggles").inc(toggles)
+    registry.histogram("replay.lanes_per_batch",
+                       _LANE_BUCKETS).observe(n_lanes)
 
 
 class ReplayError(Exception):
@@ -81,18 +96,23 @@ def load_levelized_schedule(flow):
     from ..parallel.cache import (
         get_cache, cache_enabled, note_schedule_reuse)
 
-    if flow.fingerprint and cache_enabled():
-        key = f"{flow.fingerprint}-sched{SCHEDULE_VERSION}"
-        cache = get_cache()
-        schedule = cache.get("glsched", key)
-        if (schedule is not None
-                and getattr(schedule, "version", None) == SCHEDULE_VERSION):
-            note_schedule_reuse(schedule.build_seconds)
+    with get_tracer().span("asic.schedule", cat="flow") as span:
+        if flow.fingerprint and cache_enabled():
+            key = f"{flow.fingerprint}-sched{SCHEDULE_VERSION}"
+            cache = get_cache()
+            schedule = cache.get("glsched", key)
+            if (schedule is not None
+                    and getattr(schedule, "version", None)
+                    == SCHEDULE_VERSION):
+                note_schedule_reuse(schedule.build_seconds)
+                span.set(cached=True)
+                return schedule
+            schedule = build_schedule(flow.netlist)
+            cache.put("glsched", key, schedule)
+            span.set(cached=False)
             return schedule
-        schedule = build_schedule(flow.netlist)
-        cache.put("glsched", key, schedule)
-        return schedule
-    return build_schedule(flow.netlist)
+        span.set(cached=False)
+        return build_schedule(flow.netlist)
 
 
 def make_replay_batches(snapshots, lanes):
@@ -157,29 +177,32 @@ def build_asic_flow(circuit, manager=None, kind="asicflow",
     from ..hdl.ir import circuit_fingerprint
 
     manager = manager or asic_pipeline(name=kind)
-    t0 = time.perf_counter()
-    key = ""
-    if use_cache and cache_enabled():
-        key = compose_cache_key(circuit_fingerprint(circuit),
-                                manager.fingerprint())
-        flow = get_cache().get(kind, key)
-        if flow is not None:
-            flow.cache_hit = True
-            flow.synthesis_seconds = time.perf_counter() - t0
-            # The pickled report describes the run that built the
-            # artifact, not this one; no passes executed here.
-            flow.pipeline_report = None
-            return flow
-    ctx = manager.run(circuit, debug=debug)
-    flow = AsicFlow(netlist=ctx["netlist"], hints=ctx["hints"],
-                    placement=ctx["placement"],
-                    name_map=ctx["name_map"], fingerprint=key,
-                    port_names=replay_port_names(circuit),
-                    synthesis_seconds=time.perf_counter() - t0,
-                    pipeline_report=ctx.report)
-    if use_cache and cache_enabled():
-        get_cache().put(kind, key, flow)
-    return flow
+    with get_tracer().span("asic.flow", cat="flow", kind=kind) as span:
+        t0 = time.perf_counter()
+        key = ""
+        if use_cache and cache_enabled():
+            key = compose_cache_key(circuit_fingerprint(circuit),
+                                    manager.fingerprint())
+            flow = get_cache().get(kind, key)
+            if flow is not None:
+                flow.cache_hit = True
+                flow.synthesis_seconds = time.perf_counter() - t0
+                # The pickled report describes the run that built the
+                # artifact, not this one; no passes executed here.
+                flow.pipeline_report = None
+                span.set(cache_hit=True)
+                return flow
+        ctx = manager.run(circuit, debug=debug)
+        flow = AsicFlow(netlist=ctx["netlist"], hints=ctx["hints"],
+                        placement=ctx["placement"],
+                        name_map=ctx["name_map"], fingerprint=key,
+                        port_names=replay_port_names(circuit),
+                        synthesis_seconds=time.perf_counter() - t0,
+                        pipeline_report=ctx.report)
+        if use_cache and cache_enabled():
+            get_cache().put(kind, key, flow)
+        span.set(cache_hit=False)
+        return flow
 
 
 def run_asic_flow(circuit, verify=False, verify_cycles=24,
@@ -257,6 +280,14 @@ class ReplayEngine:
 
     def replay(self, snapshot, strict=True):
         """Replay one snapshot; returns a :class:`ReplayResult`."""
+        with get_tracer().span("replay.snapshot", cat="replay",
+                               snapshot_cycle=snapshot.cycle) as span:
+            result = self._replay(snapshot, strict=strict)
+            span.set(cycles=result.cycles,
+                     mismatches=result.mismatches)
+        return result
+
+    def _replay(self, snapshot, strict=True):
         snapshot.validate()
         t0 = time.perf_counter()
         gl = self.gl
@@ -287,10 +318,12 @@ class ReplayEngine:
                             f"{gl.peek(name):#x}, trace has {value:#x}")
             gl.step()
 
-        power = analyze_power(self.flow.netlist, gl.activity(),
+        activity = gl.activity()
+        power = analyze_power(self.flow.netlist, activity,
                               self.flow.placement,
                               freq_hz=self.freq_hz,
                               grouping=self.grouping)
+        _note_replay(1, gl.cycles, int(activity["toggles"].sum()))
         return ReplayResult(
             snapshot_cycle=snapshot.cycle,
             power=power,
@@ -326,6 +359,15 @@ class ReplayEngine:
                 f"batch of {n} snapshots exceeds {MAX_LANES} lanes")
         if n == 1:
             return [self.replay(snapshots[0], strict=strict)]
+        with get_tracer().span("replay.batch", cat="replay",
+                               lanes=n) as span:
+            results = self._replay_batch(snapshots, strict=strict)
+            span.set(cycles=results[0].cycles,
+                     mismatches=sum(r.mismatches for r in results))
+        return results
+
+    def _replay_batch(self, snapshots, strict=True):
+        n = len(snapshots)
         for snapshot in snapshots:
             snapshot.validate()
         if len({len(s.input_trace) for s in snapshots}) != 1:
@@ -419,10 +461,14 @@ class ReplayEngine:
                             f"{snapshot.output_trace[t][name]:#x}")
             gl.step()
 
-        powers = [analyze_power(netlist, gl.activity(lane),
+        activities = [gl.activity(lane) for lane in range(n)]
+        powers = [analyze_power(netlist, act,
                                 self.flow.placement, freq_hz=self.freq_hz,
                                 grouping=self.grouping)
-                  for lane in range(n)]
+                  for act in activities]
+        _note_replay(n, gl.cycles,
+                     int(sum(int(act["toggles"].sum())
+                             for act in activities)))
         per_lane_seconds = (time.perf_counter() - t0) / n
         return [ReplayResult(
                     snapshot_cycle=snapshot.cycle,
@@ -495,26 +541,36 @@ class ReplayEngine:
                     out[i] = result
             return out
 
+        tracer = get_tracer()
         if workers == 1:
-            return _serial()
+            with tracer.span("replay.all", cat="replay", workers=1,
+                             batch_lanes=batch_lanes,
+                             snapshots=len(snapshots)):
+                return _serial()
         from ..parallel import ParallelReplayError
         from ..robust.supervisor import replay_supervised
-        try:
-            results, health = replay_supervised(
-                self.flow, snapshots, workers=workers,
-                port_names=self._port_names, grouping=self.grouping,
-                freq_hz=self.freq_hz, strict=strict, timeout=timeout,
-                max_retries=max_retries, fault_plan=fault_plan,
-                on_result=on_result, serial_engine=self,
-                batch_lanes=batch_lanes)
-            self.last_health = health
-            if not health.healthy:
-                warnings.warn(health.summary(), RuntimeWarning)
-            return results
-        except ParallelReplayError as exc:
-            warnings.warn(f"parallel replay unavailable ({exc}); "
-                          "falling back to serial", RuntimeWarning)
-            return _serial()
+        with tracer.span("replay.all", cat="replay", workers=workers,
+                         batch_lanes=batch_lanes,
+                         snapshots=len(snapshots)) as span:
+            try:
+                results, health = replay_supervised(
+                    self.flow, snapshots, workers=workers,
+                    port_names=self._port_names, grouping=self.grouping,
+                    freq_hz=self.freq_hz, strict=strict, timeout=timeout,
+                    max_retries=max_retries, fault_plan=fault_plan,
+                    on_result=on_result, serial_engine=self,
+                    batch_lanes=batch_lanes)
+                self.last_health = health
+                span.set(healthy=health.healthy,
+                         incidents=len(health.incidents))
+                if not health.healthy:
+                    warnings.warn(health.summary(), RuntimeWarning)
+                return results
+            except ParallelReplayError as exc:
+                span.set(serial_fallback=True)
+                warnings.warn(f"parallel replay unavailable ({exc}); "
+                              "falling back to serial", RuntimeWarning)
+                return _serial()
 
     def replay_full_trace(self, io_trace, from_reset=True, strict=False):
         """Ground-truth run: replay an *entire* execution's I/O trace on

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .netlist import CONST0, CONST1
+from ..obs import get_tracer, get_registry
 
 
 class GateSimError(Exception):
@@ -78,6 +79,15 @@ class LevelizedSchedule:
 
 def build_schedule(netlist):
     """Levelize ``netlist`` into a reusable :class:`LevelizedSchedule`."""
+    with get_tracer().span("glsim.levelize", cat="flow",
+                           nets=netlist.n_nets,
+                           gates=len(netlist.gates)) as span:
+        schedule = _build_schedule(netlist)
+        span.set(depth=schedule.depth)
+    return schedule
+
+
+def _build_schedule(netlist):
     t0 = time.perf_counter()
     level_of = np.zeros(netlist.n_nets, dtype=np.int32)
 
@@ -224,6 +234,7 @@ class GateLevelSimulator:
         self._sram_data = [[0] * macro.depth for macro in netlist.srams]
         self._sram_last_addr = {}
         self.reset()
+        get_registry().counter("glsim.scalar_sims").inc()
 
     # -- state ---------------------------------------------------------------
 
@@ -482,6 +493,9 @@ class BatchedGateLevelSimulator:
                            for macro in netlist.srams]
         self._sram_last_addr = {}  # (macro, port) -> per-lane addr array
         self.reset()
+        get_registry().counter("glsim.batched_sims").inc()
+        get_tracer().instant("glsim.batched_build", cat="flow",
+                             lanes=lanes, nets=netlist.n_nets)
 
     def _check_lane(self, lane):
         if not 0 <= lane < self.lanes:

@@ -1,0 +1,45 @@
+"""repro.obs — unified tracing + metrics for the whole flow.
+
+Zero-dependency observability layer (Strober is about *measurement you
+can trust*; this is the same discipline applied to our own runs):
+
+* :class:`Tracer` / :func:`get_tracer` — nested spans with wall/CPU
+  time, pid/tid, parent links, and attributes; a :class:`NullTracer`
+  no-op mode whose every call is constant-time, so instrumentation in
+  the replay/cache/pass paths costs ~nothing when tracing is off;
+* :class:`MetricsRegistry` / :func:`get_registry` — always-live
+  counters, gauges, and fixed-bucket histograms (the artifact cache's
+  ``cache_stats()`` is a view over this registry);
+* exporters — Chrome trace-event JSON (open in Perfetto or
+  ``chrome://tracing``) and a metrics JSONL dump;
+* ``python -m repro.obs.report <trace>`` — phase-time tree, worker
+  utilization, cache effectiveness, and the live sampling-error
+  telemetry, from one trace file.
+
+End-to-end enablement is one argument: ``run_strober(trace=path)``
+traces every layer — flow phases, each compiler pass, the FAME
+simulation, the ASIC flow, per-batch gate-level replay, cache traffic,
+supervisor incidents — and replay worker processes ship their spans
+back over the supervisor's framed pipes so the exported trace shows
+every pid on one timeline.
+"""
+
+from .trace import (
+    Tracer, NullTracer, SpanRecord, get_tracer, set_tracer,
+    tracing_enabled,
+)
+from .metrics import (
+    MetricsRegistry, Counter, Gauge, Histogram, get_registry,
+)
+from .export import (
+    export_chrome_trace, export_metrics_jsonl, chrome_trace_events,
+    load_trace,
+)
+
+__all__ = [
+    "Tracer", "NullTracer", "SpanRecord", "get_tracer", "set_tracer",
+    "tracing_enabled",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "get_registry",
+    "export_chrome_trace", "export_metrics_jsonl",
+    "chrome_trace_events", "load_trace",
+]

@@ -1,0 +1,117 @@
+"""Trace/metric exporters: Chrome trace-event JSON and metrics JSONL.
+
+The Chrome export uses the object form of the trace-event format —
+``{"traceEvents": [...], ...}`` — which ``chrome://tracing`` and
+Perfetto both load directly.  Spans become complete ("X") events,
+instants become "i", counter samples become "C", and process/thread
+labels ride along as "M" metadata.  Two repro-specific top-level keys
+(ignored by the viewers) make the file self-contained for
+``python -m repro.obs.report``: ``reproMeta`` (run parameters) and
+``reproMetrics`` (the registry snapshot).
+
+Timestamps: the trace-event format wants microseconds.  Spans record
+wall-epoch seconds, so every event is exported relative to the
+earliest timestamp in the trace; ``reproMeta.epoch`` keeps the
+absolute origin.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def _clean(args):
+    """Attribute dicts must survive json.dumps; stringify stragglers."""
+    out = {}
+    for key, value in args.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def chrome_trace_events(tracer, epoch=None):
+    """The tracer's contents as a list of trace-event dicts."""
+    spans = list(tracer.spans)
+    events = list(tracer.events)
+    counters = list(tracer.counters)
+    if epoch is None:
+        stamps = ([s.ts for s in spans] + [e["ts"] for e in events]
+                  + [c["ts"] for c in counters])
+        epoch = min(stamps) if stamps else 0.0
+
+    def us(ts):
+        return (ts - epoch) * 1e6
+
+    out = []
+    seen_procs = {}
+    for span in spans:
+        out.append({"ph": "X", "name": span.name,
+                    "cat": span.cat or "span",
+                    "ts": us(span.ts), "dur": span.dur * 1e6,
+                    "pid": span.pid, "tid": span.tid,
+                    "args": _clean(dict(span.args,
+                                        cpu_ms=span.cpu * 1e3,
+                                        span_id=span.span_id,
+                                        parent_id=span.parent_id))})
+        seen_procs.setdefault(span.pid, span.name)
+    for ev in events:
+        out.append({"ph": "i", "name": ev["name"],
+                    "cat": ev["cat"] or "event", "s": "p",
+                    "ts": us(ev["ts"]), "pid": ev["pid"],
+                    "tid": ev["tid"], "args": _clean(ev["args"])})
+        seen_procs.setdefault(ev["pid"], ev["name"])
+    for sample in counters:
+        out.append({"ph": "C", "name": sample["name"],
+                    "cat": sample["cat"] or "counter",
+                    "ts": us(sample["ts"]), "pid": sample["pid"],
+                    "tid": 0,
+                    "args": {"value": sample["value"]}})
+    # Label processes so Perfetto shows "parent"/"worker" instead of
+    # bare pids; the parent is the pid that recorded the root span
+    # (smallest first-seen ts wins the name "strober").
+    root_pid = min(seen_procs, key=lambda pid: next(
+        (s.ts for s in spans if s.pid == pid), float("inf"))) \
+        if seen_procs else None
+    for pid in seen_procs:
+        label = "strober" if pid == root_pid else f"replay-worker-{pid}"
+        out.append({"ph": "M", "name": "process_name", "pid": pid,
+                    "tid": 0, "args": {"name": label}})
+    return out, epoch
+
+
+def export_chrome_trace(path, tracer, registry=None, meta=None):
+    """Write one self-contained Chrome-trace JSON file; returns path."""
+    events, epoch = chrome_trace_events(tracer)
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "reproMeta": dict(meta or {}, epoch=epoch),
+        "reproMetrics": registry.snapshot() if registry is not None
+        else {},
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    return path
+
+
+def load_trace(path):
+    """Load a trace written by :func:`export_chrome_trace`."""
+    with open(path) as f:
+        doc = json.load(f)
+    if "traceEvents" not in doc:
+        raise ValueError(f"{path} is not a Chrome trace (object form)")
+    return doc
+
+
+def export_metrics_jsonl(path, registry, prefix=""):
+    """One JSON object per line per instrument; returns path."""
+    snapshot = registry.snapshot(prefix)
+    with open(path, "w") as f:
+        for name in sorted(snapshot):
+            f.write(json.dumps(dict(snapshot[name], name=name),
+                               sort_keys=True))
+            f.write("\n")
+    return path

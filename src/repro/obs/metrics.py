@@ -1,0 +1,186 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+Unlike the tracer — which is off unless a run asks for a trace — the
+registry is always live: an increment is one dict lookup and a float
+add, cheap enough for every cache hit and replay batch to count
+unconditionally.  That makes it the single source of truth for
+quantities that used to live in ad-hoc module dicts (the artifact
+cache's ``STATS``) while staying visible to the trace exporter and the
+report CLI.
+
+Worker processes snapshot-and-reset their registry after each task
+(:meth:`MetricsRegistry.drain`) and ship the delta to the supervisor,
+which :meth:`MetricsRegistry.merge`\\ s it into the parent registry —
+counters and histogram buckets add, gauges take the newest value.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    """Monotonic accumulator (floats allowed: seconds saved, bytes…)."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount=1.0):
+        self.value += amount
+        return self
+
+    def as_dict(self):
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins sample of a current level."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = float(value)
+        return self
+
+    def as_dict(self):
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram: ``boundaries`` are bucket upper edges
+    (a final implicit +inf bucket catches the rest)."""
+
+    __slots__ = ("name", "boundaries", "counts", "total", "count")
+    kind = "histogram"
+
+    def __init__(self, name, boundaries):
+        self.name = name
+        self.boundaries = tuple(float(b) for b in boundaries)
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise ValueError("histogram boundaries must be sorted")
+        self.counts = [0] * (len(self.boundaries) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        value = float(value)
+        for i, edge in enumerate(self.boundaries):
+            if value <= edge:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+        return self
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self):
+        return {"kind": self.kind, "boundaries": list(self.boundaries),
+                "counts": list(self.counts), "total": self.total,
+                "count": self.count}
+
+
+class MetricsRegistry:
+    """Name -> instrument map with merge/drain for worker shipping."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments = {}
+
+    def counter(self, name):
+        return self._get(name, Counter, ())
+
+    def gauge(self, name):
+        return self._get(name, Gauge, ())
+
+    def histogram(self, name, boundaries):
+        return self._get(name, Histogram, (boundaries,))
+
+    def _get(self, name, cls, extra):
+        inst = self._instruments.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.get(name)
+                if inst is None:
+                    inst = self._instruments[name] = cls(name, *extra)
+        if not isinstance(inst, cls):
+            raise TypeError(f"metric {name!r} is a {inst.kind}, "
+                            f"not a {cls.kind}")
+        return inst
+
+    def get(self, name):
+        """The instrument registered under ``name``, or None."""
+        return self._instruments.get(name)
+
+    def value(self, name, default=0.0):
+        inst = self._instruments.get(name)
+        if inst is None:
+            return default
+        return inst.mean if isinstance(inst, Histogram) else inst.value
+
+    def snapshot(self, prefix=""):
+        """{name: as_dict()} for every instrument under ``prefix``."""
+        with self._lock:
+            return {name: inst.as_dict()
+                    for name, inst in self._instruments.items()
+                    if name.startswith(prefix)}
+
+    def drain(self):
+        """Snapshot everything and zero the registry (worker flushes)."""
+        with self._lock:
+            payload = {name: inst.as_dict()
+                       for name, inst in self._instruments.items()}
+            self._instruments = {}
+        return payload
+
+    def merge(self, payload):
+        """Fold a :meth:`drain`/:meth:`snapshot` payload in (adds
+        counters and histogram buckets; gauges take the newer value)."""
+        if not payload:
+            return
+        for name, d in payload.items():
+            kind = d.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(d["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(d["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, d["boundaries"])
+                if list(hist.boundaries) != [float(b)
+                                             for b in d["boundaries"]]:
+                    raise ValueError(
+                        f"histogram {name!r} boundary mismatch on merge")
+                for i, c in enumerate(d["counts"]):
+                    hist.counts[i] += c
+                hist.total += d["total"]
+                hist.count += d["count"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+
+    def reset(self, prefix=""):
+        """Drop every instrument whose name starts with ``prefix``."""
+        with self._lock:
+            self._instruments = {
+                name: inst for name, inst in self._instruments.items()
+                if not name.startswith(prefix)}
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry():
+    """The process-wide registry (always live, never a no-op)."""
+    return _REGISTRY

@@ -1,0 +1,240 @@
+"""Human-readable run report from a Chrome-trace JSON file.
+
+``python -m repro.obs.report <trace.json>`` prints, from one
+self-contained trace written by ``run_strober(trace=path)``:
+
+* the phase-time tree (wall-clock per phase, nested spans aggregated
+  by name, percentage of the run) and how much of the run's wall-clock
+  the phases account for;
+* per-worker utilization (busy replaying vs the replay phase's span);
+* artifact-cache effectiveness (hits/misses/corruption/schedule time
+  saved) from the embedded metrics snapshot;
+* the live sampling-error telemetry — the running mean power and
+  confidence-interval half-width recorded as each replay completed —
+  i.e. how fast the estimate converged.
+
+The same machinery is importable (:func:`render_report`) so tests and
+notebooks can render a report without the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import load_trace
+
+
+class _Node:
+    __slots__ = ("name", "count", "dur", "cpu", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.dur = 0.0
+        self.cpu = 0.0
+        self.children = {}
+
+
+def _span_events(doc):
+    return [ev for ev in doc["traceEvents"] if ev.get("ph") == "X"]
+
+
+def build_phase_tree(doc, pid=None):
+    """Aggregate one process's spans into a name-keyed nesting tree.
+
+    Spans are nested by interval containment per (pid, tid) — the
+    exporter guarantees a child's [ts, ts+dur] lies inside its
+    parent's — and siblings with the same name merge into one node
+    with a count, so 30 ``replay.snapshot`` spans read as one line.
+    """
+    spans = _span_events(doc)
+    if pid is None:
+        pid = root_pid(doc)
+    root = _Node("<trace>")
+    by_tid = {}
+    for ev in spans:
+        if ev["pid"] == pid:
+            by_tid.setdefault(ev["tid"], []).append(ev)
+    for events in by_tid.values():
+        events.sort(key=lambda ev: (ev["ts"], -ev["dur"]))
+        stack = [(root, float("-inf"), float("inf"))]
+        for ev in events:
+            end = ev["ts"] + ev["dur"]
+            while stack[-1][2] < end - 1e-3:   # 1 µs slack
+                stack.pop()
+            parent = stack[-1][0]
+            node = parent.children.get(ev["name"])
+            if node is None:
+                node = parent.children[ev["name"]] = _Node(ev["name"])
+            node.count += 1
+            node.dur += ev["dur"]
+            node.cpu += ev["args"].get("cpu_ms", 0.0) * 1e3
+            stack.append((node, ev["ts"], end))
+    return root
+
+
+def root_pid(doc):
+    """The pid that recorded the earliest span (the parent process)."""
+    spans = _span_events(doc)
+    if not spans:
+        raise ValueError("trace has no spans")
+    return min(spans, key=lambda ev: ev["ts"])["pid"]
+
+
+def root_span(doc):
+    """The longest span of the root pid (``strober.run``)."""
+    spans = [ev for ev in _span_events(doc) if ev["pid"] == root_pid(doc)]
+    return max(spans, key=lambda ev: ev["dur"])
+
+
+def phase_coverage(doc):
+    """Fraction of the root span's wall-clock its phase spans cover."""
+    top = root_span(doc)
+    phases = [ev for ev in _span_events(doc)
+              if ev.get("cat") == "phase" and ev["pid"] == top["pid"]]
+    if top["dur"] <= 0:
+        return 0.0
+    return sum(ev["dur"] for ev in phases) / top["dur"]
+
+
+def _render_tree(node, total_us, lines, depth=0, max_depth=6):
+    for child in sorted(node.children.values(), key=lambda n: -n.dur):
+        share = child.dur / total_us * 100 if total_us else 0.0
+        mult = f" x{child.count}" if child.count > 1 else ""
+        lines.append(f"  {'  ' * depth}{child.name:<{40 - 2 * depth}s}"
+                     f"{child.dur / 1e3:10.1f} ms {share:5.1f}%{mult}")
+        if depth + 1 < max_depth:
+            _render_tree(child, total_us, lines, depth + 1, max_depth)
+
+
+def worker_rows(doc):
+    """[(pid, tasks, busy_ms, util_fraction)] for every worker pid."""
+    spans = _span_events(doc)
+    parent = root_pid(doc)
+    replay_phase = [ev for ev in spans if ev["pid"] == parent
+                    and ev["name"] == "phase.replay"]
+    window = sum(ev["dur"] for ev in replay_phase)
+    rows = []
+    for pid in sorted({ev["pid"] for ev in spans} - {parent}):
+        tasks = [ev for ev in spans
+                 if ev["pid"] == pid and ev["name"] == "worker.task"]
+        busy = sum(ev["dur"] for ev in tasks)
+        util = busy / window if window else 0.0
+        rows.append((pid, len(tasks), busy / 1e3, util))
+    return rows
+
+
+def sampling_series(doc):
+    """Paired (n, mean_mw, rel_error_pct) telemetry samples, in order.
+
+    The telemetry emits all three counter tracks together per completed
+    replay (starting at n=2, the first point with a defined interval),
+    so the tracks zip one-to-one.
+    """
+    tracks = {"sampling.n": [], "sampling.mean_mw": [],
+              "sampling.rel_error_pct": []}
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") == "C" and ev["name"] in tracks:
+            tracks[ev["name"]].append(ev["args"]["value"])
+    return [(int(n), mean, err)
+            for n, mean, err in zip(tracks["sampling.n"],
+                                    tracks["sampling.mean_mw"],
+                                    tracks["sampling.rel_error_pct"])]
+
+
+def _metric(doc, name, default=0.0):
+    inst = doc.get("reproMetrics", {}).get(name)
+    return default if inst is None else inst.get("value", default)
+
+
+def render_report(doc):
+    """The full report as one string."""
+    lines = []
+    meta = doc.get("reproMeta", {})
+    top = root_span(doc)
+    run_ms = top["dur"] / 1e3
+    head = " / ".join(str(meta[k]) for k in ("design", "workload")
+                      if k in meta) or top["name"]
+    lines.append(f"== strober run report: {head} ==")
+    parts = [f"wall {run_ms / 1e3:.2f} s"]
+    for key in ("workers", "batch_lanes", "sample_size"):
+        if key in meta:
+            parts.append(f"{key}={meta[key]}")
+    lines.append("   " + "  ".join(parts))
+
+    lines.append("")
+    lines.append(f"-- phase-time tree "
+                 f"({phase_coverage(doc) * 100:.1f}% of wall-clock "
+                 f"accounted by phases) --")
+    tree = build_phase_tree(doc)
+    _render_tree(tree, top["dur"], lines)
+
+    rows = worker_rows(doc)
+    lines.append("")
+    if rows:
+        lines.append("-- worker utilization (replay phase) --")
+        for pid, tasks, busy_ms, util in rows:
+            bar = "#" * int(round(util * 20))
+            lines.append(f"  pid {pid:<8d} {tasks:4d} task(s) "
+                         f"{busy_ms:10.1f} ms busy  "
+                         f"{util * 100:5.1f}% [{bar:<20s}]")
+    else:
+        lines.append("-- worker utilization: serial run "
+                     "(no worker processes) --")
+
+    lines.append("")
+    lines.append("-- artifact cache --")
+    hits = _metric(doc, "cache.hits")
+    misses = _metric(doc, "cache.misses")
+    total = hits + misses
+    rate = hits / total * 100 if total else 0.0
+    lines.append(f"  hits {hits:.0f} / misses {misses:.0f} "
+                 f"({rate:.0f}% hit rate)   corrupt dropped "
+                 f"{_metric(doc, 'cache.corrupt_dropped'):.0f}   "
+                 f"writes skipped "
+                 f"{_metric(doc, 'cache.put_skipped'):.0f}")
+    saved = _metric(doc, "cache.sched_seconds_saved")
+    if saved:
+        lines.append(f"  levelization time saved by cached "
+                     f"schedules: {saved * 1e3:.1f} ms")
+
+    series = sampling_series(doc)
+    lines.append("")
+    if series:
+        lines.append("-- sampling-error telemetry "
+                     "(running estimate as replays completed) --")
+        lines.append(f"  {'n':>4s}  {'mean power':>12s}  "
+                     f"{'rel. error':>10s}")
+        stride = max(1, len(series) // 10)
+        shown = series[::stride]
+        if shown[-1] != series[-1]:
+            shown.append(series[-1])
+        for n, mean, err in shown:
+            lines.append(f"  {n:4d}  {mean:9.2f} mW  {err:9.2f}%")
+        n, mean, err = series[-1]
+        lines.append(f"  final: {mean:.2f} mW with {err:.2f}% relative "
+                     f"error bound over {n} replay(s)")
+    else:
+        lines.append("-- sampling-error telemetry: none recorded --")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a human-readable report from a repro "
+                    "Chrome-trace JSON file.")
+    parser.add_argument("trace", help="trace JSON written by "
+                                      "run_strober(trace=path)")
+    args = parser.parse_args(argv)
+    doc = load_trace(args.trace)
+    try:
+        print(render_report(doc))
+    except BrokenPipeError:      # report | head is a normal use
+        sys.stderr.close()       # suppress the shutdown re-raise
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""Span tracer: nested, cross-process, near-free when disabled.
+
+One :class:`Tracer` collects the run's spans (named intervals with
+category, wall/CPU time, pid/tid, parent links, and free-form
+attributes), instant events (supervisor incidents, cache corruptions),
+and counter samples (the live sampling-error telemetry).  A process
+holds exactly one *current* tracer — :func:`get_tracer` — which
+defaults to the module-level :class:`NullTracer`, whose every
+operation is a constant-time no-op, so instrumentation left in hot
+paths costs a dict lookup and an empty context manager when tracing
+is off.
+
+Cross-process model: replay worker processes install their own tracer
+and ship drained spans back over the supervisor's per-worker framed
+pipes (see :mod:`repro.robust.supervisor`); :meth:`Tracer.ingest`
+merges them into the parent trace.  Spans carry the recording
+process's real pid/tid, and timestamps are wall-epoch seconds
+(``time.time()``), which every process on a host shares — so merged
+spans land on a common timeline without clock negotiation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+
+class SpanRecord:
+    """One closed span.  Plain attributes, picklable, no behavior."""
+
+    __slots__ = ("name", "cat", "ts", "dur", "cpu", "pid", "tid",
+                 "span_id", "parent_id", "args")
+
+    def __init__(self, name, cat, ts, dur, cpu, pid, tid, span_id,
+                 parent_id, args):
+        self.name = name
+        self.cat = cat
+        self.ts = ts            # wall-epoch seconds at span entry
+        self.dur = dur          # wall seconds
+        self.cpu = cpu          # thread CPU seconds
+        self.pid = pid
+        self.tid = tid
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.args = args
+
+    def as_dict(self):
+        return {"name": self.name, "cat": self.cat, "ts": self.ts,
+                "dur": self.dur, "cpu": self.cpu, "pid": self.pid,
+                "tid": self.tid, "span_id": self.span_id,
+                "parent_id": self.parent_id, "args": dict(self.args)}
+
+    def __repr__(self):
+        return (f"SpanRecord({self.name!r}, ts={self.ts:.6f}, "
+                f"dur={self.dur * 1e3:.3f}ms, pid={self.pid})")
+
+
+class _Span:
+    """Context manager for one open span on one thread."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "span_id",
+                 "parent_id", "ts", "_t0", "_c0", "dur", "cpu")
+
+    def __init__(self, tracer, name, cat, args):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.span_id = None
+        self.parent_id = None
+        self.ts = 0.0
+        self.dur = 0.0
+        self.cpu = 0.0
+
+    def set(self, **attrs):
+        """Attach attributes discovered mid-span (cycles, lanes, …)."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self):
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = tracer._next_id()
+        stack.append(self.span_id)
+        self.ts = time.time()
+        self._t0 = time.perf_counter()
+        self._c0 = time.thread_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.dur = time.perf_counter() - self._t0
+        self.cpu = time.thread_time() - self._c0
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        tracer._record(SpanRecord(
+            self.name, self.cat, self.ts, self.dur, self.cpu,
+            os.getpid(), threading.get_ident(), self.span_id,
+            self.parent_id, self.args))
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span; one instance serves every no-op site."""
+
+    __slots__ = ()
+    name = cat = ""
+    ts = dur = cpu = 0.0
+    span_id = parent_id = None
+    args = {}
+
+    def set(self, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every call is constant-time and allocates
+    nothing.  ``enabled`` is False so call sites can skip attribute
+    computation entirely (``if tracer.enabled: …``)."""
+
+    enabled = False
+    distributed = False
+
+    def span(self, name, cat="", **args):
+        return _NULL_SPAN
+
+    def instant(self, name, cat="", **args):
+        pass
+
+    def counter(self, name, value, cat="telemetry"):
+        pass
+
+    def ingest(self, payload):
+        pass
+
+    def drain(self):
+        return None
+
+
+class Tracer(NullTracer):
+    """Collecting tracer.
+
+    ``distributed=True`` marks the trace as wanting worker-side
+    capture: the supervisor checks this flag on the current tracer and
+    tells replay workers to trace themselves and ship spans home.
+    Thread-safe: spans close under a lock; per-thread open-span stacks
+    live in a ``threading.local``.
+    """
+
+    enabled = True
+
+    def __init__(self, distributed=False):
+        self.distributed = bool(distributed)
+        self.spans = []           # closed SpanRecords, completion order
+        self.events = []          # instant events (dicts)
+        self.counters = []        # counter samples (dicts)
+        self.created = time.time()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = iter(range(1, 1 << 62))
+        # pid namespace keeps ingested worker span ids from colliding
+        # with locally issued ones
+        self._pid = os.getpid()
+
+    # -- internals used by _Span ------------------------------------
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self):
+        with self._lock:
+            return f"{self._pid}.{next(self._ids)}"
+
+    def _record(self, record):
+        with self._lock:
+            self.spans.append(record)
+
+    # -- recording API ----------------------------------------------
+
+    def span(self, name, cat="", **args):
+        return _Span(self, name, cat, args)
+
+    def instant(self, name, cat="", **args):
+        """A zero-duration marker (incident, corruption, spawn…)."""
+        with self._lock:
+            self.events.append({"name": name, "cat": cat,
+                                "ts": time.time(), "pid": os.getpid(),
+                                "tid": threading.get_ident(),
+                                "args": args})
+
+    def counter(self, name, value, cat="telemetry"):
+        """One sample of a time-varying quantity (Chrome counter track)."""
+        with self._lock:
+            self.counters.append({"name": name, "cat": cat,
+                                  "ts": time.time(),
+                                  "pid": os.getpid(),
+                                  "value": float(value)})
+
+    # -- cross-process merge ----------------------------------------
+
+    def drain(self):
+        """Detach and return everything recorded so far (picklable).
+
+        Worker processes call this after each task and ship the payload
+        to the supervisor, which feeds it to :meth:`ingest` on the
+        parent tracer.  Open spans are untouched — they land in the
+        next drain once closed.
+        """
+        with self._lock:
+            payload = {"spans": [s.as_dict() for s in self.spans],
+                       "events": self.events,
+                       "counters": self.counters}
+            self.spans = []
+            self.events = []
+            self.counters = []
+        return payload
+
+    def ingest(self, payload):
+        """Merge a :meth:`drain` payload from another process."""
+        if not payload:
+            return
+        with self._lock:
+            for d in payload.get("spans", ()):
+                self.spans.append(SpanRecord(
+                    d["name"], d["cat"], d["ts"], d["dur"], d["cpu"],
+                    d["pid"], d["tid"], d["span_id"], d["parent_id"],
+                    d["args"]))
+            self.events.extend(payload.get("events", ()))
+            self.counters.extend(payload.get("counters", ()))
+
+    # -- queries ----------------------------------------------------
+
+    def find(self, name=None, cat=None):
+        """Closed spans filtered by exact name and/or category."""
+        return [s for s in self.spans
+                if (name is None or s.name == name)
+                and (cat is None or s.cat == cat)]
+
+
+_TRACER = NullTracer()
+
+
+def get_tracer():
+    """The process's current tracer (a :class:`NullTracer` by default)."""
+    return _TRACER
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` as current; returns the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer if tracer is not None else NullTracer()
+    return previous
+
+
+def tracing_enabled():
+    return _TRACER.enabled

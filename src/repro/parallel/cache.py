@@ -47,47 +47,65 @@ _ENV_DISABLE = "REPRO_CACHE_DISABLE"
 _MAGIC = b"RPC1"
 _FRAME = struct.Struct("<4sI")   # magic, crc32(payload)
 
-# Degraded-mode event counters.  The cache is best-effort by design —
+# Degraded-mode event accounting.  The cache is best-effort by design —
 # a broken cache must never break the computation it accelerates — but
-# "best-effort" must not mean "invisible": these counters (and a
-# once-per-class warning) record every swallowed failure.
-STATS = {
-    "hits": 0,
-    "misses": 0,
-    "corrupt_dropped": 0,   # entries that failed the CRC/format check
-    "put_skipped": 0,       # best-effort writes that could not land
+# "best-effort" must not mean "invisible": every event is counted in
+# the shared repro.obs metrics registry (under the ``cache.`` prefix,
+# so corruption counts surface in exported traces and the report CLI),
+# and each degraded event class warns once.  ``cache_stats()`` stays
+# the stable API view over those registry counters.
+_STAT_KEYS = (
+    "hits",
+    "misses",
+    "corrupt_dropped",      # entries that failed the CRC/format check
+    "put_skipped",          # best-effort writes that could not land
     # levelization time skipped by loading a cached gate-evaluation
     # schedule (kind "glsched") instead of rebuilding it
-    "sched_seconds_saved": 0.0,
-}
+    "sched_seconds_saved",
+)
+_PREFIX = "cache."
 _WARNED = set()
 
 
+def _registry():
+    from ..obs import get_registry
+    return get_registry()
+
+
 def cache_stats():
-    """Copy of the module-level degraded-event counters."""
-    return dict(STATS)
+    """{event: count} view over the ``cache.*`` registry counters."""
+    registry = _registry()
+    out = {}
+    for key in _STAT_KEYS:
+        value = registry.value(_PREFIX + key)
+        out[key] = value if key == "sched_seconds_saved" else int(value)
+    return out
 
 
 def reset_cache_stats():
     """Zero the counters and re-arm the once-per-class warnings."""
-    for key in STATS:
-        STATS[key] = 0
+    _registry().reset(_PREFIX)
     _WARNED.clear()
 
 
 def note_schedule_reuse(seconds):
     """Credit a cached-schedule hit with the levelization time it saved."""
-    STATS["sched_seconds_saved"] += float(seconds)
+    _registry().counter(_PREFIX + "sched_seconds_saved").inc(
+        float(seconds))
 
 
 def _count(event, message=None):
-    STATS[event] += 1
-    if message is not None and event not in _WARNED:
-        _WARNED.add(event)
-        warnings.warn(
-            f"{message} (further occurrences counted silently in "
-            f"repro.parallel.cache.cache_stats())", RuntimeWarning,
-            stacklevel=3)
+    _registry().counter(_PREFIX + event).inc()
+    if message is not None:
+        from ..obs import get_tracer
+        get_tracer().instant(_PREFIX + event, cat="cache",
+                             detail=message)
+        if event not in _WARNED:
+            _WARNED.add(event)
+            warnings.warn(
+                f"{message} (further occurrences counted silently in "
+                f"repro.parallel.cache.cache_stats())", RuntimeWarning,
+                stacklevel=3)
 
 
 def _encode(obj):
@@ -131,6 +149,14 @@ class ArtifactCache:
 
     def get(self, kind, key):
         """Load an artifact; returns None on miss or corruption."""
+        from ..obs import get_tracer
+        with get_tracer().span("cache.get", cat="cache",
+                               kind=kind) as span:
+            obj = self._get(kind, key)
+            span.set(hit=obj is not None)
+        return obj
+
+    def _get(self, kind, key):
         path = self._path(kind, key)
         try:
             with open(path, "rb") as f:
@@ -167,6 +193,11 @@ class ArtifactCache:
         failing the computation whose result was being cached — but the
         skip is counted and warned about, not swallowed invisibly.
         """
+        from ..obs import get_tracer
+        with get_tracer().span("cache.put", cat="cache", kind=kind):
+            return self._put(kind, key, obj)
+
+    def _put(self, kind, key, obj):
         path = self._path(kind, key)
         tmp = None
         try:

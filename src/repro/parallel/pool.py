@@ -63,6 +63,10 @@ def _pick_context(start_method=None):
         raise ValueError(
             f"unsupported multiprocessing start method {start_method!r} "
             f"(check ${_ENV_START_METHOD}); available: {', '.join(methods)}")
+    from ..obs import get_tracer
+    get_tracer().instant("pool.start_method", cat="pool",
+                         method=start_method,
+                         threads=threading.active_count())
     return multiprocessing.get_context(start_method)
 
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from .base import Pass, PassContext, PassResult, PassScheduleError
 from .verifier import verify_circuit, VerificationError
+from ..obs import get_tracer
 
 # Bump when the fingerprint composition itself changes format.
 _PIPELINE_FP_VERSION = 1
@@ -181,7 +182,9 @@ class PassManager:
 
     def _verify(self, circuit, report, after):
         t0 = time.perf_counter()
-        issues = verify_circuit(circuit)
+        with get_tracer().span("pass.verify", cat="passes",
+                               pipeline=self.name, after=after):
+            issues = verify_circuit(circuit)
         report.verify_seconds += time.perf_counter() - t0
         report.verified += 1
         if issues:
@@ -206,44 +209,51 @@ class PassManager:
                           debug=debug, report=report)
         check = (self.verify == "always"
                  or (self.verify == "debug" and debug))
+        tracer = get_tracer()
         t_start = time.perf_counter()
-        if check:
-            self._verify(circuit, report, after="<input>")
-        properties = {"elaborated"}
-        for pass_ in self.passes:
-            record = PassRecord(name=pass_.pass_name,
-                                ir_before=_ir_shape(circuit))
-            report.records.append(record)
-            if pass_.is_satisfied(circuit):
-                record.skipped = True
-                record.ir_after = record.ir_before
-                properties.update(pass_.produces)
-                continue
-            missing = [p for p in pass_.requires if p not in properties]
-            if missing:
-                raise PassScheduleError(
-                    f"pass {pass_.pass_name!r} requires IR properties "
-                    f"{missing} not established at this point in "
-                    f"pipeline {self.name!r} (have: {sorted(properties)}); "
-                    "reorder the pipeline or add the producing pass")
-            t0 = time.perf_counter()
-            result = pass_.run(circuit, ctx)
-            record.seconds = time.perf_counter() - t0
-            if result is None:
-                result = PassResult()
-            elif not isinstance(result, PassResult):
-                raise PassScheduleError(
-                    f"pass {pass_.pass_name!r} returned "
-                    f"{type(result).__name__}, not PassResult")
-            ctx.artifacts.update(result.artifacts)
-            record.stats = dict(result.stats)
-            record.ir_after = _ir_shape(circuit)
-            if pass_.preserves == "*":
-                properties.update(pass_.produces)
-            else:
-                properties = (properties & set(pass_.preserves)
-                              | set(pass_.produces) | {"elaborated"})
+        with tracer.span(f"pipeline.{self.name}", cat="passes",
+                         circuit=circuit.name, debug=debug):
             if check:
-                self._verify(circuit, report, after=pass_.pass_name)
+                self._verify(circuit, report, after="<input>")
+            properties = {"elaborated"}
+            for pass_ in self.passes:
+                record = PassRecord(name=pass_.pass_name,
+                                    ir_before=_ir_shape(circuit))
+                report.records.append(record)
+                if pass_.is_satisfied(circuit):
+                    record.skipped = True
+                    record.ir_after = record.ir_before
+                    properties.update(pass_.produces)
+                    continue
+                missing = [p for p in pass_.requires
+                           if p not in properties]
+                if missing:
+                    raise PassScheduleError(
+                        f"pass {pass_.pass_name!r} requires IR "
+                        f"properties {missing} not established at this "
+                        f"point in pipeline {self.name!r} "
+                        f"(have: {sorted(properties)}); "
+                        "reorder the pipeline or add the producing pass")
+                t0 = time.perf_counter()
+                with tracer.span(f"pass.{pass_.pass_name}",
+                                 cat="passes", pipeline=self.name):
+                    result = pass_.run(circuit, ctx)
+                record.seconds = time.perf_counter() - t0
+                if result is None:
+                    result = PassResult()
+                elif not isinstance(result, PassResult):
+                    raise PassScheduleError(
+                        f"pass {pass_.pass_name!r} returned "
+                        f"{type(result).__name__}, not PassResult")
+                ctx.artifacts.update(result.artifacts)
+                record.stats = dict(result.stats)
+                record.ir_after = _ir_shape(circuit)
+                if pass_.preserves == "*":
+                    properties.update(pass_.produces)
+                else:
+                    properties = (properties & set(pass_.preserves)
+                                  | set(pass_.produces) | {"elaborated"})
+                if check:
+                    self._verify(circuit, report, after=pass_.pass_name)
         report.total_seconds = time.perf_counter() - t_start
         return ctx

@@ -82,6 +82,10 @@ class RunJournal:
             raise JournalError(
                 f"journal record of type {rtype} is not picklable: "
                 f"{exc}") from exc
+        from ..obs import get_registry
+        get_registry().counter("journal.records").inc()
+        get_registry().counter("journal.bytes").inc(
+            _HEADER.size + len(payload))
         self._f.write(_HEADER.pack(MAGIC, rtype, len(payload),
                                    zlib.crc32(payload)))
         self._f.write(payload)
@@ -192,6 +196,12 @@ def load_resume(path, expected_meta):
     """
     if not os.path.exists(path) or os.path.getsize(path) == 0:
         return None
+    from ..obs import get_tracer
+    with get_tracer().span("journal.resume", cat="journal", path=path):
+        return _load_resume(path, expected_meta)
+
+
+def _load_resume(path, expected_meta):
     records = read_journal(path)
     if not records:
         return None

@@ -88,6 +88,14 @@ class ReplayHealthReport:
         return not self.incidents
 
     def record(self, kind, index, cycle, attempt, detail=""):
+        # Every recovery action is also a trace event + a metric, so a
+        # run that needed healing is visible in the exported timeline
+        # and the report CLI, not only on this report object.
+        from ..obs import get_tracer, get_registry
+        get_registry().counter(f"supervisor.{kind}").inc()
+        get_tracer().instant(f"supervisor.{kind}", cat="supervisor",
+                             snapshot_index=index, snapshot_cycle=cycle,
+                             attempt=attempt, detail=detail)
         self.incidents.append(
             ReplayIncident(kind=kind, snapshot_index=index,
                            snapshot_cycle=cycle, attempt=attempt,
@@ -116,15 +124,44 @@ def _shippable(exc):
 
 
 def _worker_main(payload, task_conn, result_conn):
-    """Worker process: build the engine once, replay streamed tasks."""
+    """Worker process: build the engine once, replay streamed tasks.
+
+    When the parent's tracer asked for worker capture (the ``trace``
+    flag in the payload), the worker installs its own
+    :class:`~repro.obs.Tracer` and, after every task, ships a drained
+    span/metric payload back as an ``"obs"`` message on the same
+    framed result pipe — the supervisor merges it into the parent
+    trace with this process's real pid.  The worker's metrics registry
+    is reset up front either way: a forked child inherits the parent's
+    counts, which must not be shipped back and double-counted.
+    """
     try:
         from ..core.replay import ReplayEngine
-        flow, port_names, grouping, freq_hz = pickle.loads(payload)
-        engine = ReplayEngine.from_flow(
-            flow, port_names=port_names, grouping=grouping, freq_hz=freq_hz)
+        from ..obs import Tracer, NullTracer, set_tracer, get_registry
+        flow, port_names, grouping, freq_hz, trace = \
+            pickle.loads(payload)
+        get_registry().reset()
+        tracer = Tracer() if trace else NullTracer()
+        set_tracer(tracer)
+        with tracer.span("worker.init", cat="worker"):
+            engine = ReplayEngine.from_flow(
+                flow, port_names=port_names, grouping=grouping,
+                freq_hz=freq_hz)
     except BaseException as exc:
         result_conn.send((None, "init-error", f"{type(exc).__name__}: {exc}"))
         return
+
+    def _flush_obs():
+        if not tracer.enabled:
+            return
+        try:
+            result_conn.send((None, "obs",
+                              {"trace": tracer.drain(),
+                               "metrics": get_registry().drain()}))
+        except Exception:
+            pass                 # observability must never kill a task
+
+    _flush_obs()                 # ship worker.init before any task
     while True:
         try:
             task = task_conn.recv()
@@ -140,9 +177,17 @@ def _worker_main(payload, task_conn, result_conn):
             if fault is not None:
                 from .faultinject import apply_worker_fault
                 apply_worker_fault(fault)
-            result_conn.send((tidx, "ok",
-                              engine.replay_batch(snaps, strict=strict)))
+            with tracer.span("worker.task", cat="worker", task=tidx,
+                             lanes=len(snaps)):
+                results = engine.replay_batch(snaps, strict=strict)
+            # Flush spans *before* the result: the pipe is FIFO, so by
+            # the time the supervisor has parsed this task's result it
+            # has necessarily merged this task's spans — the last
+            # task's trace cannot be lost to supervisor teardown.
+            _flush_obs()
+            result_conn.send((tidx, "ok", results))
         except Exception as exc:
+            _flush_obs()
             result_conn.send((tidx, "error", _shippable(exc)))
 
 
@@ -333,6 +378,13 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
     ``serial_engine`` is the engine used for last-resort in-process
     replays; built lazily from ``flow`` when not supplied.
     """
+    from ..obs import get_tracer, get_registry
+    tracer = get_tracer()
+    registry = get_registry()
+    # Worker-side capture costs pickling traffic per task; only ask
+    # for it when the current tracer wants a distributed trace.
+    trace_workers = tracer.enabled and tracer.distributed
+
     snapshots = list(snapshots)
     n = len(snapshots)
     report = ReplayHealthReport(total_snapshots=n,
@@ -340,7 +392,8 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
     if n == 0:
         return [], report
     try:
-        payload = pickle.dumps((flow, list(port_names), grouping, freq_hz),
+        payload = pickle.dumps((flow, list(port_names), grouping,
+                                freq_hz, trace_workers),
                                protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
         raise ParallelReplayError(
@@ -363,6 +416,15 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
 
     ctx = _pick_context(start_method)
     pool = [_Worker(ctx, payload) for _ in range(workers)]
+    registry.counter("supervisor.spawns").inc(workers)
+
+    def _respawn(reason):
+        report.respawns += 1
+        registry.counter("supervisor.respawns").inc()
+        tracer.instant("supervisor.respawn", cat="supervisor",
+                       reason=reason)
+        return _Worker(ctx, payload)
+
     results = [None] * n
     completed = [False] * n_tasks
     attempts = [0] * n_tasks
@@ -465,6 +527,12 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
             for w in pool:
                 for msg in w.drain():
                     tidx, status, body = msg
+                    if status == "obs":
+                        # Worker span/metric shipment: merge into the
+                        # parent trace with the worker's own pid/tid.
+                        tracer.ingest(body.get("trace"))
+                        registry.merge(body.get("metrics"))
+                        continue
                     if status == "init-error":
                         raise ParallelReplayError(
                             f"replay worker failed to initialize: {body}")
@@ -491,8 +559,7 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                     if not w.proc.is_alive() and (ready or waiting):
                         # Idle corpse with work outstanding: replace it.
                         w._close_pipes()
-                        pool[i] = _Worker(ctx, payload)
-                        report.respawns += 1
+                        pool[i] = _respawn("idle-corpse")
                     continue
                 tidx = w.task
                 if not w.proc.is_alive():
@@ -500,8 +567,7 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                     exitcode = w.proc.exitcode
                     w.clear()
                     w._close_pipes()
-                    pool[i] = _Worker(ctx, payload)
-                    report.respawns += 1
+                    pool[i] = _respawn("worker-crash")
                     _retry_or_fallback(
                         tidx, "worker-crash",
                         f"worker died mid-replay (exitcode {exitcode})")
@@ -509,8 +575,7 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                     report.timeouts += 1
                     w.clear()
                     w.kill()
-                    pool[i] = _Worker(ctx, payload)
-                    report.respawns += 1
+                    pool[i] = _respawn("timeout")
                     _retry_or_fallback(
                         tidx, "timeout",
                         f"no result within {timeout * len(batches[tidx]):.1f}s;"

@@ -257,7 +257,10 @@ def run_workload(circuit, source, max_cycles=2_000_000, mem_latency=20,
     The circuit is FAME1-transformed in place on first use; the memory
     endpoint is preloaded with the program image.
     """
-    program = assemble(source) if isinstance(source, str) else source
+    from ..obs import get_tracer
+    tracer = get_tracer()
+    with tracer.span("fame.assemble", cat="fame"):
+        program = assemble(source) if isinstance(source, str) else source
     memory = make_memory_endpoint(latency=mem_latency,
                                   line_words=line_words)
     memory.load_words(0, program.as_word_list())
@@ -271,8 +274,13 @@ def run_workload(circuit, source, max_cycles=2_000_000, mem_latency=20,
                           sim=_cached_sim(circuit, backend),
                           **(fame_kwargs or {}))
     fame.record_full_io = record_full_io
-    fame.run(max_cycles=max_cycles,
-             stop_fn=lambda outs: htif.halted,
-             progress_fn=progress_fn,
-             progress_interval=progress_interval)
+    with tracer.span("fame.simulate", cat="fame",
+                     backend=str(backend),
+                     max_cycles=max_cycles) as span:
+        fame.run(max_cycles=max_cycles,
+                 stop_fn=lambda outs: htif.halted,
+                 progress_fn=progress_fn,
+                 progress_interval=progress_interval)
+        span.set(cycles=fame.stats.target_cycles,
+                 snapshots=len(fame.snapshots))
     return WorkloadResult(fame, htif, memory)
