@@ -69,7 +69,7 @@ class StroberRun:
 
 
 _CIRCUIT_CACHE = {}
-_ENGINE_CACHE = {}   # (design, freq_hz) -> ReplayEngine
+_ENGINE_CACHE = {}   # (design, freq_hz, gl_backend) -> ReplayEngine
 
 
 def clear_caches(disk=False):
@@ -127,21 +127,26 @@ def get_circuits(design):
     return _CIRCUIT_CACHE[design]
 
 
-def get_replay_engine(design, freq_hz=None, use_cache=True, debug=False):
+def get_replay_engine(design, freq_hz=None, use_cache=True, debug=False,
+                      gl_backend=None):
     """The (cached) gate-level replay engine for a named configuration.
 
-    Keyed by ``(design, freq_hz)``: the frequency feeds straight into
-    power analysis, so engines at different frequencies must not share
-    a cache slot.  ``use_cache=False`` skips the on-disk artifact cache
-    (the in-memory engine cache still applies); ``debug=True`` runs the
-    structural IR verifier between the ASIC pipeline's passes.
+    Keyed by ``(design, freq_hz, gl_backend)``: the frequency feeds
+    straight into power analysis, and the gate-level evaluation backend
+    owns a generated kernel, so neither may share a cache slot.
+    ``use_cache=False`` skips the on-disk artifact cache (the in-memory
+    engine cache still applies); ``debug=True`` runs the structural IR
+    verifier between the ASIC pipeline's passes.
     """
-    key = (design, freq_hz)
+    from ..gatelevel.glcodegen import resolve_backend
+    gl_backend = resolve_backend(gl_backend)
+    key = (design, freq_hz, gl_backend)
     if key not in _ENGINE_CACHE:
         _, target = get_circuits(design)
         flow = _soc_asic_flow(target, use_cache=use_cache, debug=debug)
         _ENGINE_CACHE[key] = ReplayEngine(
-            target, flow=flow, grouping=soc_grouping, freq_hz=freq_hz)
+            target, flow=flow, grouping=soc_grouping, freq_hz=freq_hz,
+            gl_backend=gl_backend)
     return _ENGINE_CACHE[key]
 
 
@@ -189,7 +194,7 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 confidence=0.99, workload_kwargs=None, strict_replay=True,
                 record_full_io=False, workers=1, journal=None,
                 replay_timeout=None, replay_retries=2, batch_lanes=1,
-                debug=False, trace=None):
+                gl_backend=None, debug=False, trace=None):
     """The headline API: energy-evaluate ``workload`` on ``design``.
 
     ``workload`` is a benchmark name from :data:`ALL_PROGRAMS` or a
@@ -205,6 +210,14 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
     into the bit lanes of one batched gate-level replay, multiplying —
     not replacing — the worker-process parallelism.  Results are
     bit-identical to serial scalar replay for any setting.
+
+    ``gl_backend`` selects the gate-level evaluation strategy for
+    batched replays: ``"interp"`` (default), ``"compiled"`` (generated
+    straight-line Python), ``"c"`` (gcc+ctypes), or ``"auto"`` (best
+    available); ``$REPRO_GL_BACKEND`` supplies the default.  Backends
+    are bit-identical, so the choice is recorded in the journal run key
+    as advisory provenance only — a journal written under one backend
+    resumes under another.
 
     Every circuit transform runs through the pass pipeline
     (:mod:`repro.passes`): the FAME1 decoupling on the simulator
@@ -235,7 +248,9 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
     from the trace* — but worker capture and the export only happen
     when a path is given.
     """
+    from ..gatelevel.glcodegen import resolve_backend
     batch_lanes = 64 if batch_lanes is None else int(batch_lanes)
+    gl_backend = resolve_backend(gl_backend)
     workload_name = workload if workload in ALL_PROGRAMS else "(custom)"
     tracer = Tracer(distributed=trace is not None)
     prev_tracer = set_tracer(tracer)
@@ -252,7 +267,7 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 record_full_io=record_full_io, workers=workers,
                 journal=journal, replay_timeout=replay_timeout,
                 replay_retries=replay_retries, batch_lanes=batch_lanes,
-                debug=debug, tracer=tracer)
+                gl_backend=gl_backend, debug=debug, tracer=tracer)
     finally:
         set_tracer(prev_tracer)
         if trace is not None:
@@ -269,8 +284,8 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
 def _run_strober(design, workload, *, sample_size, replay_length,
                  max_cycles, backend, seed, confidence, workload_kwargs,
                  strict_replay, record_full_io, workers, journal,
-                 replay_timeout, replay_retries, batch_lanes, debug,
-                 tracer):
+                 replay_timeout, replay_retries, batch_lanes, gl_backend,
+                 debug, tracer):
     """The traced flow body; ``tracer`` is already installed."""
     t0 = time.perf_counter()
     with tracer.span("phase.elaborate", cat="phase", design=design):
@@ -299,6 +314,9 @@ def _run_strober(design, workload, *, sample_size, replay_length,
             "strict_replay": bool(strict_replay),
             "workload_kwargs": workload_kwargs or {},
             "batch_lanes": batch_lanes,
+            # advisory provenance: backends are bit-identical, so
+            # resume comparison ignores this key (see journal module)
+            "gl_backend": gl_backend,
             # pipeline fingerprints: a journal written under different
             # transform pipelines must not be resumed
             "pipelines": {"sim": _sim_pipeline().fingerprint(),
@@ -363,7 +381,8 @@ def _run_strober(design, workload, *, sample_size, replay_length,
 
         with tracer.span("phase.flow", cat="phase") as flow_span:
             engine = get_replay_engine(design, freq_hz=config.freq_hz,
-                                       debug=debug)
+                                       debug=debug,
+                                       gl_backend=gl_backend)
             flow_span.set(cache_hit=engine.flow.cache_hit)
         flow_seconds = flow_span.dur
 
@@ -436,6 +455,7 @@ def _run_strober(design, workload, *, sample_size, replay_length,
                 "energy_seconds": energy_seconds,
                 "workers": workers,
                 "batch_lanes": batch_lanes,
+                "gl_backend": engine.gl_backend,
                 "flow_cache_hit": engine.flow.cache_hit,
                 "resumed_sim": resume is not None,
                 "resumed_replays": len(resume.results) if resume else 0,

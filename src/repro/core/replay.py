@@ -236,7 +236,8 @@ class ReplayEngine:
     """
 
     def __init__(self, circuit, flow=None, grouping=default_grouping,
-                 freq_hz=None, verify_equiv=False, port_names=None):
+                 freq_hz=None, verify_equiv=False, port_names=None,
+                 gl_backend=None):
         if circuit is None and flow is None:
             raise ValueError("ReplayEngine needs a circuit or a flow")
         self.circuit = circuit
@@ -248,6 +249,14 @@ class ReplayEngine:
         self._schedule = load_levelized_schedule(self.flow)
         self.gl = GateLevelSimulator(self.flow.netlist,
                                      schedule=self._schedule)
+        # One generated kernel (compiled-or-cache-loaded here, at
+        # engine init) shared by every batched simulator: kernels are
+        # lane-oblivious, so lane count does not key them.
+        from ..gatelevel.glcodegen import build_kernel, resolve_backend
+        self.gl_backend = resolve_backend(gl_backend)
+        self._gl_kernel = (build_kernel(self.flow.netlist, self._schedule,
+                                        self.gl_backend)
+                           if self.gl_backend != "interp" else None)
         self._batched = {}           # lanes -> BatchedGateLevelSimulator
         if port_names is None:
             if circuit is not None:
@@ -260,14 +269,14 @@ class ReplayEngine:
 
     @classmethod
     def from_flow(cls, flow, port_names=None, grouping=default_grouping,
-                  freq_hz=None):
+                  freq_hz=None, gl_backend=None):
         """Rebuild an engine from a shipped/cached :class:`AsicFlow`.
 
         This is how replay worker processes come up: no circuit IR is
         needed, only the (picklable) flow artifact.
         """
         return cls(None, flow=flow, grouping=grouping, freq_hz=freq_hz,
-                   port_names=port_names)
+                   port_names=port_names, gl_backend=gl_backend)
 
     def _warm_up_retimed(self, reg_state):
         """Force retimed-block inputs from the history registers."""
@@ -336,7 +345,8 @@ class ReplayEngine:
     def _get_batched(self, lanes):
         if lanes not in self._batched:
             self._batched[lanes] = BatchedGateLevelSimulator(
-                self.flow.netlist, lanes=lanes, schedule=self._schedule)
+                self.flow.netlist, lanes=lanes, schedule=self._schedule,
+                kernel=self._gl_kernel)
         return self._batched[lanes]
 
     def replay_batch(self, snapshots, strict=True):
@@ -559,7 +569,7 @@ class ReplayEngine:
                     freq_hz=self.freq_hz, strict=strict, timeout=timeout,
                     max_retries=max_retries, fault_plan=fault_plan,
                     on_result=on_result, serial_engine=self,
-                    batch_lanes=batch_lanes)
+                    batch_lanes=batch_lanes, gl_backend=self.gl_backend)
                 self.last_health = health
                 span.set(healthy=health.healthy,
                          incidents=len(health.incidents))

@@ -18,6 +18,10 @@ from .gl_sim import (
     LevelizedSchedule, build_schedule, pack_lane_words, MAX_LANES,
     SCHEDULE_VERSION,
 )
+from .glcodegen import (
+    build_kernel, resolve_backend, kernel_cache_key, netlist_fingerprint,
+    GLCodegenError, GLCodegenUnavailable, GLCODEGEN_VERSION,
+)
 from .formal import (
     match_netlist, verify_equivalence, NameMap, MatchPoint, MatchError,
     EquivalenceResult, FormalMatchPass,
@@ -33,6 +37,9 @@ __all__ = [
     "GateLevelSimulator", "BatchedGateLevelSimulator", "GateSimError",
     "LevelizedSchedule", "build_schedule", "pack_lane_words",
     "MAX_LANES", "SCHEDULE_VERSION",
+    "build_kernel", "resolve_backend", "kernel_cache_key",
+    "netlist_fingerprint", "GLCodegenError", "GLCodegenUnavailable",
+    "GLCODEGEN_VERSION",
     "match_netlist", "verify_equivalence", "NameMap", "MatchPoint",
     "MatchError", "EquivalenceResult", "FormalMatchPass",
     "analyze_power", "PowerReport", "default_grouping",

@@ -143,12 +143,12 @@ def _build_schedule(netlist):
     dff_d = np.zeros(n_dff, dtype=np.int64)
     dff_q = np.zeros(n_dff, dtype=np.int64)
     dff_init = np.zeros(n_dff, dtype=np.uint8)
-    dff_index = {}
     for i, dff in enumerate(netlist.dffs):
         dff_d[i] = dff.d
         dff_q[i] = dff.q
         dff_init[i] = dff.init
-        dff_index[dff.name] = i
+    # both simulators and the netlist itself share these name memos
+    dff_index = netlist.dff_index()
 
     # precompute read-port bit weights for address assembly
     ram_ports = []
@@ -162,7 +162,7 @@ def _build_schedule(netlist):
             ports.append((addr_arr, addr_w, data_arr))
         ram_ports.append(ports)
 
-    sram_index = {macro.name: i for i, macro in enumerate(netlist.srams)}
+    sram_index = netlist.sram_index()
 
     return LevelizedSchedule(
         version=SCHEDULE_VERSION, depth=depth, levels=levels,
@@ -454,9 +454,20 @@ class BatchedGateLevelSimulator:
       counters*: plane ``i`` holds bit ``i`` of every lane's count, and
       each cycle's ``prev ^ cur`` diff word is ripple-carry added into
       the planes.  :meth:`activity` extracts any lane's exact SAIF.
+
+    ``backend`` selects the evaluation strategy: ``"interp"`` (this
+    class's numpy loop), ``"compiled"`` / ``"c"`` / ``"auto"`` (a
+    generated straight-line kernel from
+    :mod:`~repro.gatelevel.glcodegen`, bit-identical by construction).
+    A pre-built ``kernel`` can be passed instead so one kernel serves
+    many simulators (kernels are lane-oblivious).  Forced nets are
+    applied between levels, which straight-line code cannot do, so
+    evaluations with active forces transparently use the interpreted
+    path; :attr:`backend` reports the effective backend after fallback.
     """
 
-    def __init__(self, netlist, lanes=MAX_LANES, schedule=None):
+    def __init__(self, netlist, lanes=MAX_LANES, schedule=None,
+                 backend="interp", kernel=None):
         if not 1 <= lanes <= MAX_LANES:
             raise GateSimError(
                 f"lanes must be in 1..{MAX_LANES}, got {lanes}")
@@ -489,13 +500,49 @@ class BatchedGateLevelSimulator:
         n_srams = len(netlist.srams)
         self.sram_reads = np.zeros((n_srams, lanes), dtype=np.int64)
         self.sram_writes = np.zeros((n_srams, lanes), dtype=np.int64)
-        self._sram_data = [[[0] * macro.depth for _ in range(lanes)]
-                           for macro in netlist.srams]
-        self._sram_last_addr = {}  # (macro, port) -> per-lane addr array
+        # Word-sized macros use a (lanes, depth) uint64 store so read
+        # ports gather all lanes in one fancy index; wider macros fall
+        # back to per-lane Python lists (arbitrary-precision ints).
+        self._sram_data = [
+            np.zeros((lanes, macro.depth), dtype=np.uint64)
+            if macro.width <= 64
+            else [[0] * macro.depth for _ in range(lanes)]
+            for macro in netlist.srams]
+        self._lane_rows = np.arange(lanes)
+        # per-(macro, port) last-read-address memo, -1 = never read;
+        # preallocated int64 arrays so generated C kernels can update
+        # the memo (and sram_reads) in place through raw pointers
+        self._last_addrs = [
+            [np.full(lanes, -1, dtype=np.int64) for _ in macro.read_ports]
+            for macro in netlist.srams]
+        # per write port: (en, addr_arr, addr_w, data_arr, data_w) with
+        # None weights when the port is too wide for packed assembly
+        self._write_ports = []
+        for macro in netlist.srams:
+            ports = []
+            for en, addr_nets, data_nets in macro.write_ports:
+                addr_arr = np.array(addr_nets, dtype=np.int64)
+                data_arr = np.array(data_nets, dtype=np.int64)
+                addr_w = (np.array([1 << i for i in range(len(addr_nets))],
+                                   dtype=np.int64)
+                          if len(addr_nets) < 63 else None)
+                data_w = (np.array([1 << i for i in range(len(data_nets))],
+                                   dtype=np.uint64)
+                          if len(data_nets) <= 64 else None)
+                ports.append((en, addr_arr, addr_w, data_arr, data_w))
+            self._write_ports.append(ports)
+        if kernel is None and backend != "interp":
+            from .glcodegen import build_kernel
+            kernel = build_kernel(netlist, self.schedule, backend)
+        self._kernel = kernel
+        self.backend = kernel.backend if kernel is not None else "interp"
+        if kernel is not None:
+            kernel.install(self)
         self.reset()
         get_registry().counter("glsim.batched_sims").inc()
         get_tracer().instant("glsim.batched_build", cat="flow",
-                             lanes=lanes, nets=netlist.n_nets)
+                             lanes=lanes, nets=netlist.n_nets,
+                             backend=self.backend)
 
     def _check_lane(self, lane):
         if not 0 <= lane < self.lanes:
@@ -518,10 +565,15 @@ class BatchedGateLevelSimulator:
         self._values[CONST1] = _ALL_ONES
         self._forces.clear()
         self._rebuild_force_arrays()
-        self._sram_last_addr.clear()
+        for per_port in self._last_addrs:
+            for last in per_port:
+                last[:] = -1
         for per_lane in self._sram_data:
-            for data in per_lane:
-                data[:] = [0] * len(data)
+            if isinstance(per_lane, np.ndarray):
+                per_lane[:] = 0
+            else:
+                for data in per_lane:
+                    data[:] = [0] * len(data)
         self.reset()
         np.copyto(self._prev, self._values)
 
@@ -601,19 +653,28 @@ class BatchedGateLevelSimulator:
             raise GateSimError(f"no SRAM named {name!r}")
         if len(contents) != self.netlist.srams[idx].depth:
             raise GateSimError(f"SRAM {name} depth mismatch")
-        if lane is None:
-            for data in self._sram_data[idx]:
+        store = self._sram_data[idx]
+        if isinstance(store, np.ndarray):
+            row = np.asarray(contents, dtype=np.uint64)
+            if lane is None:
+                store[:] = row
+            else:
+                self._check_lane(lane)
+                store[lane] = row
+        elif lane is None:
+            for data in store:
                 data[:] = contents
         else:
             self._check_lane(lane)
-            self._sram_data[idx][lane][:] = contents
+            store[lane][:] = contents
 
     def read_sram(self, name, addr, lane=0):
         idx = self._sram_index.get(name)
         if idx is None:
             raise GateSimError(f"no SRAM named {name!r}")
         self._check_lane(lane)
-        return self._sram_data[idx][lane][addr]
+        value = self._sram_data[idx][lane][addr]
+        return int(value)
 
     # -- forcing ----------------------------------------------------------------
 
@@ -730,6 +791,9 @@ class BatchedGateLevelSimulator:
 
     def eval(self):
         """Settle combinational logic in every lane at once."""
+        if self._kernel is not None and self._force_nets is None:
+            self._kernel.eval(self)
+            return
         v = self._values
         if self._force_nets is not None:
             self._apply_forces(v)
@@ -763,27 +827,48 @@ class BatchedGateLevelSimulator:
 
     def _eval_read_port(self, macro_idx, port_idx):
         """Async read port: addresses diverge, so resolve per lane."""
-        addr_arr, addr_w, data_arr = self._ram_ports[macro_idx][port_idx]
+        addr_arr, _addr_w, data_arr = self._ram_ports[macro_idx][port_idx]
         v = self._values
+        v[data_arr] = self._read_port_lanes(macro_idx, port_idx,
+                                            v[addr_arr])
+
+    def _read_port_lanes(self, macro_idx, port_idx, addr_words):
+        """Resolve one read port from packed address words.
+
+        Returns the packed data words and maintains the per-port
+        read-address memo / access counters — the shared core of both
+        the interpreted path and the generated kernels (which compute
+        address words themselves and splice the result back in).
+        """
+        _addr_arr, addr_w, data_arr = self._ram_ports[macro_idx][port_idx]
         macro = self.netlist.srams[macro_idx]
-        addr_words = v[addr_arr]
         bits = ((addr_words[:, None] >> self._lane_ids[None, :])
                 & _ONE).astype(np.int64)
         addrs = addr_w @ bits          # per-lane integer addresses
         store = self._sram_data[macro_idx]
-        lane_words = [store[lane][addr] if addr < macro.depth else 0
-                      for lane, addr in enumerate(addrs.tolist())]
-        v[data_arr] = pack_lane_words(lane_words, len(data_arr))
-        key = (macro_idx, port_idx)
-        last = self._sram_last_addr.get(key)
-        if last is None:
-            self.sram_reads[macro_idx] += 1
-            self._sram_last_addr[key] = addrs
+        if isinstance(store, np.ndarray):
+            ok = addrs < macro.depth
+            words = store[self._lane_rows, np.where(ok, addrs, 0)]
+            words = np.where(ok, words, np.uint64(0))
+            packed = self._pack_word_array(words, len(data_arr))
         else:
-            changed = addrs != last
-            if changed.any():
-                self.sram_reads[macro_idx] += changed
-                self._sram_last_addr[key] = addrs
+            lane_words = [store[lane][addr] if addr < macro.depth else 0
+                          for lane, addr in enumerate(addrs.tolist())]
+            packed = pack_lane_words(lane_words, len(data_arr))
+        last = self._last_addrs[macro_idx][port_idx]
+        changed = addrs != last
+        if changed.any():
+            self.sram_reads[macro_idx] += changed
+            last[:] = addrs
+        return packed
+
+    def _pack_word_array(self, words, nbits):
+        """Transpose per-lane uint64 values into per-bit lane words
+        (the all-numpy form of :func:`pack_lane_words`)."""
+        bit_ids = np.arange(nbits, dtype=np.uint64)
+        bits = (words[:, None] >> bit_ids[None, :]) & _ONE
+        return np.bitwise_or.reduce(bits << self._lane_ids[:, None],
+                                    axis=0)
 
     def step(self, n=1):
         """Advance n clock cycles in every lane (eval, count, commit)."""
@@ -810,30 +895,44 @@ class BatchedGateLevelSimulator:
 
     def _commit(self):
         # SRAM writes sample their nets before DFF outputs change (the
-        # same pre-commit ordering as the scalar simulator), looping
-        # only over lanes whose enable bit is set.
+        # same pre-commit ordering as the scalar simulator).  Per-lane
+        # addresses/values are assembled with packed dot products; only
+        # the store scatter loops, and only over enabled lanes.
         v = self._values
         active = int(self.active_mask)
+        lane_ids = self._lane_ids
         for macro_idx, macro in enumerate(self.netlist.srams):
             store = self._sram_data[macro_idx]
-            for en, addr_nets, data_nets in macro.write_ports:
+            for en, addr_arr, addr_w, data_arr, data_w in \
+                    self._write_ports[macro_idx]:
                 en_word = int(v[en]) & active
                 if not en_word:
                     continue
-                addr_words = [int(v[net]) for net in addr_nets]
-                data_words = [int(v[net]) for net in data_nets]
+                if addr_w is not None:
+                    abits = ((v[addr_arr][:, None] >> lane_ids)
+                             & _ONE).astype(np.int64)
+                    addrs = (addr_w @ abits).tolist()
+                if data_w is not None:
+                    dbits = (v[data_arr][:, None] >> lane_ids) & _ONE
+                    words = (dbits * data_w[:, None]).sum(axis=0).tolist()
                 remaining = en_word
                 while remaining:
                     lane = (remaining & -remaining).bit_length() - 1
                     remaining &= remaining - 1
-                    addr = 0
-                    for i, word in enumerate(addr_words):
-                        addr |= ((word >> lane) & 1) << i
+                    if addr_w is not None:
+                        addr = addrs[lane]
+                    else:
+                        addr = 0
+                        for i, net in enumerate(addr_arr.tolist()):
+                            addr |= ((int(v[net]) >> lane) & 1) << i
                     if addr >= macro.depth:
                         continue
-                    value = 0
-                    for i, word in enumerate(data_words):
-                        value |= ((word >> lane) & 1) << i
+                    if data_w is not None:
+                        value = words[lane]
+                    else:
+                        value = 0
+                        for i, net in enumerate(data_arr.tolist()):
+                            value |= ((int(v[net]) >> lane) & 1) << i
                     store[lane][addr] = value
                     self.sram_writes[macro_idx, lane] += 1
         n_dff = len(self.netlist.dffs)

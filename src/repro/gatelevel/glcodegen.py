@@ -1,0 +1,704 @@
+"""Compiled batched gate-level evaluators (GSIM-style codegen).
+
+The interpreted :class:`~repro.gatelevel.gl_sim.BatchedGateLevelSimulator`
+spends its cycle budget on per-group numpy dispatch: every level of the
+levelized schedule costs a Python loop iteration, an if-chain on the
+cell kind, and several small fancy-indexing temporaries.  This module
+removes that dispatch entirely by *compiling* the schedule, once per
+netlist, into a flat branch-free evaluator — the classic GSIM /
+compiled-code logic-simulation move, applied to the bit-parallel lane
+representation (one ``uint64`` word per net, one snapshot per bit lane):
+
+* **compiled** — an ``exec``-generated Python function of straight-line
+  uint64 bitwise statements, one local per net.  Constant nets are
+  folded into the expressions (``CONST0`` -> ``0``, ``CONST1`` -> the
+  all-ones word) and ``MUX2`` lowers to the 3-op XOR form
+  ``c ^ ((b ^ c) & a)`` instead of 4 ops with a mask temporary.
+* **c** — the same lowering emitted as a C translation unit, compiled
+  with the system C compiler and loaded through ctypes, modeled on the
+  FAME-side :mod:`repro.sim.cbackend` (same graceful-fallback contract:
+  :class:`GLCodegenUnavailable` when no compiler is present).  The C
+  kernel evaluates directly on the simulator's numpy value buffer, so
+  there is no per-cycle conversion at all.
+
+SRAM async read ports need per-lane address divergence and the
+read-address memo.  The generated Python kernel calls back into the
+simulator's vectorized port path at the port's exact level position;
+the C kernel goes further and compiles the ports natively — per-lane
+address assembly, store gather, data-bit repacking, and the
+last-address/read-counter update all run inside the shared object,
+against the same numpy buffers the interpreter uses (value array,
+``(lanes, depth)`` stores, per-port last-address memos, the
+``sram_reads`` matrix), so a cycle under the C backend needs zero
+Python per evaluation.  Net forcing mutates values *between* levels,
+so a simulator with active forces falls back
+to the interpreted ``eval`` for those evaluations (forces only occur
+during the brief retimed warm-up); everything else — toggle counting,
+commit, SAIF extraction — is representation-identical, which is what
+makes the compiled backends bit-exact drop-ins.
+
+Generated artifacts are persisted in the content-addressed cache
+(:mod:`repro.parallel.cache`): kind ``glpy`` holds the Python source
+plus a marshalled code object (tagged with the interpreter's
+``cache_tag``), kind ``glso`` the C source plus the compiled shared
+object.  Keys compose the netlist's structural fingerprint with the
+backend, lane word width, and codegen/schedule versions, so replay
+worker processes compile-or-load at init and any structural change
+invalidates automatically.  A cached shared object that no longer
+loads (toolchain/arch change) is counted as ``cache.glso.stale``,
+warned about once, and rebuilt live instead of raised.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import marshal
+import os
+import pickle
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import warnings
+from array import array
+
+import numpy as np
+
+from .netlist import CONST0, CONST1
+from ..obs import get_tracer, get_registry
+
+#: Bump when the lowering rules or kernel ABI change (cache invalidation).
+GLCODEGEN_VERSION = 2
+
+#: Word width of the lane representation the kernels are generated for.
+#: Kernels are lane-oblivious (full-word bitwise ops), so one artifact
+#: serves every simulator lane count up to this width.
+WORD_LANES = 64
+
+_ENV_BACKEND = "REPRO_GL_BACKEND"
+_ENV_CC = "REPRO_GL_CC"
+_ENV_CFLAGS = "REPRO_GL_CFLAGS"
+
+BACKENDS = ("interp", "compiled", "c", "auto")
+
+_M_INT = 0xFFFFFFFFFFFFFFFF
+_CHUNK = 1500       # statements per generated C function (keeps cc fast)
+
+_WARNED = set()
+
+
+class GLCodegenError(Exception):
+    pass
+
+
+class GLCodegenUnavailable(GLCodegenError):
+    """Requested backend cannot be built here (e.g. no C compiler)."""
+
+
+def _warn_once(event, message):
+    get_tracer().instant(f"glcodegen.{event}", cat="flow", detail=message)
+    if event not in _WARNED:
+        _WARNED.add(event)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def reset_warnings():
+    """Re-arm the once-per-event warnings (test hook)."""
+    _WARNED.clear()
+
+
+def resolve_backend(backend=None):
+    """Normalize a backend request: explicit arg > env var > interp."""
+    value = backend or os.environ.get(_ENV_BACKEND) or "interp"
+    if value not in BACKENDS:
+        raise GLCodegenError(
+            f"unknown gate-level backend {value!r} "
+            f"(choose from {', '.join(BACKENDS)})")
+    return value
+
+
+def netlist_fingerprint(netlist):
+    """Structural content hash of a netlist (memoized on the instance).
+
+    Hashes the same column serialization the netlist pickles as, so two
+    netlists that replay identically share one fingerprint regardless
+    of which pipeline produced them — the kernel cache dedups across
+    pipelines for free.
+    """
+    cached = getattr(netlist, "_glcodegen_fp", None)
+    if cached is not None:
+        return cached
+    payload = pickle.dumps(netlist.__getstate__(),
+                           protocol=pickle.HIGHEST_PROTOCOL)
+    fp = hashlib.blake2b(payload, digest_size=20).hexdigest()
+    try:
+        netlist._glcodegen_fp = fp
+    except Exception:
+        pass
+    return fp
+
+
+def kernel_cache_key(netlist, backend, schedule):
+    """Content-addressed cache key for one generated kernel."""
+    from ..passes import compose_cache_key
+    return compose_cache_key(
+        netlist_fingerprint(netlist), "",
+        lanes=WORD_LANES, backend=backend,
+        codegen=GLCODEGEN_VERSION, schedule=schedule.version)
+
+
+# -- lowering ---------------------------------------------------------------
+
+def _py_expr(cell, a, b, c):
+    """Python uint64 expression for one gate; operands are expressions.
+
+    ``M`` is the all-ones word in the generated function's scope.  Every
+    operator keeps values below 2**64 (no shifts), so the Python ints
+    never grow beyond one machine word.
+    """
+    if cell == "INV":
+        return f"{a} ^ M"
+    if cell == "BUF":
+        return a
+    if cell == "AND2":
+        return f"{a} & {b}"
+    if cell == "OR2":
+        return f"{a} | {b}"
+    if cell == "XOR2":
+        return f"{a} ^ {b}"
+    if cell == "XNOR2":
+        return f"({a} ^ {b}) ^ M"
+    if cell == "NAND2":
+        return f"({a} & {b}) ^ M"
+    if cell == "NOR2":
+        return f"({a} | {b}) ^ M"
+    if cell == "MUX2":
+        # sel ? b : c as c ^ ((b ^ c) & sel): 3 ops, no mask temporary
+        return f"{c} ^ (({b} ^ {c}) & {a})"
+    raise GLCodegenError(f"cannot lower cell {cell!r}")
+
+
+def _c_expr(cell, a, b, c):
+    """C uint64_t expression for one gate (native ~ for inversions)."""
+    if cell == "INV":
+        return f"~{a}"
+    if cell == "BUF":
+        return a
+    if cell == "AND2":
+        return f"{a} & {b}"
+    if cell == "OR2":
+        return f"{a} | {b}"
+    if cell == "XOR2":
+        return f"{a} ^ {b}"
+    if cell == "XNOR2":
+        return f"~({a} ^ {b})"
+    if cell == "NAND2":
+        return f"~({a} & {b})"
+    if cell == "NOR2":
+        return f"~({a} | {b})"
+    if cell == "MUX2":
+        return f"{c} ^ (({b} ^ {c}) & {a})"
+    raise GLCodegenError(f"cannot lower cell {cell!r}")
+
+
+def _iter_gates(groups):
+    """Yield (cell, out, in0, in1, in2) per gate from a level's groups."""
+    for cell, outs, in0, in1, in2 in groups:
+        outs_l = outs.tolist()
+        in0_l = in0.tolist()
+        in1_l = in1.tolist() if in1 is not None else None
+        in2_l = in2.tolist() if in2 is not None else None
+        for j, out in enumerate(outs_l):
+            yield (cell, out, in0_l[j],
+                   in1_l[j] if in1_l is not None else None,
+                   in2_l[j] if in2_l is not None else None)
+
+
+def generate_python_source(netlist, schedule):
+    """Emit the straight-line Python evaluator for one netlist.
+
+    The generated function has signature ``_gl_eval(L, M, RAMS)`` where
+    ``L`` is the current value list (one Python int per net), ``M`` the
+    all-ones word, and ``RAMS`` the read-port callbacks in schedule
+    order; it returns the fully settled value list.  Net values live in
+    locals (``v<net>``), the cheapest storage CPython has; nets that
+    are only read (inputs, DFF outputs, untouched state) are preloaded
+    from ``L`` once.
+    """
+    defined = set()
+    preloads = []
+    preloaded = set()
+
+    def ref(net):
+        if net == CONST0:
+            return "0"
+        if net == CONST1:
+            return "M"
+        if net not in defined and net not in preloaded:
+            preloaded.add(net)
+            preloads.append(f"    v{net} = L[{net}]")
+        return f"v{net}"
+
+    body = []
+    ram_ordinal = 0
+    for groups, rams in schedule.levels:
+        for cell, out, i0, i1, i2 in _iter_gates(groups):
+            expr = _py_expr(cell, ref(i0),
+                            ref(i1) if i1 is not None else None,
+                            ref(i2) if i2 is not None else None)
+            body.append(f"    v{out} = {expr}")
+            defined.add(out)
+        for macro_idx, port_idx in rams:
+            addr_arr, _w, data_arr = schedule.ram_ports[macro_idx][port_idx]
+            addrs = [ref(n) for n in addr_arr.tolist()]
+            addr_tuple = (f"({addrs[0]},)" if len(addrs) == 1
+                          else f"({', '.join(addrs)})")
+            data_nets = data_arr.tolist()
+            targets = ", ".join(f"v{n}" for n in data_nets)
+            if len(data_nets) == 1:
+                targets += ","
+            body.append(f"    {targets} = "
+                        f"RAMS[{ram_ordinal}]({addr_tuple})")
+            defined.update(data_nets)
+            ram_ordinal += 1
+
+    known = defined | preloaded
+    entries = []
+    for net in range(netlist.n_nets):
+        if net == CONST0:
+            entries.append("0")
+        elif net == CONST1:
+            entries.append("M")
+        elif net in known:
+            entries.append(f"v{net}")
+        else:
+            entries.append(f"L[{net}]")
+    lines = ["def _gl_eval(L, M, RAMS):"]
+    lines.extend(preloads)
+    lines.extend(body)
+    lines.append(f"    return [{', '.join(entries)}]")
+    return "\n".join(lines)
+
+
+def generate_c_source(netlist, schedule):
+    """Emit the C translation unit for one netlist.
+
+    The kernel evaluates in place on the caller's value buffer
+    (``uint64_t *V``, one word per net) — the numpy array the batched
+    simulator already owns, passed as a ctypes pointer, so the C
+    backend needs no per-cycle conversion.  Gate statements are chunked
+    into small static functions so the C compiler stays fast on large
+    netlists; SRAM read ports compile to per-port functions (address
+    assembly, store gather, data repack, last-address memo + read
+    counter) interleaved at their exact schedule level, all driven by
+    one exported entry point::
+
+        void gl_eval(uint64_t *V, uint64_t **stores, int64_t **lasts,
+                     int64_t *reads, int64_t lanes)
+
+    where ``stores[m]`` is macro *m*'s ``(lanes, depth)`` row-major
+    word store, ``lasts[k]`` read port *k*'s per-lane last-address
+    memo (schedule traversal order, ``-1`` = never read), ``reads``
+    the base of the ``(n_srams, lanes)`` read-counter matrix, and
+    ``lanes`` the live lane count.  Raises
+    :class:`GLCodegenUnavailable` for netlists the C lowering cannot
+    express (SRAM words or addresses wider than 64/62 bits — those
+    stay on the arbitrary-precision Python paths).
+    """
+    for macro in netlist.srams:
+        if macro.width > 64:
+            raise GLCodegenUnavailable(
+                f"SRAM macro {macro.name!r} is {macro.width} bits wide; "
+                f"the C lowering packs one uint64 word per entry")
+    parts = ["#include <stdint.h>",
+             "#define M 0xFFFFFFFFFFFFFFFFULL"]
+
+    def ref(net):
+        if net == CONST0:
+            return "0ULL"
+        if net == CONST1:
+            return "M"
+        return f"V[{net}]"
+
+    driver = []
+    stmts = []
+    chunk_id = 0
+    ram_id = 0
+
+    def flush_chunks():
+        nonlocal stmts, chunk_id
+        for start in range(0, len(stmts), _CHUNK):
+            fn = f"chunk_{chunk_id}"
+            chunk_id += 1
+            parts.append(f"static void {fn}(uint64_t *V) {{")
+            parts.extend(stmts[start:start + _CHUNK])
+            parts.append("}")
+            driver.append(f"  {fn}(V);")
+        stmts = []
+
+    for groups, rams in schedule.levels:
+        for cell, out, i0, i1, i2 in _iter_gates(groups):
+            expr = _c_expr(cell, ref(i0),
+                           ref(i1) if i1 is not None else None,
+                           ref(i2) if i2 is not None else None)
+            stmts.append(f"  V[{out}] = {expr};")
+        for macro_idx, port_idx in rams:
+            flush_chunks()
+            macro = netlist.srams[macro_idx]
+            addr_arr, _w, data_arr = (
+                schedule.ram_ports[macro_idx][port_idx])
+            addr_nets = addr_arr.tolist()
+            data_nets = data_arr.tolist()
+            if len(addr_nets) > 62:
+                raise GLCodegenUnavailable(
+                    f"SRAM macro {macro.name!r} has a "
+                    f"{len(addr_nets)}-bit read address; the C "
+                    f"lowering assembles addresses in an int64")
+            width = len(data_nets)
+            terms = []
+            for i, net in enumerate(addr_nets):
+                bit = f"(int64_t)(({ref(net)} >> lane) & 1)"
+                terms.append(f"({bit} << {i})" if i else bit)
+            fn = f"ram_{ram_id}"
+            parts.append(
+                f"static void {fn}(uint64_t *V, const uint64_t *S, "
+                f"int64_t *LA, int64_t *RD, int64_t lanes) {{")
+            parts.append(f"  uint64_t acc[{width}] = {{0}};")
+            parts.append("  for (int64_t lane = 0; lane < lanes; "
+                         "lane++) {")
+            parts.append(f"    int64_t addr = {' | '.join(terms)};")
+            parts.append(
+                f"    uint64_t w = addr < {macro.depth} ? "
+                f"S[(uint64_t)lane * {macro.depth}u + (uint64_t)addr] "
+                f": 0;")
+            parts.append(
+                f"    for (int j = 0; j < {width}; j++) "
+                f"acc[j] |= ((w >> j) & 1) << lane;")
+            parts.append("    if (addr != LA[lane]) "
+                         "{ LA[lane] = addr; RD[lane] += 1; }")
+            parts.append("  }")
+            parts.extend(f"  V[{net}] = acc[{j}];"
+                         for j, net in enumerate(data_nets))
+            parts.append("}")
+            driver.append(
+                f"  ram_{ram_id}(V, stores[{macro_idx}], "
+                f"lasts[{ram_id}], reads + {macro_idx} * lanes, "
+                f"lanes);")
+            ram_id += 1
+    flush_chunks()
+
+    parts.append("void gl_eval(uint64_t *V, uint64_t **stores, "
+                 "int64_t **lasts, int64_t *reads, int64_t lanes) {")
+    parts.append("  (void)stores; (void)lasts; (void)reads; "
+                 "(void)lanes;")
+    parts.extend(driver)
+    parts.append("}")
+    return "\n".join(parts)
+
+
+# -- kernels ----------------------------------------------------------------
+
+# np.frombuffer over an array.array gives a zero-copy *writable* view
+# (array.array exports a writable buffer); probe once in case an exotic
+# numpy build disagrees, and fall back to copying into the old array.
+_FROMBUFFER_WRITABLE = np.frombuffer(
+    array("Q", [0]), dtype=np.uint64).flags.writeable
+
+
+def _make_ram_callbacks(sim):
+    """Per-simulator read-port callbacks, in schedule traversal order."""
+    cbs = []
+    for _groups, rams in sim.schedule.levels:
+        for macro_idx, port_idx in rams:
+            def cb(addr_words, _m=macro_idx, _p=port_idx, _sim=sim):
+                words = _sim._read_port_lanes(
+                    _m, _p, np.array(addr_words, dtype=np.uint64))
+                return words.tolist()
+            cbs.append(cb)
+    return cbs
+
+
+class PythonKernel:
+    """exec-generated straight-line evaluator (backend ``compiled``).
+
+    ``eval`` round-trips the value array through a Python list: the
+    kernel consumes ``values.tolist()``, computes every net in locals,
+    and returns the settled list, which becomes the new value array via
+    ``array('Q')`` + zero-copy ``np.frombuffer`` — the cheapest
+    list->uint64-array path CPython offers.  Rebinding ``sim._values``
+    is safe because every consumer reads the attribute afresh.
+    """
+
+    backend = "compiled"
+
+    def __init__(self, fn, source, compile_seconds=0.0, from_cache=False):
+        self._fn = fn
+        self.source = source
+        self.compile_seconds = compile_seconds
+        self.from_cache = from_cache
+
+    def install(self, sim):
+        sim._gl_ram_cbs = _make_ram_callbacks(sim)
+
+    def eval(self, sim):
+        out = self._fn(sim._values.tolist(), _M_INT, sim._gl_ram_cbs)
+        if _FROMBUFFER_WRITABLE:
+            sim._values = np.frombuffer(array("Q", out), dtype=np.uint64)
+        else:
+            sim._values[:] = out
+
+
+class CKernel:
+    """gcc+ctypes straight-line evaluator (backend ``c``).
+
+    Evaluates in place on the simulator's numpy buffers — value array,
+    SRAM word stores, last-address memos, read counters — through raw
+    pointers bound once per simulator in :meth:`install`.  Every one of
+    those arrays is allocated in the simulator's ``__init__`` and only
+    ever mutated in place (``full_reset`` included), so the captured
+    addresses stay valid for the simulator's lifetime and an eval is a
+    single foreign call with zero per-cycle Python.
+    """
+
+    backend = "c"
+
+    def __init__(self, lib, source, workdir,
+                 compile_seconds=0.0, from_cache=False):
+        self._lib = lib                    # keep the CDLL alive
+        self._ptr_t = ctypes.POINTER(ctypes.c_uint64)
+        fn = lib.gl_eval
+        fn.argtypes = [self._ptr_t,
+                       ctypes.POINTER(ctypes.c_void_p),
+                       ctypes.POINTER(ctypes.c_void_p),
+                       ctypes.POINTER(ctypes.c_int64),
+                       ctypes.c_int64]
+        fn.restype = None
+        self._fn = fn
+        self.source = source
+        self.workdir = workdir
+        self.compile_seconds = compile_seconds
+        self.from_cache = from_cache
+
+    def install(self, sim):
+        n_srams = len(sim.netlist.srams)
+        stores = (ctypes.c_void_p * max(n_srams, 1))()
+        for i, store in enumerate(sim._sram_data):
+            stores[i] = store.ctypes.data
+        port_memos = []
+        for _groups, rams in sim.schedule.levels:
+            port_memos.extend(sim._last_addrs[m][p] for m, p in rams)
+        lasts = (ctypes.c_void_p * max(len(port_memos), 1))()
+        for i, memo in enumerate(port_memos):
+            lasts[i] = memo.ctypes.data
+        reads = sim.sram_reads.ctypes.data_as(
+            ctypes.POINTER(ctypes.c_int64))
+        sim._gl_c_args = (stores, lasts, reads,
+                          ctypes.c_int64(sim.lanes))
+        # keep the memo arrays reachable while the pointer table lives
+        sim._gl_c_memos = port_memos
+
+    def eval(self, sim):
+        stores, lasts, reads, lanes = sim._gl_c_args
+        self._fn(sim._values.ctypes.data_as(self._ptr_t),
+                 stores, lasts, reads, lanes)
+
+
+# -- compilation + artifact cache -------------------------------------------
+
+def _note_build(backend, seconds, from_cache):
+    registry = get_registry()
+    registry.counter("glcodegen.compile_seconds").inc(float(seconds))
+    registry.counter("glcodegen.builds").inc()
+    if from_cache:
+        registry.counter("glcodegen.cache_loads").inc()
+    get_tracer().instant("glcodegen.kernel", cat="flow", backend=backend,
+                         seconds=seconds, from_cache=from_cache)
+
+
+def compile_python_kernel(netlist, schedule, use_cache=True):
+    """Build (or load from cache) the generated-Python kernel.
+
+    Cache kind ``glpy`` stores the source plus a marshalled code object
+    tagged with ``sys.implementation.cache_tag``: a hit on the same
+    interpreter skips both codegen *and* the ~0.5 s ``compile()``; a
+    hit from a different interpreter recompiles from the cached source.
+    """
+    from ..parallel.cache import get_cache, cache_enabled
+
+    t0 = time.perf_counter()
+    tag = sys.implementation.cache_tag
+    key = None
+    entry = None
+    if use_cache and cache_enabled():
+        key = kernel_cache_key(netlist, "compiled", schedule)
+        entry = get_cache().get("glpy", key)
+    if entry is not None:
+        source = entry["source"]
+        code = None
+        if entry.get("tag") == tag and entry.get("marshal"):
+            try:
+                code = marshal.loads(entry["marshal"])
+            except Exception:
+                code = None     # foreign/corrupt marshal: use the source
+        if code is None:
+            code = compile(source, "<glcodegen kernel>", "exec")
+    else:
+        source = generate_python_source(netlist, schedule)
+        code = compile(source, "<glcodegen kernel>", "exec")
+        if key is not None:
+            get_cache().put("glpy", key, {
+                "version": GLCODEGEN_VERSION,
+                "source": source,
+                "tag": tag,
+                "marshal": marshal.dumps(code),
+            })
+    namespace = {}
+    exec(code, namespace)  # noqa: S102 - our own generated code
+    seconds = time.perf_counter() - t0
+    _note_build("compiled", seconds, entry is not None)
+    return PythonKernel(namespace["_gl_eval"], source,
+                        compile_seconds=seconds,
+                        from_cache=entry is not None)
+
+
+def _find_compiler():
+    override = os.environ.get(_ENV_CC)
+    if override:
+        if shutil.which(override) or (os.path.isfile(override)
+                                      and os.access(override, os.X_OK)):
+            return override
+        raise GLCodegenUnavailable(
+            f"$REPRO_GL_CC={override!r} is not an executable compiler")
+    compiler = shutil.which("gcc") or shutil.which("cc")
+    if compiler is None:
+        raise GLCodegenUnavailable("no C compiler on PATH")
+    return compiler
+
+
+def _cc_flags():
+    # -O0 compiles an order of magnitude faster than -O1 on these
+    # straight-line translation units and the kernel is memory-bound
+    # anyway; override with $REPRO_GL_CFLAGS for tuning experiments.
+    env = os.environ.get(_ENV_CFLAGS)
+    if env:
+        return env.split()
+    return ["-O0"]
+
+
+def _build_so(netlist, schedule, workdir):
+    """Generate + compile the shared object; returns (source, so_path)."""
+    compiler = _find_compiler()
+    source = generate_c_source(netlist, schedule)
+    c_path = os.path.join(workdir, "gl_kernel.c")
+    so_path = os.path.join(workdir, "gl_kernel.so")
+    with open(c_path, "w") as f:
+        f.write(source)
+    cmd = [compiler, *_cc_flags(), "-fPIC", "-shared",
+           "-o", so_path, c_path]
+    try:
+        subprocess.run(cmd, check=True, capture_output=True, timeout=600)
+    except (subprocess.CalledProcessError,
+            subprocess.TimeoutExpired) as exc:
+        raise GLCodegenUnavailable(
+            f"C compilation failed: {exc}") from exc
+    return source, so_path
+
+
+def compile_c_kernel(netlist, schedule, use_cache=True):
+    """Build (or load from cache) the gcc+ctypes kernel.
+
+    Cache kind ``glso`` stores the C source and the compiled shared
+    object.  A cached object that fails to ``CDLL`` (ABI/arch/toolchain
+    drift) is counted as ``cache.glso.stale``, warned about once, and
+    rebuilt live — never raised.  Raises :class:`GLCodegenUnavailable`
+    only when no working C compiler can be found for a live build.
+    """
+    from ..parallel.cache import get_cache, cache_enabled
+
+    t0 = time.perf_counter()
+    key = None
+    if use_cache and cache_enabled():
+        key = kernel_cache_key(netlist, "c", schedule)
+    workdir = tempfile.mkdtemp(prefix="repro_glsim_")
+    so_path = os.path.join(workdir, "gl_kernel.so")
+
+    entry = get_cache().get("glso", key) if key is not None else None
+    from_cache = False
+    if entry is not None:
+        with open(so_path, "wb") as f:
+            f.write(entry["so"])
+        try:
+            lib = ctypes.CDLL(so_path)
+            lib.gl_eval     # resolve the entry point now, not lazily
+            source = entry["source"]
+            from_cache = True
+        except (OSError, AttributeError) as exc:
+            # Stale artifact (different toolchain/arch/ABI than the
+            # one that built it): fall back to regeneration, visibly.
+            get_registry().counter("cache.glso.stale").inc()
+            _warn_once(
+                "glso-stale",
+                f"cached compiled replay kernel failed to load ({exc}); "
+                f"regenerating it")
+            entry = None
+    if not from_cache:
+        source, so_path = _build_so(netlist, schedule, workdir)
+        lib = ctypes.CDLL(so_path)
+        if key is not None:
+            with open(so_path, "rb") as f:
+                so_bytes = f.read()
+            get_cache().put("glso", key, {
+                "version": GLCODEGEN_VERSION,
+                "source": source,
+                "so": so_bytes,
+            })
+    seconds = time.perf_counter() - t0
+    _note_build("c", seconds, from_cache)
+    return CKernel(lib, source, workdir,
+                   compile_seconds=seconds, from_cache=from_cache)
+
+
+def build_kernel(netlist, schedule, backend, use_cache=True):
+    """Build the evaluation kernel for ``backend``; None for ``interp``.
+
+    Implements the fallback ladder ``c -> compiled-python -> interp``:
+    an explicit ``c`` request on a host without a compiler degrades to
+    the compiled-Python kernel (one warning + a counter), and ``auto``
+    takes the best available rung silently.  Only ``interp`` — or a
+    codegen failure, which the interpreter is immune to by construction
+    — returns None.
+    """
+    backend = resolve_backend(backend)
+    if backend == "interp":
+        return None
+    with get_tracer().span("glcodegen.build", cat="flow",
+                           backend=backend) as span:
+        if backend in ("c", "auto"):
+            try:
+                kernel = compile_c_kernel(netlist, schedule,
+                                          use_cache=use_cache)
+                span.set(backend_used="c",
+                         from_cache=kernel.from_cache)
+                return kernel
+            except GLCodegenUnavailable as exc:
+                get_registry().counter("glcodegen.c_fallbacks").inc()
+                if backend == "c":
+                    _warn_once(
+                        "c-fallback",
+                        f"C replay backend unavailable ({exc}); using "
+                        f"the compiled-Python backend instead")
+        try:
+            kernel = compile_python_kernel(netlist, schedule,
+                                           use_cache=use_cache)
+        except GLCodegenError as exc:
+            get_registry().counter("glcodegen.interp_fallbacks").inc()
+            _warn_once(
+                "interp-fallback",
+                f"gate-level codegen failed ({exc}); using the "
+                f"interpreted evaluator")
+            span.set(backend_used="interp")
+            return None
+        span.set(backend_used="compiled", from_cache=kernel.from_cache)
+        return kernel

@@ -59,6 +59,8 @@ class GateNetlist:
         self.outputs = {}                    # port name -> [net ids] lsb0
         self.net_names = {}                  # net id -> mangled name
         self.preserved_nets = {}             # label -> [net ids]
+        self._dff_index = None               # lazy name -> position memos
+        self._sram_index = None
 
     def new_net(self, name=None):
         net = self.n_nets
@@ -98,11 +100,31 @@ class GateNetlist:
             "cells": self.cell_histogram(),
         }
 
+    def dff_index(self):
+        """Name -> position for :attr:`dffs`, built once and shared.
+
+        Both simulators and the levelized schedule consume this same
+        memo, so name resolution is one dict per netlist instead of a
+        linear scan (or a private copy) per consumer.  Rebuilt lazily
+        if DFFs were added since the last call.
+        """
+        memo = self._dff_index
+        if memo is None or len(memo) != len(self.dffs):
+            memo = self._dff_index = {
+                dff.name: i for i, dff in enumerate(self.dffs)}
+        return memo
+
+    def sram_index(self):
+        """Name -> position for :attr:`srams` (same contract as
+        :meth:`dff_index`)."""
+        memo = self._sram_index
+        if memo is None or len(memo) != len(self.srams):
+            memo = self._sram_index = {
+                macro.name: i for i, macro in enumerate(self.srams)}
+        return memo
+
     def dff_by_name(self, name):
-        for dff in self.dffs:
-            if dff.name == name:
-                return dff
-        raise KeyError(name)
+        return self.dffs[self.dff_index()[name]]
 
     # -- pickling ----------------------------------------------------------
     # Netlists cross process boundaries (replay worker pools) and live in
@@ -142,3 +164,5 @@ class GateNetlist:
         self.outputs = state["outputs"]
         self.net_names = state["net_names"]
         self.preserved_nets = state["preserved_nets"]
+        self._dff_index = None
+        self._sram_index = None

@@ -13,7 +13,8 @@ Layout::
 
 * ``root`` is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
 * ``kind`` namespaces artifact types (``asicflow``, ``asicflow-soc``,
-  ``pysim``, ``csim``).
+  ``pysim``, ``csim``, ``glsched``, and the generated gate-level replay
+  kernels ``glpy`` / ``glso``).
 * ``key`` is the circuit fingerprint; invalidation is automatic because
   any structural change to the design changes the key, and format
   changes bump ``CACHE_VERSION``.
@@ -62,6 +63,9 @@ _STAT_KEYS = (
     # levelization time skipped by loading a cached gate-evaluation
     # schedule (kind "glsched") instead of rebuilding it
     "sched_seconds_saved",
+    # cached compiled replay kernels (kind "glso") that no longer load
+    # on this host (toolchain/arch drift) and were rebuilt live
+    "glso.stale",
 )
 _PREFIX = "cache."
 _WARNED = set()
@@ -163,10 +167,12 @@ class ArtifactCache:
                 data = f.read()
         except FileNotFoundError:
             _count("misses")
+            _count(f"{kind}.misses")
             return None
         except OSError as exc:
             _count("misses",
                    f"cache entry {path} unreadable ({exc}); rebuilding")
+            _count(f"{kind}.misses")
             return None
         try:
             obj = _decode(data)
@@ -181,8 +187,10 @@ class ArtifactCache:
                 os.remove(path)
             except OSError:
                 pass
+            _count(f"{kind}.misses")
             return None
         _count("hits")
+        _count(f"{kind}.hits")
         return obj
 
     def put(self, kind, key, obj):
@@ -223,6 +231,7 @@ class ArtifactCache:
                 except OSError:
                     pass
             raise
+        _count(f"{kind}.puts")
         return path
 
     def clear(self, kind=None):

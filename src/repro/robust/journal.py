@@ -16,9 +16,12 @@ physically truncated off the file) with a warning rather than a crash —
 exactly the recovery an interrupted writer needs.
 
 Resume contract (:func:`load_resume`): a journal whose META record
-matches the requested run's parameters, and whose SIM record landed,
-lets ``run_strober`` skip the FAME simulation entirely and replay only
-the snapshots without a RESULT record.  Snapshots are stored sealed
+matches the requested run's parameters (ignoring the advisory
+provenance keys in ``_ADVISORY_META_KEYS``, which record *how* a run
+executed — e.g. the bit-identical gate-level backend — rather than
+what it computed), and whose SIM record landed, lets ``run_strober``
+skip the FAME simulation entirely and replay only the snapshots
+without a RESULT record.  Snapshots are stored sealed
 (integrity-checksummed, see :meth:`ReplayableSnapshot.seal`), so a
 journal damaged *in the middle* — past what tail-truncation heals — is
 still detected at replay time instead of quietly shifting the energy
@@ -201,12 +204,29 @@ def load_resume(path, expected_meta):
         return _load_resume(path, expected_meta)
 
 
+# Run-key entries that are provenance, not identity: they describe how
+# a run was executed, not what it computed, so resume comparison strips
+# them from both sides.  The gate-level evaluation backend is advisory
+# because every backend is bit-identical by construction — a journal
+# written under one backend resumes under another (and journals from
+# before the key existed resume under any).
+_ADVISORY_META_KEYS = ("gl_backend",)
+
+
+def _identity_meta(meta):
+    if not isinstance(meta, dict):
+        return meta
+    return {k: v for k, v in meta.items()
+            if k not in _ADVISORY_META_KEYS}
+
+
 def _load_resume(path, expected_meta):
     records = read_journal(path)
     if not records:
         return None
     rtype, meta = records[0]
-    if rtype != TYPE_META or meta != expected_meta:
+    if rtype != TYPE_META or _identity_meta(meta) != _identity_meta(
+            expected_meta):
         warnings.warn(
             f"run journal {path} belongs to a different run "
             f"(parameters changed?); starting fresh", RuntimeWarning,

@@ -138,15 +138,17 @@ def _worker_main(payload, task_conn, result_conn):
     try:
         from ..core.replay import ReplayEngine
         from ..obs import Tracer, NullTracer, set_tracer, get_registry
-        flow, port_names, grouping, freq_hz, trace = \
+        flow, port_names, grouping, freq_hz, trace, gl_backend = \
             pickle.loads(payload)
         get_registry().reset()
         tracer = Tracer() if trace else NullTracer()
         set_tracer(tracer)
+        # Engine construction compiles-or-cache-loads the gate-level
+        # evaluation kernel, so that cost lands inside this span.
         with tracer.span("worker.init", cat="worker"):
             engine = ReplayEngine.from_flow(
                 flow, port_names=port_names, grouping=grouping,
-                freq_hz=freq_hz)
+                freq_hz=freq_hz, gl_backend=gl_backend)
     except BaseException as exc:
         result_conn.send((None, "init-error", f"{type(exc).__name__}: {exc}"))
         return
@@ -354,7 +356,7 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                       grouping=None, freq_hz=None, strict=True,
                       start_method=None, timeout=None, max_retries=2,
                       backoff_base=0.25, fault_plan=None, on_result=None,
-                      serial_engine=None, batch_lanes=1):
+                      serial_engine=None, batch_lanes=1, gl_backend=None):
     """Replay ``snapshots`` under supervision; order-preserving.
 
     Returns ``(results, ReplayHealthReport)``.  ``on_result(index,
@@ -393,7 +395,7 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
         return [], report
     try:
         payload = pickle.dumps((flow, list(port_names), grouping,
-                                freq_hz, trace_workers),
+                                freq_hz, trace_workers, gl_backend),
                                protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
         raise ParallelReplayError(
@@ -438,7 +440,7 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
             from ..core.replay import ReplayEngine
             serial_engine = ReplayEngine.from_flow(
                 flow, port_names=port_names, grouping=grouping,
-                freq_hz=freq_hz)
+                freq_hz=freq_hz, gl_backend=gl_backend)
         return serial_engine
 
     def _complete(tidx, batch_results, serial=False):

@@ -1,0 +1,322 @@
+"""Compiled batched gate-level replay backends: golden equivalence of
+the exec-generated Python and gcc+ctypes kernels against the
+interpreted evaluator, the artifact cache (kinds glpy/glso), the
+fallback ladder, and backend selection plumbing
+(repro.gatelevel.glcodegen, run_strober(gl_backend=...))."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import run_strober
+from repro.core.flow import clear_caches, get_replay_engine
+from repro.gatelevel import (
+    BatchedGateLevelSimulator, GateLevelSimulator, MAX_LANES,
+    build_kernel, build_schedule, kernel_cache_key, netlist_fingerprint,
+    resolve_backend, synthesize, GLCodegenError,
+)
+from repro.gatelevel import glcodegen
+from repro.hdl import Module, elaborate
+from repro.obs import get_registry
+from repro.parallel import cache_stats, reset_cache_stats
+from repro.parallel.cache import get_cache
+
+# honors $REPRO_GL_CC, so a job pointing it at a nonexistent compiler
+# exercises the fallback tests and skips the C-kernel ones
+try:
+    glcodegen._find_compiler()
+    HAVE_CC = True
+except glcodegen.GLCodegenUnavailable:
+    HAVE_CC = False
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no C compiler")
+
+COMPILED_BACKENDS = ["compiled"] + (["c"] if HAVE_CC else [])
+
+
+@pytest.fixture(scope="module")
+def towers_run():
+    return run_strober("rocket_mini", "towers", sample_size=8,
+                       replay_length=32, backend="auto", seed=3)
+
+
+def _power_key(result):
+    return (result.snapshot_cycle, result.cycles, result.mismatches,
+            result.load_commands, result.power.total_w,
+            result.power.switching_w, result.power.clock_w,
+            result.power.sram_dynamic_w, result.power.leakage_w,
+            tuple(sorted(result.power.by_group.items())))
+
+
+class _KernelDesign(Module):
+    """Registers, feedback, and a memory — per-lane divergence fodder."""
+
+    def build(self):
+        d = self.input("d", 8)
+        we = self.input("we", 1)
+        acc = self.reg("acc", 12)
+        acc <<= (acc + d).trunc(12)
+        scratch = self.mem("scratch", 16, 8)
+        ptr = self.reg("ptr", 4)
+        with self.when(we):
+            self.mem_write(scratch, ptr, d)
+            ptr <<= ptr + 1
+        self.output("acc", 12, acc)
+        self.output("peek", 8, scratch.read(ptr))
+
+
+def _small_netlist():
+    circuit = elaborate(_KernelDesign())
+    netlist, _hints = synthesize(circuit)
+    return netlist
+
+
+def _drive(sims, cycles=24, seed=11):
+    rng = random.Random(seed)
+    lanes = sims[0].lanes
+    for _cycle in range(cycles):
+        d = [rng.randrange(256) for _ in range(lanes)]
+        we = [rng.randrange(2) for _ in range(lanes)]
+        for sim in sims:
+            sim.poke_lanes("d", d)
+            sim.poke_lanes("we", we)
+            sim.step()
+
+
+def _assert_identical(ref, sim, backend):
+    assert np.array_equal(ref._values, sim._values), backend
+    assert np.array_equal(ref.sram_reads, sim.sram_reads), backend
+    assert np.array_equal(ref.sram_writes, sim.sram_writes), backend
+    assert len(ref._toggle_planes) == len(sim._toggle_planes)
+    for p_ref, p_sim in zip(ref._toggle_planes, sim._toggle_planes):
+        assert np.array_equal(p_ref, p_sim), backend
+
+
+class TestResolveBackend:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GL_BACKEND", "c")
+        assert resolve_backend("compiled") == "compiled"
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GL_BACKEND", "compiled")
+        assert resolve_backend(None) == "compiled"
+        monkeypatch.delenv("REPRO_GL_BACKEND")
+        assert resolve_backend(None) == "interp"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(GLCodegenError):
+            resolve_backend("verilator")
+
+
+class TestSmallDesignEquivalence:
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    @pytest.mark.parametrize("lanes", [5, MAX_LANES])
+    def test_bit_identical_with_interp(self, backend, lanes):
+        netlist = _small_netlist()
+        schedule = build_schedule(netlist)
+        ref = BatchedGateLevelSimulator(netlist, lanes=lanes,
+                                        schedule=schedule)
+        sim = BatchedGateLevelSimulator(netlist, lanes=lanes,
+                                        schedule=schedule,
+                                        backend=backend)
+        assert sim.backend == backend
+        _drive([ref, sim])
+        _assert_identical(ref, sim, backend)
+        for lane in range(lanes):
+            got, want = sim.activity(lane), ref.activity(lane)
+            assert got["cycles"] == want["cycles"]
+            assert np.array_equal(got["toggles"], want["toggles"])
+            assert got["sram_reads"] == want["sram_reads"]
+            assert got["sram_writes"] == want["sram_writes"]
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    def test_matches_scalar_reference(self, backend):
+        netlist = _small_netlist()
+        rng = random.Random(5)
+        sim = BatchedGateLevelSimulator(netlist, lanes=8,
+                                        backend=backend)
+        scalars = [GateLevelSimulator(netlist) for _ in range(8)]
+        for _cycle in range(16):
+            d = [rng.randrange(256) for _ in range(8)]
+            we = [rng.randrange(2) for _ in range(8)]
+            sim.poke_lanes("d", d)
+            sim.poke_lanes("we", we)
+            for lane, scalar in enumerate(scalars):
+                scalar.poke("d", d[lane])
+                scalar.poke("we", we[lane])
+            sim.step()
+            for scalar in scalars:
+                scalar.step()
+            for lane, scalar in enumerate(scalars):
+                assert sim.peek("acc", lane=lane) == scalar.peek("acc")
+                assert sim.peek("peek", lane=lane) == \
+                    scalar.peek("peek")
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    def test_forces_fall_back_bit_identically(self, backend):
+        # active forces route eval through the interpreter; state and
+        # activity must stay identical before, during, and after
+        netlist = _small_netlist()
+        netlist.preserved_nets["probe"] = list(netlist.outputs["acc"])
+        ref = BatchedGateLevelSimulator(netlist, lanes=4)
+        sim = BatchedGateLevelSimulator(netlist, lanes=4,
+                                        backend=backend)
+        _drive([ref, sim], cycles=6, seed=2)
+        for s in (ref, sim):
+            s.force_label("probe", 0x5A)
+        _drive([ref, sim], cycles=6, seed=3)
+        for s in (ref, sim):
+            s.release_all()
+        _drive([ref, sim], cycles=6, seed=4)
+        _assert_identical(ref, sim, backend)
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    def test_rocket_towers_power_identical(self, towers_run, backend):
+        engine = get_replay_engine("rocket_mini", gl_backend=backend)
+        assert engine.gl_backend == backend
+        want = [_power_key(r) for r in towers_run.replays]
+        # full batches and a ragged 5-lane tail exercise both shapes
+        for lanes in (len(towers_run.snapshots), 5):
+            results = engine.replay_all(towers_run.snapshots,
+                                        workers=1, batch_lanes=lanes)
+            assert [_power_key(r) for r in results] == want
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    def test_run_strober_energy_identical(self, towers_run, backend):
+        run = run_strober("rocket_mini", "towers", sample_size=8,
+                          replay_length=32, backend="auto", seed=3,
+                          batch_lanes=8, gl_backend=backend)
+        assert run.timings["gl_backend"] == backend
+        assert run.energy.epi_nj == towers_run.energy.epi_nj
+        assert [_power_key(r) for r in run.replays] == \
+            [_power_key(r) for r in towers_run.replays]
+
+    def test_boom_qsort_compiled_identical(self):
+        runs = [run_strober("boom-1w_mini", "qsort", sample_size=4,
+                            replay_length=32, seed=5, batch_lanes=4,
+                            gl_backend=be)
+                for be in ("interp", "compiled")]
+        assert runs[0].energy.epi_nj == runs[1].energy.epi_nj
+        assert [_power_key(r) for r in runs[0].replays] == \
+            [_power_key(r) for r in runs[1].replays]
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GL_BACKEND", "compiled")
+        clear_caches()
+        try:
+            engine = get_replay_engine("rocket_mini")
+            assert engine.gl_backend == "compiled"
+        finally:
+            clear_caches()
+
+    def test_journal_resumes_across_backends(self, towers_run,
+                                             tmp_path):
+        journal = str(tmp_path / "run.journal")
+        first = run_strober("rocket_mini", "towers", sample_size=8,
+                            replay_length=32, backend="auto", seed=3,
+                            batch_lanes=8, journal=journal,
+                            gl_backend="interp")
+        resumed = run_strober("rocket_mini", "towers", sample_size=8,
+                              replay_length=32, backend="auto", seed=3,
+                              batch_lanes=8, journal=journal,
+                              gl_backend="compiled")
+        assert resumed.result.resumed
+        assert resumed.energy.epi_nj == first.energy.epi_nj
+
+
+class TestArtifactCache:
+    def test_python_kernel_cache_hit_skips_codegen(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        netlist = _small_netlist()
+        schedule = build_schedule(netlist)
+        cold = build_kernel(netlist, schedule, "compiled")
+        assert not cold.from_cache
+        reset_cache_stats()
+        warm = build_kernel(netlist, schedule, "compiled")
+        assert warm.from_cache
+        assert warm.source == cold.source
+        stats = cache_stats()
+        assert stats["hits"] >= 1
+        assert get_registry().value("cache.glpy.hits") >= 1
+
+    @needs_cc
+    def test_c_kernel_cache_hit_skips_compile(self, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        netlist = _small_netlist()
+        schedule = build_schedule(netlist)
+        cold = build_kernel(netlist, schedule, "c")
+        assert cold.backend == "c" and not cold.from_cache
+        reset_cache_stats()
+        warm = build_kernel(netlist, schedule, "c")
+        assert warm.backend == "c" and warm.from_cache
+        assert warm.compile_seconds < cold.compile_seconds
+        assert get_registry().value("cache.glso.hits") >= 1
+        # the reloaded kernel must actually evaluate
+        ref = BatchedGateLevelSimulator(netlist, lanes=6,
+                                        schedule=schedule)
+        sim = BatchedGateLevelSimulator(netlist, lanes=6,
+                                        schedule=schedule, kernel=warm)
+        _drive([ref, sim], cycles=8)
+        _assert_identical(ref, sim, "c-from-cache")
+
+    @needs_cc
+    def test_stale_so_regenerates_with_counter(self, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        netlist = _small_netlist()
+        schedule = build_schedule(netlist)
+        build_kernel(netlist, schedule, "c")
+        key = kernel_cache_key(netlist, "c", schedule)
+        entry = get_cache().get("glso", key)
+        entry["so"] = b"\x7fELF not actually a shared object"
+        get_cache().put("glso", key, entry)
+        glcodegen.reset_warnings()
+        before = get_registry().value("cache.glso.stale") or 0
+        with pytest.warns(RuntimeWarning, match="failed to load"):
+            kernel = build_kernel(netlist, schedule, "c")
+        assert kernel.backend == "c" and not kernel.from_cache
+        assert get_registry().value("cache.glso.stale") == before + 1
+        assert cache_stats()["glso.stale"] >= 1
+        sim = BatchedGateLevelSimulator(netlist, lanes=4,
+                                        schedule=schedule,
+                                        kernel=kernel)
+        sim.step(3)     # rebuilt kernel evaluates fine
+
+    def test_fingerprint_stable_across_instances(self):
+        a, b = _small_netlist(), _small_netlist()
+        assert netlist_fingerprint(a) == netlist_fingerprint(b)
+
+
+class TestFallbackLadder:
+    def test_no_cc_falls_back_to_compiled_python(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GL_CC", "/nonexistent/cc")
+        netlist = _small_netlist()
+        schedule = build_schedule(netlist)
+        glcodegen.reset_warnings()
+        before = get_registry().value("glcodegen.c_fallbacks") or 0
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            kernel = build_kernel(netlist, schedule, "c",
+                                  use_cache=False)
+        assert kernel is not None and kernel.backend == "compiled"
+        assert get_registry().value("glcodegen.c_fallbacks") == \
+            before + 1
+
+    def test_auto_degrades_silently(self, monkeypatch, recwarn):
+        monkeypatch.setenv("REPRO_GL_CC", "/nonexistent/cc")
+        netlist = _small_netlist()
+        schedule = build_schedule(netlist)
+        glcodegen.reset_warnings()
+        kernel = build_kernel(netlist, schedule, "auto",
+                              use_cache=False)
+        assert kernel is not None and kernel.backend == "compiled"
+        assert not [w for w in recwarn
+                    if "unavailable" in str(w.message)]
+
+    def test_interp_requests_no_kernel(self):
+        netlist = _small_netlist()
+        assert build_kernel(netlist, build_schedule(netlist),
+                            "interp") is None
