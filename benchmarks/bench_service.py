@@ -1,0 +1,113 @@
+"""Job service: submit-to-complete latency, queue throughput, and the
+service-level chaos campaign.
+
+Three questions the service PR must answer with numbers:
+
+1. What does the daemon *cost*?  A job submitted over the socket runs
+   the exact same ``run_strober`` flow as a direct library call — the
+   service overhead (protocol round trips, journaling, the worker
+   thread hop) is the price of the standing front door, measured warm
+   (daemon's engine cache populated) against the direct call.
+
+2. How does the queue *move*?  A burst of jobs through a single-slot
+   queue measures sustained jobs/second including admission,
+   journal-before-ack durability, and scheduling.
+
+3. Do the guarantees *hold*?  The service-level fault campaign (client
+   disconnect mid-job, poisoned compiled kernel, worker SIGKILL storm
+   walking the demotion ladder, ENOSPC on the cache, daemon
+   kill-and-restart) must come back all-``recovered`` — every job
+   bit-identical to a clean run or typed-failed.
+
+Writes ``results/BENCH_service.json``.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.core import run_strober
+from repro.robust import run_service_campaign
+from repro.service import ServiceHarness, result_digest
+
+from _common import emit, fmt_table, save_json
+
+SPEC = dict(design="rocket_mini", workload="towers", sample_size=4,
+            replay_length=32, seed=3)
+
+
+def test_service(benchmark):
+    t0 = time.perf_counter()
+    direct = run_strober(workers=1, **SPEC)
+    direct_s = time.perf_counter() - t0
+    direct_digest = result_digest(direct.replays)
+
+    state_root = tempfile.mkdtemp(prefix="bench-service-")
+    times = {}
+    try:
+        def measure():
+            with ServiceHarness(
+                    state_dir=os.path.join(state_root, "state"),
+                    max_queue=32) as harness:
+                with harness.client() as client:
+                    # cold: first job on a fresh daemon builds the
+                    # engine; warm: the second rides the engine cache
+                    for label in ("cold_s", "warm_s"):
+                        t0 = time.perf_counter()
+                        job = client.wait(client.submit(**SPEC),
+                                          timeout_s=600)
+                        times[label] = time.perf_counter() - t0
+                        assert job["state"] == "done", job["error"]
+                        assert job["digest"] == direct_digest
+
+                    # queue throughput: a burst through one run slot
+                    burst = 6
+                    t0 = time.perf_counter()
+                    ids = [client.submit(**SPEC) for _ in range(burst)]
+                    for job_id in ids:
+                        job = client.wait(job_id, timeout_s=600)
+                        assert job["state"] == "done", job["error"]
+                    times["burst_s"] = time.perf_counter() - t0
+                    times["burst_jobs"] = burst
+            return times
+
+        times = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+        campaign_t0 = time.perf_counter()
+        verdicts = run_service_campaign(timeout=600.0)
+        campaign_s = time.perf_counter() - campaign_t0
+    finally:
+        shutil.rmtree(state_root, ignore_errors=True)
+
+    overhead = times["warm_s"] / max(direct_s, 1e-9)
+    throughput = times["burst_jobs"] / max(times["burst_s"], 1e-9)
+    rows = [
+        ["direct run_strober (serial)", f"{direct_s:.2f} s"],
+        ["service job, cold daemon", f"{times['cold_s']:.2f} s"],
+        ["service job, warm daemon", f"{times['warm_s']:.2f} s"],
+        ["service overhead (warm / direct)", f"{overhead:.2f}x"],
+        [f"queue burst ({times['burst_jobs']} jobs, 1 slot)",
+         f"{times['burst_s']:.2f} s"],
+        ["sustained throughput", f"{throughput:.2f} jobs/s"],
+    ]
+    rows += [[f"campaign: {fault}", verdict]
+             for fault, verdict in sorted(verdicts.items())]
+    rows.append(["campaign wall time", f"{campaign_s:.1f} s"])
+    emit("service", fmt_table(["quantity", "value"], rows))
+    save_json("BENCH_service", {
+        "direct_s": direct_s,
+        "cold_s": times["cold_s"],
+        "warm_s": times["warm_s"],
+        "service_overhead_warm": overhead,
+        "burst_jobs": times["burst_jobs"],
+        "burst_s": times["burst_s"],
+        "throughput_jobs_per_s": throughput,
+        "campaign": verdicts,
+        "campaign_s": campaign_s,
+        "cpu_count": os.cpu_count(),
+    })
+
+    # the acceptance bar: every fault recovered, nothing wedged
+    assert all(v == "recovered" for v in verdicts.values()), \
+        f"service faults went unhandled: {verdicts}"

@@ -194,7 +194,8 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 confidence=0.99, workload_kwargs=None, strict_replay=True,
                 record_full_io=False, workers=1, journal=None,
                 replay_timeout=None, replay_retries=2, batch_lanes=1,
-                gl_backend=None, debug=False, trace=None):
+                gl_backend=None, debug=False, trace=None, tracer=None,
+                serial_gl_backend=None, fault_plan=None):
     """The headline API: energy-evaluate ``workload`` on ``design``.
 
     ``workload`` is a benchmark name from :data:`ALL_PROGRAMS` or a
@@ -247,12 +248,24 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
     run is spanned locally — the returned ``timings`` dict is *derived
     from the trace* — but worker capture and the export only happen
     when a path is given.
+
+    ``tracer`` supplies an externally-owned :class:`~repro.obs.Tracer`
+    instead of the one this call would create — the job service passes
+    one per job with an ``on_span`` subscriber so its ``/status``
+    endpoint can stream run phases live.  ``serial_gl_backend`` forces
+    the supervisor's in-process fallback engine onto that backend
+    (the service passes ``"interp"`` so a poisoned compiled kernel is
+    never executed in the daemon process).  ``fault_plan`` is the
+    fault-injection harness hook (:class:`repro.robust.FaultPlan`):
+    it deliberately sabotages chosen replay dispatches and exists so
+    chaos campaigns can drive sabotage through the public API.
     """
     from ..gatelevel.glcodegen import resolve_backend
     batch_lanes = 64 if batch_lanes is None else int(batch_lanes)
     gl_backend = resolve_backend(gl_backend)
     workload_name = workload if workload in ALL_PROGRAMS else "(custom)"
-    tracer = Tracer(distributed=trace is not None)
+    if tracer is None:
+        tracer = Tracer(distributed=trace is not None)
     prev_tracer = set_tracer(tracer)
     try:
         with tracer.span("strober.run", cat="flow", design=design,
@@ -267,7 +280,9 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 record_full_io=record_full_io, workers=workers,
                 journal=journal, replay_timeout=replay_timeout,
                 replay_retries=replay_retries, batch_lanes=batch_lanes,
-                gl_backend=gl_backend, debug=debug, tracer=tracer)
+                gl_backend=gl_backend, debug=debug, tracer=tracer,
+                serial_gl_backend=serial_gl_backend,
+                fault_plan=fault_plan)
     finally:
         set_tracer(prev_tracer)
         if trace is not None:
@@ -285,7 +300,7 @@ def _run_strober(design, workload, *, sample_size, replay_length,
                  max_cycles, backend, seed, confidence, workload_kwargs,
                  strict_replay, record_full_io, workers, journal,
                  replay_timeout, replay_retries, batch_lanes, gl_backend,
-                 debug, tracer):
+                 debug, tracer, serial_gl_backend=None, fault_plan=None):
     """The traced flow body; ``tracer`` is already installed."""
     t0 = time.perf_counter()
     with tracer.span("phase.elaborate", cat="phase", design=design):
@@ -415,7 +430,8 @@ def _run_strober(design, workload, *, sample_size, replay_length,
                 [s for _, s in pending], strict=strict_replay,
                 workers=workers, on_result=on_result,
                 timeout=replay_timeout, max_retries=replay_retries,
-                batch_lanes=batch_lanes)
+                batch_lanes=batch_lanes, fault_plan=fault_plan,
+                serial_gl_backend=serial_gl_backend)
             for (i, _), replay_result in zip(pending, new_results):
                 done[i] = replay_result
             replays = [done[i] for i in range(len(snapshots))]

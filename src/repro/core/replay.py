@@ -491,7 +491,8 @@ class ReplayEngine:
 
     def replay_all(self, snapshots, strict=True, workers=1,
                    on_result=None, timeout=None, max_retries=2,
-                   fault_plan=None, batch_lanes=1):
+                   fault_plan=None, batch_lanes=1,
+                   serial_gl_backend=None):
         """Replay every snapshot; optionally across worker processes.
 
         The paper parallelizes this step — each replay is independent,
@@ -519,6 +520,13 @@ class ReplayEngine:
         worker process replays whole batches, and its per-snapshot
         deadline scales to a per-batch deadline.  Results stay
         bit-identical to the serial scalar path either way.
+
+        ``serial_gl_backend`` overrides the gate-level backend of the
+        supervisor's last-resort in-process fallback engine.  The job
+        service passes ``"interp"``: when workers keep dying under a
+        compiled kernel, the kernel itself is suspect, and the
+        supervising process must not execute it in-process (backends
+        are bit-identical, so only the speed changes).
         """
         snapshots = list(snapshots)
         self.last_health = None
@@ -562,14 +570,22 @@ class ReplayEngine:
         with tracer.span("replay.all", cat="replay", workers=workers,
                          batch_lanes=batch_lanes,
                          snapshots=len(snapshots)) as span:
+            # When the caller demands a specific fallback backend and
+            # this engine runs a different one, the supervisor must
+            # build its own fallback engine instead of reusing this
+            # one (whose kernel is exactly what the caller distrusts).
+            serial_self = (serial_gl_backend is None
+                           or serial_gl_backend == self.gl_backend)
             try:
                 results, health = replay_supervised(
                     self.flow, snapshots, workers=workers,
                     port_names=self._port_names, grouping=self.grouping,
                     freq_hz=self.freq_hz, strict=strict, timeout=timeout,
                     max_retries=max_retries, fault_plan=fault_plan,
-                    on_result=on_result, serial_engine=self,
-                    batch_lanes=batch_lanes, gl_backend=self.gl_backend)
+                    on_result=on_result,
+                    serial_engine=self if serial_self else None,
+                    batch_lanes=batch_lanes, gl_backend=self.gl_backend,
+                    serial_gl_backend=serial_gl_backend)
                 self.last_health = health
                 span.set(healthy=health.healthy,
                          incidents=len(health.incidents))

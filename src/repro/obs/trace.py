@@ -159,12 +159,20 @@ class Tracer(NullTracer):
     tells replay workers to trace themselves and ship spans home.
     Thread-safe: spans close under a lock; per-thread open-span stacks
     live in a ``threading.local``.
+
+    ``on_span`` is an optional callback fired (outside the lock) with
+    each :class:`SpanRecord` as it closes — locally recorded and
+    ingested worker spans alike.  This is the live span *stream* the
+    job service's ``/status`` endpoint subscribes to; a callback that
+    raises is dropped silently, because observability must never fail
+    the observed work.
     """
 
     enabled = True
 
-    def __init__(self, distributed=False):
+    def __init__(self, distributed=False, on_span=None):
         self.distributed = bool(distributed)
+        self.on_span = on_span
         self.spans = []           # closed SpanRecords, completion order
         self.events = []          # instant events (dicts)
         self.counters = []        # counter samples (dicts)
@@ -191,6 +199,15 @@ class Tracer(NullTracer):
     def _record(self, record):
         with self._lock:
             self.spans.append(record)
+        self._notify(record)
+
+    def _notify(self, record):
+        if self.on_span is None:
+            return
+        try:
+            self.on_span(record)
+        except Exception:
+            pass        # a broken subscriber must not fail the work
 
     # -- recording API ----------------------------------------------
 
@@ -236,14 +253,16 @@ class Tracer(NullTracer):
         """Merge a :meth:`drain` payload from another process."""
         if not payload:
             return
+        ingested = [SpanRecord(
+            d["name"], d["cat"], d["ts"], d["dur"], d["cpu"],
+            d["pid"], d["tid"], d["span_id"], d["parent_id"],
+            d["args"]) for d in payload.get("spans", ())]
         with self._lock:
-            for d in payload.get("spans", ()):
-                self.spans.append(SpanRecord(
-                    d["name"], d["cat"], d["ts"], d["dur"], d["cpu"],
-                    d["pid"], d["tid"], d["span_id"], d["parent_id"],
-                    d["args"]))
+            self.spans.extend(ingested)
             self.events.extend(payload.get("events", ()))
             self.counters.extend(payload.get("counters", ()))
+        for record in ingested:
+            self._notify(record)
 
     # -- queries ----------------------------------------------------
 

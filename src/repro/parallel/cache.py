@@ -20,14 +20,16 @@ Layout::
   changes bump ``CACHE_VERSION``.
 
 Entries are framed (magic + CRC32 over the pickle payload) so a
-truncated or bit-flipped file is *detected*, dropped, and rebuilt
-rather than deserialized into a subtly wrong artifact.  Writes are
-atomic (temp file + ``os.replace``) so concurrent processes never
-observe partial artifacts.  Every degraded event — a corrupt entry
-dropped, a best-effort write skipped — is counted in module-level
-:func:`cache_stats` and announced once per event class via
-``warnings.warn`` instead of disappearing silently.  Set
-``REPRO_CACHE_DISABLE=1`` to bypass the cache entirely.
+truncated or bit-flipped file is *detected*, quarantined (moved to
+``<root>/quarantine/`` for post-mortem inspection), and rebuilt rather
+than deserialized into a subtly wrong artifact.  Writes are atomic and
+durable (temp file + ``fsync`` + ``os.replace``) so concurrent
+processes never observe partial artifacts and a disk that fills
+mid-write (``ENOSPC``) can never leave a live entry behind.  Every
+degraded event — a corrupt entry quarantined, a best-effort write
+skipped — is counted in module-level :func:`cache_stats` and announced
+once per event class via ``warnings.warn`` instead of disappearing
+silently.  Set ``REPRO_CACHE_DISABLE=1`` to bypass the cache entirely.
 """
 
 from __future__ import annotations
@@ -59,6 +61,7 @@ _STAT_KEYS = (
     "hits",
     "misses",
     "corrupt_dropped",      # entries that failed the CRC/format check
+    "quarantined",          # corrupt entries moved to <root>/quarantine/
     "put_skipped",          # best-effort writes that could not land
     # levelization time skipped by loading a cached gate-evaluation
     # schedule (kind "glsched") instead of rebuilding it
@@ -69,6 +72,19 @@ _STAT_KEYS = (
 )
 _PREFIX = "cache."
 _WARNED = set()
+
+# Fault-injection seam (see repro.robust.faultinject): when set, called
+# after an entry's bytes are written but before they are made durable —
+# the exact window where a filling disk (ENOSPC) strikes a real write.
+_PUT_FAULT = None
+
+
+def set_put_fault(fn):
+    """Install a write-fault hook (or None); returns the previous one."""
+    global _PUT_FAULT
+    previous = _PUT_FAULT
+    _PUT_FAULT = fn
+    return previous
 
 
 def _registry():
@@ -179,19 +195,63 @@ class ArtifactCache:
         except Exception as exc:
             # Corrupt/truncated entry (interrupted writer on a pre-CRC
             # format, disk error, deliberate fault injection): the CRC
-            # frame catches it here — drop, record, rebuild.
+            # frame catches it here — quarantine, record, rebuild.  The
+            # damaged bytes are kept under <root>/quarantine/ so the
+            # corruption can be inspected post-mortem instead of being
+            # destroyed along with the evidence.
             _count("corrupt_dropped",
                    f"dropping corrupt cache entry {path} ({exc}); "
                    f"the artifact will be rebuilt")
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            self._quarantine_path(path, kind, key)
             _count(f"{kind}.misses")
             return None
         _count("hits")
         _count(f"{kind}.hits")
         return obj
+
+    def quarantine_dir(self):
+        """Directory corrupt (or demotion-quarantined) entries go to."""
+        return os.path.join(self.root, "quarantine")
+
+    def _quarantine_path(self, path, kind, key):
+        """Move a damaged/suspect entry aside; falls back to deletion.
+
+        Quarantined files are named ``<kind>-<key>.pkl`` so their
+        origin stays identifiable without the directory layout.
+        """
+        dest = os.path.join(self.quarantine_dir(), f"{kind}-{key}.pkl")
+        try:
+            os.makedirs(self.quarantine_dir(), exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            # Quarantine unavailable (read-only root, cross-device
+            # surprise): removing the entry still protects the next
+            # reader, just without the forensics.
+            try:
+                os.remove(path)
+            except OSError:
+                return None
+            return None
+        _count("quarantined")
+        from ..obs import get_tracer
+        get_tracer().instant("cache.quarantined", cat="cache",
+                             kind=kind, key=key[:12], dest=dest)
+        return dest
+
+    def quarantine(self, kind, key):
+        """Move a live entry to the quarantine directory.
+
+        Used by the job service's backend circuit breaker to pull a
+        suspected-poisoned compiled kernel (``glso``) out of
+        circulation — workers that repeatedly segfault under a cached
+        shared object must not keep loading it.  Returns the
+        quarantined file's path, or None when there was no entry (or
+        the move failed).
+        """
+        path = self._path(kind, key)
+        if not os.path.exists(path):
+            return None
+        return self._quarantine_path(path, kind, key)
 
     def put(self, kind, key, obj):
         """Atomically store an artifact; returns its path.
@@ -200,6 +260,9 @@ class ArtifactCache:
         disk full, bogus ``REPRO_CACHE_DIR``) returns None instead of
         failing the computation whose result was being cached — but the
         skip is counted and warned about, not swallowed invisibly.
+        The temp file is fsync'd *before* ``os.replace`` publishes it,
+        so a disk that fills mid-write (ENOSPC on flush or fsync) can
+        never leave a truncated entry live under the real key.
         """
         from ..obs import get_tracer
         with get_tracer().span("cache.put", cat="cache", kind=kind):
@@ -214,6 +277,10 @@ class ArtifactCache:
                                        prefix=".tmp-", suffix=".pkl")
             with os.fdopen(fd, "wb") as f:
                 f.write(_encode(obj))
+                if _PUT_FAULT is not None:
+                    _PUT_FAULT()
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, path)
         except OSError as exc:
             if tmp is not None:

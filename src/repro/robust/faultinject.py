@@ -27,9 +27,12 @@ one verdict per fault — the executable form of the acceptance criteria.
 
 from __future__ import annotations
 
+import contextlib
 import copy
+import errno
 import os
 import random
+import shutil
 import tempfile
 import time
 from dataclasses import dataclass
@@ -129,6 +132,48 @@ def corrupt_file(path, mode="truncate", rng=None):
 def corrupt_cache_entry(cache, kind, key, mode="truncate"):
     """Damage one artifact-cache entry on disk."""
     return corrupt_file(cache._path(kind, key), mode=mode)
+
+
+def poison_cache_entry(cache, kind, key, payload):
+    """Replace a cache entry with a *well-framed* wrong artifact.
+
+    Unlike :func:`corrupt_cache_entry` — which damages the frame so the
+    CRC check catches it — a poisoned entry passes every integrity
+    check and fails only when its consumer tries to use it (a compiled
+    kernel whose ``so`` bytes are not a loadable shared object, say).
+    This is the fault class the service's backend circuit breaker and
+    the codegen layer's load-validation exist for.
+    """
+    if cache.put(kind, key, payload) is None:
+        raise RuntimeError(f"could not poison cache entry {kind}/{key}")
+    return f"poisoned cache entry {kind}/{key[:12]}…"
+
+
+def poisoned_glso_payload():
+    """A glso entry that frames and versions correctly but whose
+    shared object cannot possibly load."""
+    from ..gatelevel.glcodegen import GLCODEGEN_VERSION
+    return {"version": GLCODEGEN_VERSION,
+            "source": "/* poisoned by the fault campaign */",
+            "so": b"\x7fELFnot-actually-a-shared-object" * 8}
+
+
+@contextlib.contextmanager
+def enospc_cache_writes():
+    """Make every artifact-cache write die with ENOSPC for the
+    duration — the filling-disk fault.  Uses the cache's put seam, so
+    the fault lands after the entry's bytes are written but before
+    they are durable: exactly where a real full disk tears a write."""
+    from ..parallel import cache as cache_mod
+
+    def _fault():
+        raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC))
+
+    previous = cache_mod.set_put_fault(_fault)
+    try:
+        yield
+    finally:
+        cache_mod.set_put_fault(previous)
 
 
 def corrupt_journal_tail(path, mode="truncate"):
@@ -252,4 +297,201 @@ def run_campaign(engine, snapshots, workers=2, timeout=10.0,
             and records[0] == (TYPE_META, {"campaign": True})
             else "missed")
 
+    return verdicts
+
+
+# -- the service-level campaign ----------------------------------------------
+
+
+def run_service_campaign(design="rocket_mini", workload="towers", *,
+                         sample_size=4, replay_length=32, seed=3,
+                         timeout=600.0, include_restart=True,
+                         state_root=None):
+    """Chaos campaign against the job service; returns ``{fault:
+    verdict}``.
+
+    The acceptance bar, executable: under every service-level fault —
+    a client that vanishes mid-job, a poisoned compiled kernel, a
+    worker SIGKILL storm, a disk that fills mid-write, a daemon killed
+    and restarted mid-queue — every job either completes with results
+    **bit-identical** to a clean serial run (digest equality) or fails
+    with a typed error.  Never a hang (every wait is bounded), never a
+    wedged queue, never a silently wrong number.  The kill-storm leg
+    additionally asserts the backend demotion ladder walked all the
+    way down (``c -> compiled -> interp``) and was reported in job
+    status.  ``include_restart=False`` skips the subprocess
+    daemon-kill leg (for hosts where spawning a second interpreter is
+    unwelcome).
+    """
+    from ..core.flow import run_strober, clear_caches
+    from ..parallel.cache import get_cache
+    from ..service import (
+        ServiceHarness, ServiceClient, compiled_kernel_key,
+        result_digest,
+    )
+
+    spec = {"design": design, "workload": workload,
+            "sample_size": sample_size, "replay_length": replay_length,
+            "seed": seed}
+    root = state_root or tempfile.mkdtemp(prefix="repro-service-chaos-")
+    owns_root = state_root is None
+    verdicts = {}
+
+    # The truth every faulted job is measured against: one clean,
+    # serial, in-process run of the same spec.
+    clean = run_strober(design, workload, sample_size=sample_size,
+                        replay_length=replay_length, seed=seed,
+                        workers=1)
+    clean_digest = result_digest(clean.replays)
+
+    def good(job):
+        return job["state"] == "done" and job["digest"] == clean_digest
+
+    def harness(name, **kwargs):
+        return ServiceHarness(state_dir=os.path.join(root, name),
+                              stop_timeout=timeout, **kwargs)
+
+    def attempt(name, fn):
+        try:
+            verdicts[name] = fn()
+        except Exception:
+            verdicts[name] = "missed"
+
+    def client_disconnect():
+        # The submitting client drops dead mid-job; the job is the
+        # daemon's (journaled before the ack), not the connection's.
+        with harness("disconnect") as h:
+            client = h.client(timeout=timeout).connect()
+            job_id = client.submit(**spec)
+            client.disconnect_abruptly()
+            with h.client(timeout=timeout + 60) as fresh:
+                job = fresh.wait(job_id, timeout_s=timeout)
+        return "recovered" if good(job) else "missed"
+
+    def poisoned_glso():
+        # A well-framed glso entry whose .so cannot load: the codegen
+        # layer must catch the load failure and rebuild, not crash.
+        key = compiled_kernel_key(design)
+        poison_cache_entry(get_cache(), "glso", key,
+                           poisoned_glso_payload())
+        with harness("poisoned") as h:
+            with h.client(timeout=timeout + 60) as client:
+                job_id = client.submit(gl_backend="c", **spec)
+                job = client.wait(job_id, timeout_s=timeout)
+        return "recovered" if good(job) else "missed"
+
+    def kill_storm():
+        # Two crash-storm jobs walk the breaker down the full ladder;
+        # the third runs clean on the floor.  All three must still be
+        # bit-identical — backends and the serial fallback agree by
+        # construction.
+        storm = [{"kind": "kill", "times": 5}]
+        with harness("storm", breaker_threshold=2) as h:
+            with h.client(timeout=timeout + 60) as client:
+                jobs = []
+                for faults in (storm, storm, None):
+                    job_id = client.submit(
+                        gl_backend="c", workers=2,
+                        faults=copy.deepcopy(faults) or [], **spec)
+                    jobs.append(client.wait(job_id, timeout_s=timeout))
+                breakers = client.status()["breakers"]
+        floor = breakers.get(design, {}).get("floor")
+        demoted = [d["to"] for job in jobs for d in job["demotions"]]
+        ladder_ok = (floor == "interp" and "compiled" in demoted
+                     and "interp" in demoted
+                     and jobs[2]["backends"] == ["interp"]
+                     and jobs[0]["crashes"] >= 2)
+        return ("recovered" if ladder_ok and all(map(good, jobs))
+                else "missed")
+
+    def enospc():
+        # Disk fills mid-write on a stone-cold cache: every artifact
+        # write dies, the job completes anyway, and no partial entry
+        # is left live.
+        fresh_cache = os.path.join(root, "enospc-cache")
+        previous = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = fresh_cache
+        clear_caches()
+        try:
+            with enospc_cache_writes():
+                with harness("enospc") as h:
+                    with h.client(timeout=timeout + 60) as client:
+                        job_id = client.submit(**spec)
+                        job = client.wait(job_id, timeout_s=timeout)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous
+            clear_caches()
+        leftovers = [name for _, _, files in os.walk(fresh_cache)
+                     for name in files if name.endswith(".pkl")]
+        return ("recovered" if good(job) and not leftovers
+                else "missed")
+
+    def daemon_restart():
+        # SIGKILL the daemon mid-queue; a restart on the same state
+        # dir must finish the queue without recomputing the job that
+        # already finished (its run journal stays byte-for-byte).
+        import json
+        import subprocess
+        import sys
+
+        import repro
+        state_dir = os.path.join(root, "restart")
+        sock = os.path.join(root, "restart.sock")
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p)
+        command = [sys.executable, "-m", "repro.service",
+                   "--state-dir", state_dir, "--unix-socket", sock]
+
+        def spawn():
+            proc = subprocess.Popen(command, env=env,
+                                    stdout=subprocess.PIPE,
+                                    stderr=subprocess.DEVNULL,
+                                    text=True)
+            if not json.loads(proc.stdout.readline() or "null"):
+                raise RuntimeError("daemon failed to start")
+            return proc
+
+        proc = spawn()
+        jobs = []
+        try:
+            with ServiceClient(sock, timeout=timeout + 60) as client:
+                ids = [client.submit(**spec) for _ in range(3)]
+                first = client.wait(ids[0], timeout_s=timeout)
+            proc.kill()                      # no drain, no goodbye
+            proc.wait(timeout=60)
+            first_journal = os.path.join(state_dir, "runs",
+                                         f"{ids[0]}.journal")
+            size_before = os.path.getsize(first_journal)
+            proc = spawn()
+            with ServiceClient(sock, timeout=timeout + 60) as client:
+                jobs = [client.wait(job_id, timeout_s=timeout)
+                        for job_id in ids]
+                client.shutdown()
+            proc.wait(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=60)
+        resumed_ok = (good(first)
+                      and os.path.getsize(first_journal) == size_before
+                      and all(job["resumed"] for job in jobs))
+        return ("recovered" if resumed_ok and all(map(good, jobs))
+                else "missed")
+
+    try:
+        attempt("client-disconnect", client_disconnect)
+        attempt("poisoned-glso", poisoned_glso)
+        attempt("worker-kill-storm", kill_storm)
+        attempt("enospc", enospc)
+        if include_restart:
+            attempt("daemon-restart", daemon_restart)
+    finally:
+        if owns_root:
+            shutil.rmtree(root, ignore_errors=True)
     return verdicts

@@ -45,6 +45,15 @@ TYPE_SNAPSHOT = 2    # {"index": int, "snapshot": ReplayableSnapshot}
 TYPE_SIM = 3         # FAME outcome: cycles, instret, exit_code, counters
 TYPE_RESULT = 4      # {"index": int, "result": ReplayResult}
 
+# Service-level job records (repro.service): the job daemon journals
+# its queue in the same CRC-framed format, in a separate file.  Record
+# payloads carry their own ``"v"`` schema version, and every reader —
+# the run-journal resume below included — must *skip* record types it
+# does not know rather than fail: a journal written by a newer daemon
+# has to stay resumable by an older one (forward compatibility).
+TYPE_JOB = 16         # {"v": 1, "id": str, "spec": dict} — job accepted
+TYPE_JOB_UPDATE = 17  # {"v": 1, "id": str, "state": str, ...} — terminal
+
 
 class JournalError(Exception):
     pass

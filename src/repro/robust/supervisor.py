@@ -8,10 +8,17 @@ a worker that raises a spurious one-off exception.  This supervisor
 replaces it with an explicitly managed set of worker processes:
 
 * each snapshot gets a wall-clock deadline derived from its replay
-  length (overridable per call or via ``$REPRO_REPLAY_TIMEOUT``);
+  length (overridable per call or via ``$REPRO_REPLAY_TIMEOUT``); the
+  deadline clock only starts once the worker has finished its one-time
+  engine initialization (kernel compile/load), which the worker
+  announces with a ``ready`` message — so a ~2 s gcc compile under
+  ``gl_backend="c"`` cannot eat a small first batch's budget and
+  trigger a spurious hang-kill;
 * a dead or overdue worker is killed and respawned, and its snapshot is
-  retried — up to ``max_retries`` times, with exponential backoff — on
-  a fresh worker;
+  retried — up to ``max_retries`` times, with exponential backoff and
+  *full jitter* (the retry delay is drawn uniformly from [0, cap]), so
+  a batch of simultaneously-killed workers does not respawn and
+  re-dispatch in lockstep;
 * a snapshot that exhausts its retries degrades gracefully to an
   in-process serial replay, so one poisoned worker environment cannot
   sink the run;
@@ -28,6 +35,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import struct
 import time
 from collections import deque
@@ -37,9 +45,15 @@ from multiprocessing import connection as _mpconn
 from ..parallel.pool import ParallelReplayError, _pick_context
 
 _ENV_TIMEOUT = "REPRO_REPLAY_TIMEOUT"
+_ENV_INIT_GRACE = "REPRO_REPLAY_INIT_GRACE"
 _MIN_TIMEOUT_S = 30.0
 _PER_CYCLE_BUDGET_S = 0.25
 _POLL_S = 0.02
+_INIT_GRACE_S = 300.0
+
+# Full-jitter retry delays (and nothing else) come from this generator;
+# it is module-level so tests can seed it deterministically.
+_BACKOFF_RNG = random.Random()
 
 
 def default_replay_timeout(replay_length):
@@ -51,6 +65,23 @@ def default_replay_timeout(replay_length):
     if env:
         return float(env)
     return max(_MIN_TIMEOUT_S, _PER_CYCLE_BUDGET_S * float(replay_length))
+
+
+def default_init_grace():
+    """Extra deadline headroom while a worker is still initializing.
+
+    Engine construction inside a worker pays one-time costs the batch
+    deadline must not be charged for — most visibly the C kernel
+    compile under ``gl_backend="c"`` on a cold cache.  Until the worker
+    reports ``ready``, its in-flight task's deadline is extended by
+    this grace; the moment ``ready`` arrives the deadline is re-armed
+    to the plain task timeout.  ``$REPRO_REPLAY_INIT_GRACE`` (seconds)
+    overrides.
+    """
+    env = os.environ.get(_ENV_INIT_GRACE)
+    if env:
+        return float(env)
+    return _INIT_GRACE_S
 
 
 @dataclass
@@ -143,12 +174,18 @@ def _worker_main(payload, task_conn, result_conn):
         get_registry().reset()
         tracer = Tracer() if trace else NullTracer()
         set_tracer(tracer)
+        t_init = time.perf_counter()
         # Engine construction compiles-or-cache-loads the gate-level
         # evaluation kernel, so that cost lands inside this span.
         with tracer.span("worker.init", cat="worker"):
             engine = ReplayEngine.from_flow(
                 flow, port_names=port_names, grouping=grouping,
                 freq_hz=freq_hz, gl_backend=gl_backend)
+        # One-time init is done: the supervisor re-arms the in-flight
+        # task's deadline on receipt, so compile/load cost is excluded
+        # from the batch's wall-clock budget.
+        result_conn.send((None, "ready",
+                          {"init_seconds": time.perf_counter() - t_init}))
     except BaseException as exc:
         result_conn.send((None, "init-error", f"{type(exc).__name__}: {exc}"))
         return
@@ -232,6 +269,8 @@ class _Worker:
         self.task = None           # task index in flight, or None
         self.deadline = None
         self.attempt = 0
+        self.ready = False         # worker finished one-time engine init
+        self.task_timeout = None   # plain timeout of the task in flight
 
     # ---- outgoing tasks (non-blocking, parent side) ----
 
@@ -259,10 +298,18 @@ class _Worker:
             else:
                 self._outbox[0] = buf[n:]
 
-    def dispatch(self, tidx, snaps, strict, fault, timeout, attempt):
+    def dispatch(self, tidx, snaps, strict, fault, timeout, attempt,
+                 init_grace=0.0):
         self.task = tidx
         self.attempt = attempt
-        self.deadline = time.monotonic() + timeout
+        self.task_timeout = timeout
+        # A worker that has not reported ready yet is still paying its
+        # one-time engine-init cost (kernel compile/load); extend the
+        # deadline by the init grace so that cost is not charged to the
+        # batch.  The deadline is re-armed to the plain timeout the
+        # moment the ready message is drained.
+        grace = 0.0 if self.ready else init_grace
+        self.deadline = time.monotonic() + timeout + grace
         self._send((tidx, snaps, strict, fault))
 
     # ---- incoming results (non-blocking, parent side) ----
@@ -356,7 +403,8 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                       grouping=None, freq_hz=None, strict=True,
                       start_method=None, timeout=None, max_retries=2,
                       backoff_base=0.25, fault_plan=None, on_result=None,
-                      serial_engine=None, batch_lanes=1, gl_backend=None):
+                      serial_engine=None, batch_lanes=1, gl_backend=None,
+                      serial_gl_backend=None, init_grace=None):
     """Replay ``snapshots`` under supervision; order-preserving.
 
     Returns ``(results, ReplayHealthReport)``.  ``on_result(index,
@@ -379,6 +427,13 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
 
     ``serial_engine`` is the engine used for last-resort in-process
     replays; built lazily from ``flow`` when not supplied.
+    ``serial_gl_backend`` overrides the gate-level backend of that
+    lazily-built engine — the job service passes ``"interp"`` so the
+    in-process fallback never executes a possibly-poisoned compiled
+    kernel inside the supervising process (backends are bit-identical,
+    so the results are unchanged).  ``init_grace`` (seconds, default
+    :func:`default_init_grace`) is the extra deadline headroom granted
+    while a worker is still paying its one-time engine-init cost.
     """
     from ..obs import get_tracer, get_registry
     tracer = get_tracer()
@@ -410,6 +465,8 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
     if timeout is None:
         timeout = default_replay_timeout(
             max(s.replay_length for s in snapshots))
+    if init_grace is None:
+        init_grace = default_init_grace()
     report.workers = workers
     report.timeout_seconds = timeout
 
@@ -440,7 +497,8 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
             from ..core.replay import ReplayEngine
             serial_engine = ReplayEngine.from_flow(
                 flow, port_names=port_names, grouping=grouping,
-                freq_hz=freq_hz, gl_backend=gl_backend)
+                freq_hz=freq_hz,
+                gl_backend=serial_gl_backend or gl_backend)
         return serial_engine
 
     def _complete(tidx, batch_results, serial=False):
@@ -488,7 +546,13 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                       serial=True)
         else:
             report.retries += 1
-            delay = backoff_base * (2 ** (attempts[tidx] - 1))
+            # Full jitter: draw the delay uniformly from [0, cap]
+            # rather than sleeping exactly cap.  Deterministic delays
+            # make simultaneously-killed workers respawn and
+            # re-dispatch in lockstep — hitting whatever killed them
+            # (memory spike, cache stampede) all at once again.
+            cap = backoff_base * (2 ** (attempts[tidx] - 1))
+            delay = _BACKOFF_RNG.uniform(0.0, cap)
             waiting.append((time.monotonic() + delay, tidx))
 
     try:
@@ -513,7 +577,8 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                              if fault_plan is not None else None)
                     w.dispatch(tidx, [snapshots[i] for i in batch],
                                strict, fault, timeout * len(batch),
-                               attempts[tidx] + 1)
+                               attempts[tidx] + 1,
+                               init_grace=init_grace)
 
             # Sleep until some worker has bytes for us (or the poll
             # tick elapses), then drain every complete message from
@@ -534,6 +599,15 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                         # parent trace with the worker's own pid/tid.
                         tracer.ingest(body.get("trace"))
                         registry.merge(body.get("metrics"))
+                        continue
+                    if status == "ready":
+                        # One-time engine init done: re-arm the
+                        # in-flight task's deadline to the plain task
+                        # timeout, excluding the compile/load cost.
+                        w.ready = True
+                        if w.task is not None and w.task_timeout:
+                            w.deadline = (time.monotonic()
+                                          + w.task_timeout)
                         continue
                     if status == "init-error":
                         raise ParallelReplayError(

@@ -1,0 +1,142 @@
+"""Blocking socket client for the Strober job daemon.
+
+One connection, line-delimited JSON both ways (see
+:mod:`repro.service.protocol`).  Every request method returns the
+decoded response dict; responses with ``ok: false`` raise the typed
+:class:`~repro.service.protocol.ServiceError` they carry, so client
+code (and the chaos campaign) asserts on error *types*::
+
+    with ServiceClient(address) as client:
+        job_id = client.submit(design="rocket_mini", workload="towers")
+        job = client.wait(job_id, timeout_s=300)
+        assert job["state"] == "done", job["error"]
+"""
+
+from __future__ import annotations
+
+import socket
+
+from .protocol import (
+    ServiceError, encode_line, decode_line, ERR_INTERNAL,
+)
+
+
+class ServiceClient:
+    """One blocking connection to a daemon.
+
+    ``address`` is what :attr:`StroberService.address` returns (a dict
+    with ``family`` unix/tcp) or simply a Unix socket path string.
+    """
+
+    def __init__(self, address, timeout=600.0):
+        if isinstance(address, str):
+            address = {"family": "unix", "path": address}
+        self.address = address
+        self.timeout = timeout
+        self._sock = None
+        self._file = None
+
+    # -- connection --------------------------------------------------
+
+    def connect(self):
+        if self._sock is not None:
+            return self
+        if self.address["family"] == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.address["path"])
+        else:
+            sock = socket.create_connection(
+                (self.address["host"], self.address["port"]),
+                timeout=self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        return self
+
+    def close(self):
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self):
+        return self.connect()
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def disconnect_abruptly(self):
+        """Drop the connection without shutdown pleasantries — the
+        fault campaign's 'client vanished mid-job' move."""
+        if self._sock is not None:
+            self._sock.close()
+        self._sock = None
+        self._file = None
+
+    # -- raw request/response ----------------------------------------
+
+    def request(self, cmd, **fields):
+        """Send one command, return the decoded ``ok`` response.
+
+        Raises the response's typed :class:`ServiceError` on ``ok:
+        false`` and a plain ``internal`` ServiceError when the
+        transport itself fails.
+        """
+        self.connect()
+        message = {"cmd": cmd}
+        message.update(fields)
+        try:
+            self._file.write(encode_line(message))
+            self._file.flush()
+            line = self._file.readline()
+        except (OSError, ValueError) as exc:
+            self.close()
+            raise ServiceError(ERR_INTERNAL,
+                               f"transport failure: {exc}")
+        if not line:
+            self.close()
+            raise ServiceError(ERR_INTERNAL,
+                               "daemon closed the connection")
+        response = decode_line(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(error.get("type", ERR_INTERNAL),
+                               error.get("message", "unknown error"))
+        return response
+
+    # -- commands ----------------------------------------------------
+
+    def ping(self):
+        return self.request("ping")["state"]
+
+    def submit(self, **spec):
+        """Submit a job spec; returns the job id."""
+        return self.request("submit", spec=spec)["job_id"]
+
+    def job(self, job_id):
+        return self.request("job", id=job_id)["job"]
+
+    def wait(self, job_id, timeout_s=None):
+        """Block until the job is terminal (or ``timeout_s`` passes);
+        returns the job info dict either way — check ``state``."""
+        return self.request("wait", id=job_id, timeout_s=timeout_s)["job"]
+
+    def cancel(self, job_id):
+        return self.request("cancel", id=job_id)
+
+    def status(self):
+        return self.request("status")["status"]
+
+    def drain(self):
+        return self.request("drain")["state"]
+
+    def shutdown(self):
+        return self.request("shutdown")["state"]

@@ -1,0 +1,102 @@
+"""In-process daemon harness for tests and the chaos campaign.
+
+Runs a :class:`~repro.service.daemon.StroberService` on its own event
+loop on a background thread, so synchronous test code can talk to it
+through the blocking :class:`~repro.service.client.ServiceClient`::
+
+    with ServiceHarness(state_dir=tmp) as harness:
+        with harness.client() as client:
+            job_id = client.submit(design=..., workload=...)
+            job = client.wait(job_id)
+
+The harness always binds TCP on an ephemeral localhost port unless a
+``unix_socket`` is configured, and ``stop()`` performs a graceful
+drain-and-shutdown (bounded by ``stop_timeout``) so a test that forgot
+a job cannot leak the thread forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from .client import ServiceClient
+from .daemon import ServiceConfig, StroberService
+
+
+class ServiceHarness:
+    """Background-thread lifetime manager for one daemon instance."""
+
+    def __init__(self, state_dir, stop_timeout=600.0, **config_kwargs):
+        self.config = ServiceConfig(state_dir=state_dir, **config_kwargs)
+        self.stop_timeout = stop_timeout
+        self.service = None
+        self._loop = None
+        self._thread = None
+        self._started = threading.Event()
+        self._startup_error = None
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run,
+                                        name="strober-service",
+                                        daemon=True)
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            # Mirror asyncio.run()'s teardown: let in-flight default-
+            # executor work (kernel quarantine, abandoned attempts)
+            # resolve before the loop closes under it.
+            try:
+                self._loop.run_until_complete(
+                    self._loop.shutdown_asyncgens())
+                self._loop.run_until_complete(
+                    self._loop.shutdown_default_executor())
+            finally:
+                self._loop.close()
+
+    async def _main(self):
+        try:
+            self.service = StroberService(self.config)
+            await self.service.start()
+        except Exception as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self.service.wait_stopped()
+
+    def stop(self):
+        """Graceful drain + shutdown; joins the service thread."""
+        if self._thread is None or not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self.service.begin_drain, True)
+        self._thread.join(self.stop_timeout)
+        if self._thread.is_alive():
+            raise RuntimeError(
+                f"service did not drain within {self.stop_timeout}s")
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    # -- conveniences ------------------------------------------------
+
+    @property
+    def address(self):
+        return self.service.address
+
+    def client(self, timeout=600.0):
+        return ServiceClient(self.address, timeout=timeout)

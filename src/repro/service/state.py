@@ -1,0 +1,150 @@
+"""Crash-safe job-queue state for the Strober job service.
+
+The daemon journals its queue in the same CRC-framed, fsync'd record
+format the run journal uses (:mod:`repro.robust.journal`), in its own
+file (``<state_dir>/jobs.journal``):
+
+* ``TYPE_JOB`` — a job passed admission: ``{"v", "id", "spec",
+  "submitted_at"}`` with the spec in its canonical
+  :meth:`~repro.service.protocol.JobSpec.as_dict` form.
+* ``TYPE_JOB_UPDATE`` — a job reached a terminal state: ``{"v", "id",
+  "state", "error", "digest", "summary", "finished_at"}``.
+
+Both records are appended *before* the daemon acknowledges the
+transition to anyone, so a daemon killed at any instant can replay the
+journal and recover exactly the set of accepted-but-unfinished jobs —
+submission order preserved — without re-running anything that already
+finished.  Per-run replay progress is *not* duplicated here: each job
+owns a standard run journal (``<state_dir>/runs/<id>.journal``), and
+resuming a job goes through ``run_strober``'s own resume path, which
+skips the FAME simulation and every replay with a RESULT record.
+
+Forward compatibility: payloads carry a ``"v"`` schema version and the
+loader *skips* (and counts) record types or versions it does not
+understand, so a journal written by a newer daemon still resumes under
+an older one — the same contract the run-journal reader honors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import time
+from dataclasses import dataclass, field
+
+from ..robust.journal import (
+    RunJournal, read_journal, TYPE_JOB, TYPE_JOB_UPDATE,
+)
+
+JOB_SCHEMA_VERSION = 1
+
+
+def result_digest(replays):
+    """Order-sensitive digest over everything a replay result decides.
+
+    Two runs of the same spec must produce the same digest — this is
+    the bit-identity the chaos campaign asserts between a faulted
+    service job and a clean serial run.  Hashes the replay cycle
+    counts, mismatch counts, and per-group power numbers (the full
+    ``repr`` of each, so a single flipped mantissa bit changes the
+    digest).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for result in replays:
+        key = (result.snapshot_cycle, result.cycles, result.mismatches,
+               result.power.total_w,
+               tuple(sorted(result.power.by_group.items())))
+        h.update(repr(key).encode())
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+_ID_RE = re.compile(r"^job-(\d+)$")
+
+
+class ServiceJournal:
+    """Append-side view: one durable record per queue transition."""
+
+    def __init__(self, path):
+        self.path = path
+        self._journal = RunJournal(path)
+
+    def open(self):
+        self._journal.open()
+        return self
+
+    def close(self):
+        self._journal.close()
+
+    def __enter__(self):
+        return self.open()
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def job_accepted(self, job_id, spec_dict):
+        self._journal.append(TYPE_JOB, {
+            "v": JOB_SCHEMA_VERSION, "id": job_id, "spec": spec_dict,
+            "submitted_at": time.time(),
+        })
+
+    def job_finished(self, job_id, state, error=None, digest=None,
+                     summary=None):
+        """Record a terminal transition (``done`` / ``failed`` /
+        ``cancelled``)."""
+        self._journal.append(TYPE_JOB_UPDATE, {
+            "v": JOB_SCHEMA_VERSION, "id": job_id, "state": state,
+            "error": error, "digest": digest, "summary": summary,
+            "finished_at": time.time(),
+        })
+
+
+@dataclass
+class ServiceState:
+    """What a restarted daemon recovers from its jobs journal."""
+
+    pending: list = field(default_factory=list)    # [(id, record)], FIFO
+    finished: dict = field(default_factory=dict)   # id -> update record
+    accepted: dict = field(default_factory=dict)   # id -> job record
+    skipped_records: int = 0                       # unknown type/version
+    next_job_number: int = 1
+
+    @property
+    def empty(self):
+        return not self.accepted
+
+
+def _versioned(obj):
+    return (isinstance(obj, dict) and isinstance(obj.get("id"), str)
+            and obj.get("v", 0) <= JOB_SCHEMA_VERSION)
+
+
+def load_service_state(path):
+    """Replay a jobs journal into a :class:`ServiceState`.
+
+    Tolerates everything short of losing data: a missing or empty
+    journal is a fresh start, a torn tail is repaired by the shared
+    reader, and unknown record types or newer payload versions are
+    skipped and counted — never fatal.
+    """
+    state = ServiceState()
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return state
+    for rtype, obj in read_journal(path):
+        if rtype == TYPE_JOB and _versioned(obj):
+            state.accepted[obj["id"]] = obj
+            match = _ID_RE.match(obj["id"])
+            if match:
+                state.next_job_number = max(state.next_job_number,
+                                            int(match.group(1)) + 1)
+        elif rtype == TYPE_JOB_UPDATE and _versioned(obj):
+            if obj["id"] in state.accepted:
+                state.finished[obj["id"]] = obj
+            else:
+                state.skipped_records += 1   # update without its job
+        else:
+            state.skipped_records += 1
+    state.pending = [(job_id, record)
+                     for job_id, record in state.accepted.items()
+                     if job_id not in state.finished]
+    return state

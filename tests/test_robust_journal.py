@@ -11,7 +11,7 @@ from repro.robust import (
     RunJournal, read_journal, corrupt_journal_tail,
     TYPE_META, TYPE_SNAPSHOT, TYPE_SIM, TYPE_RESULT,
 )
-from repro.robust.journal import load_resume
+from repro.robust.journal import TYPE_JOB, TYPE_JOB_UPDATE, load_resume
 
 
 RUN_KW = dict(design="rocket_mini", workload="towers", sample_size=6,
@@ -202,3 +202,103 @@ class TestRunStroberResume:
         assert resumed.timings["resumed_replays"] == \
             len(baseline.snapshots) - 1
         assert _energy_key(resumed.energy) == _energy_key(baseline.energy)
+
+
+class TestForwardCompatibility:
+    """Records from newer layers — the service's job records, or types
+    not invented yet — must never break run-journal resume."""
+
+    def test_unknown_record_types_skipped_on_resume(self, baseline,
+                                                    tmp_path):
+        jpath = str(tmp_path / "run.journal")
+        run_strober(**RUN_KW, journal=jpath)
+        with RunJournal(jpath) as journal:
+            journal.append(TYPE_JOB, {"v": 1, "id": "job-000001",
+                                      "spec": {}})
+            journal.append(99, {"v": 7, "mystery": True})
+        resumed = run_strober(**RUN_KW, journal=jpath)
+        assert resumed.timings["resumed_sim"]
+        assert resumed.timings["resumed_replays"] == \
+            len(baseline.snapshots)
+        assert _energy_key(resumed.energy) == _energy_key(baseline.energy)
+        # the foreign records passed CRC: they are preserved, not
+        # mistaken for damage and truncated away
+        types = [rtype for rtype, _obj in read_journal(jpath)]
+        assert TYPE_JOB in types and 99 in types
+
+
+class TestServiceJournal:
+    """The job daemon's queue journal (repro.service.state) rides the
+    same record framing; resume semantics under damage and version
+    drift."""
+
+    def _spec(self, design="rocket_mini"):
+        return {"v": 1, "design": design, "workload": "towers"}
+
+    def test_round_trip_preserves_fifo_and_numbering(self, tmp_path):
+        from repro.service import ServiceJournal, load_service_state
+        path = str(tmp_path / "jobs.journal")
+        with ServiceJournal(path) as journal:
+            journal.job_accepted("job-000001", self._spec())
+            journal.job_accepted("job-000002", self._spec())
+            journal.job_finished("job-000001", "done", digest="d1",
+                                 summary={"cycles": 1})
+        state = load_service_state(path)
+        assert [job_id for job_id, _ in state.pending] == ["job-000002"]
+        assert state.finished["job-000001"]["digest"] == "d1"
+        assert state.accepted["job-000002"]["spec"] == self._spec()
+        assert state.next_job_number == 3
+        assert state.skipped_records == 0
+
+    def test_torn_tail_mid_job_record_loses_only_unacked_job(
+            self, tmp_path):
+        from repro.service import ServiceJournal, load_service_state
+        path = str(tmp_path / "jobs.journal")
+        with ServiceJournal(path) as journal:
+            journal.job_accepted("job-000001", self._spec())
+            journal.job_finished("job-000001", "done", digest="d1")
+            journal.job_accepted("job-000002", self._spec())
+        corrupt_journal_tail(path, mode="truncate")
+        with pytest.warns(RuntimeWarning, match="journal"):
+            state = load_service_state(path)
+        # the torn job was journaled *before* the ack, so no client
+        # ever saw its id: dropping it is correct, everything earlier
+        # must survive intact
+        assert not state.pending
+        assert set(state.finished) == {"job-000001"}
+        assert state.next_job_number == 2
+
+    def test_torn_tail_mid_update_returns_job_to_pending(self, tmp_path):
+        from repro.service import ServiceJournal, load_service_state
+        path = str(tmp_path / "jobs.journal")
+        with ServiceJournal(path) as journal:
+            journal.job_accepted("job-000001", self._spec())
+            journal.job_finished("job-000001", "done", digest="d1")
+        corrupt_journal_tail(path, mode="truncate")
+        with pytest.warns(RuntimeWarning, match="journal"):
+            state = load_service_state(path)
+        # losing the terminal record re-queues the job — safe, because
+        # its run journal makes the rerun a pure resume
+        assert [job_id for job_id, _ in state.pending] == ["job-000001"]
+        assert not state.finished
+
+    def test_newer_versions_and_unknown_types_skipped_and_counted(
+            self, tmp_path):
+        from repro.service import ServiceJournal, load_service_state
+        from repro.service.state import JOB_SCHEMA_VERSION
+        path = str(tmp_path / "jobs.journal")
+        with ServiceJournal(path) as journal:
+            journal.job_accepted("job-000001", self._spec())
+        with RunJournal(path) as journal:
+            journal.append(TYPE_JOB, {"v": JOB_SCHEMA_VERSION + 1,
+                                      "id": "job-000002", "spec": {}})
+            journal.append(TYPE_JOB_UPDATE, {"v": 1, "id": "job-000077",
+                                             "state": "done"})
+            journal.append(99, {"v": 1, "id": "job-000003"})
+        state = load_service_state(path)
+        assert set(state.accepted) == {"job-000001"}
+        assert [job_id for job_id, _ in state.pending] == ["job-000001"]
+        # newer-versioned job + orphan update + unknown type
+        assert state.skipped_records == 3
+        # the versioned-but-unknown job id must not perturb numbering
+        assert state.next_job_number == 2

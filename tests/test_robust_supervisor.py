@@ -10,8 +10,8 @@ import pytest
 from repro.core import run_strober
 from repro.core.replay import ReplayError
 from repro.robust import (
-    FaultPlan, FaultSpec, ReplayHealthReport, default_replay_timeout,
-    replay_supervised,
+    FaultPlan, FaultSpec, ReplayHealthReport, default_init_grace,
+    default_replay_timeout, replay_supervised,
 )
 from repro.scan.snapshot import SnapshotError
 
@@ -176,6 +176,53 @@ class TestTimeoutDerivation:
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_REPLAY_TIMEOUT", "7.5")
         assert default_replay_timeout(10_000) == pytest.approx(7.5)
+
+
+class TestRetryJitter:
+    def test_backoff_delays_are_full_jitter(self, towers_run,
+                                            serial_baseline, monkeypatch):
+        """Retry spacing is drawn uniformly from [0, base * 2**k]: the
+        recording RNG must see a zero lower bound and doubling caps —
+        fixed delays would respawn killed workers in lockstep."""
+        from repro.robust import supervisor as supervisor_mod
+
+        draws = []
+
+        class _Recorder:
+            def uniform(self, lo, hi):
+                draws.append((lo, hi))
+                return 0.0     # retry immediately; the cap is the claim
+
+        monkeypatch.setattr(supervisor_mod, "_BACKOFF_RNG", _Recorder())
+        plan = FaultPlan([FaultSpec("error", index=2, times=2)])
+        results, health = _supervised(towers_run.engine,
+                                      list(towers_run.snapshots),
+                                      fault_plan=plan, max_retries=3)
+        assert _keys(results) == serial_baseline
+        assert health.retries == 2
+        assert draws == [(0.0, pytest.approx(0.05)),
+                         (0.0, pytest.approx(0.10))]
+
+
+class TestInitGrace:
+    def test_default_init_grace_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPLAY_INIT_GRACE", raising=False)
+        assert default_init_grace() == pytest.approx(300.0)
+        monkeypatch.setenv("REPRO_REPLAY_INIT_GRACE", "12.5")
+        assert default_init_grace() == pytest.approx(12.5)
+
+    def test_tight_deadline_not_charged_for_worker_startup(
+            self, towers_run, serial_baseline):
+        """A per-batch timeout far below spawn-and-import cost must not
+        fire while workers initialize: the ready handshake re-arms the
+        deadline once the one-time engine cost is paid."""
+        results, health = _supervised(towers_run.engine,
+                                      list(towers_run.snapshots)[:3],
+                                      timeout=2.0, start_method="spawn",
+                                      init_grace=120.0)
+        assert _keys(results) == serial_baseline[:3]
+        assert health.timeouts == 0
+        assert health.healthy
 
 
 class TestRunStroberIntegration:

@@ -1,0 +1,83 @@
+"""End-to-end smoke test of the Strober job daemon, as CI runs it.
+
+Boots ``python -m repro.service`` as a real subprocess, then drives it
+over the socket API:
+
+1. one job to completion (cold daemon: builds the engine),
+2. two *concurrent* jobs — one riding the now-warm engine cache, one
+   cold (fresh seed, fresh run journal) — both must finish ``done``
+   and the warm one bit-identical to the first,
+3. one fault shot through the job API (a worker SIGKILL the replay
+   supervisor must absorb: crash reported in the job status, result
+   still produced),
+4. a clean drain: ``shutdown`` must finish the queue and exit 0.
+
+With ``--trace-dir`` passed to the daemon (as CI does), each job
+leaves a Chrome trace behind for the build artifact.
+
+Usage: ``PYTHONPATH=src python tools/service_smoke.py [state_dir]``
+"""
+
+import json
+import subprocess
+import sys
+
+
+def main(argv):
+    state_dir = argv[1] if len(argv) > 1 else "service-state"
+    daemon = [sys.executable, "-m", "repro.service",
+              "--state-dir", state_dir, "--max-running", "2",
+              "--trace-dir", "service-traces"]
+    proc = subprocess.Popen(daemon, stdout=subprocess.PIPE, text=True)
+    try:
+        address = json.loads(proc.stdout.readline())
+        print("daemon listening on", address)
+
+        from repro.service import ServiceClient
+        spec = dict(design="rocket_mini", workload="towers",
+                    sample_size=3, replay_length=32, seed=3)
+        with ServiceClient(address, timeout=600.0) as client:
+            first = client.wait(client.submit(**spec), timeout_s=600)
+            assert first["state"] == "done", first["error"]
+            print("cold job:", first["summary"]["wall_seconds"], "s,",
+                  "digest", first["digest"])
+
+            warm_id = client.submit(**spec)
+            cold_id = client.submit(**dict(spec, seed=11))
+            warm = client.wait(warm_id, timeout_s=600)
+            cold = client.wait(cold_id, timeout_s=600)
+            assert warm["state"] == "done", warm["error"]
+            assert cold["state"] == "done", cold["error"]
+            assert warm["digest"] == first["digest"], \
+                "warm rerun must be bit-identical"
+            print("concurrent warm+cold jobs done "
+                  f"(warm {warm['summary']['wall_seconds']:.2f}s, "
+                  f"cold {cold['summary']['wall_seconds']:.2f}s)")
+
+            faulted = client.wait(
+                client.submit(**dict(spec, seed=23, workers=2,
+                                     faults=[{"kind": "kill"}])),
+                timeout_s=600)
+            assert faulted["state"] == "done", faulted["error"]
+            assert faulted["crashes"] >= 1, faulted
+            print("faulted job survived a worker kill "
+                  f"({faulted['crashes']} crash(es) absorbed)")
+
+            status = client.status()
+            assert status["jobs"].get("done") == 4, status["jobs"]
+            client.shutdown()
+
+        code = proc.wait(timeout=120)
+        assert code == 0, f"daemon exited {code} instead of draining"
+        print("service smoke OK:",
+              {k: v for k, v in sorted(status["metrics"].items())
+               if k.startswith("service.")})
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
