@@ -1,0 +1,73 @@
+"""Adaptive error-driven sampling vs fixed-n replay.
+
+The fixed-sample pipeline replays every captured snapshot and reports
+whatever eq.-7 relative error that sample happens to deliver.  The
+adaptive controller inverts the contract: name the relative error you
+need (``target_rel_error``) and it replays snapshots in bit-reversal
+order only until the interval meets it, cancelling the in-flight rest.
+This bench measures the trade on one workload: for each target, the
+fraction of snapshots the adaptive run actually replayed and the
+relative error it achieved, against the fixed-n run's full cost.
+
+Writes ``results/BENCH_adaptive.json``.
+"""
+
+from repro.core import run_strober, STOP_TARGET_MET
+
+from _common import emit, fmt_table, save_json
+
+KW = dict(design="rocket_mini", workload="towers", sample_size=16,
+          replay_length=48, backend="auto", seed=3)
+TARGETS = (0.5, 0.3, 0.2)
+
+
+def test_adaptive_vs_fixed(benchmark, workers):
+    def measure():
+        fixed = run_strober(**KW, workers=workers)
+        adaptive = [(target, run_strober(**KW, workers=workers,
+                                         target_rel_error=target))
+                    for target in TARGETS]
+        return fixed, adaptive
+
+    fixed, adaptive = benchmark.pedantic(measure, rounds=1,
+                                         iterations=1)
+    rows = []
+    available = fixed.sampling["available"]
+    rows.append(("fixed", "-", fixed.sampling["sample_size"],
+                 "100%",
+                 f"{fixed.sampling['rel_error'] * 100:.1f}%",
+                 "-", f"{fixed.timings['replay_seconds']:.2f}s"))
+    for target, run in adaptive:
+        s = run.sampling
+        rows.append((f"adaptive", f"{target:.2f}", s["sample_size"],
+                     f"{s['fraction_replayed'] * 100:.0f}%",
+                     f"{s['rel_error'] * 100:.1f}%",
+                     s["stop_reason"],
+                     f"{run.timings['replay_seconds']:.2f}s"))
+    emit("adaptive_sampling", fmt_table(
+        ("mode", "target", "n", "replayed", "rel error", "stop",
+         "replay wall"), rows) + [
+        f"snapshots available: {available}   workers: {workers}"])
+
+    save_json("BENCH_adaptive", {
+        "design": KW["design"], "workload": KW["workload"],
+        "workers": workers,
+        "available": available,
+        "fixed": fixed.sampling,
+        "adaptive": [dict(run.sampling, target=target)
+                     for target, run in adaptive],
+    })
+
+    # Acceptance: every adaptive run meets its target, and at least
+    # one stops early — replaying a strict fraction of the snapshots.
+    for target, run in adaptive:
+        s = run.sampling
+        assert s["rel_error"] is not None and s["rel_error"] <= target
+        if s["stop_reason"] == STOP_TARGET_MET:
+            assert run.energy.power.mean > 0
+    early = [run for _target, run in adaptive
+             if run.sampling["early_stop"]]
+    assert early, "no target produced an early stop"
+    for run in early:
+        assert run.sampling["fraction_replayed"] < 1.0
+        assert run.sampling["sample_size"] < available

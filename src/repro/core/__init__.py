@@ -4,7 +4,11 @@ from .compiler import StroberCompiler, StroberOutput, StroberCompileError
 from .configs import DesignConfig, CONFIGS, get_config
 from .replay import (
     ReplayEngine, ReplayResult, ReplayError, AsicFlow, run_asic_flow,
-    asic_pipeline, build_asic_flow,
+    asic_pipeline, build_asic_flow, plan_replay_batches,
+)
+from .controller import (
+    AdaptiveSamplingController, confidence_order,
+    STOP_TARGET_MET, STOP_EXHAUSTED, STOP_MAX_SAMPLE,
 )
 from .energy import EnergyEstimate, estimate_energy
 from .attribution import soc_grouping, refine_attribution
@@ -22,6 +26,9 @@ __all__ = [
     "DesignConfig", "CONFIGS", "get_config",
     "ReplayEngine", "ReplayResult", "ReplayError", "AsicFlow",
     "run_asic_flow", "asic_pipeline", "build_asic_flow",
+    "plan_replay_batches",
+    "AdaptiveSamplingController", "confidence_order",
+    "STOP_TARGET_MET", "STOP_EXHAUSTED", "STOP_MAX_SAMPLE",
     "EnergyEstimate", "estimate_energy",
     "soc_grouping", "refine_attribution",
     "StroberPerfParams", "PAPER_PARAMS", "PerfBreakdown", "strober_time",

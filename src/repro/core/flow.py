@@ -30,9 +30,10 @@ from ..obs import (
     Tracer, set_tracer, get_registry, export_chrome_trace,
 )
 from ..parallel.cache import get_cache
+from ..parallel.pool import CancelToken
 from ..passes import PassManager
-from ..sampling import estimate_mean
 from .configs import get_config
+from .controller import AdaptiveSamplingController
 from .replay import ReplayEngine, asic_pipeline, build_asic_flow
 from .energy import estimate_energy
 from .attribution import refine_attribution, soc_grouping
@@ -58,6 +59,10 @@ class StroberRun:
     # Chrome-trace JSON path when the run was invoked with trace=path
     # (read it with `python -m repro.obs.report <path>`), else None
     trace_path: str = None
+    # Sampling-controller summary: mode, stop reason, sample size,
+    # final eq.-7 relative error, fraction of snapshots replayed (see
+    # AdaptiveSamplingController.finish)
+    sampling: dict = None
 
     @property
     def cycles(self):
@@ -150,52 +155,14 @@ def get_replay_engine(design, freq_hz=None, use_cache=True, debug=False,
     return _ENGINE_CACHE[key]
 
 
-class _SamplingTelemetry:
-    """Live confidence telemetry: one sample per completed replay.
-
-    As each snapshot's power lands (serial loop, worker pool, or
-    journal resume), the running mean and its confidence-interval
-    half-width over the replays so far are recomputed with the same
-    estimator the final report uses (eq. 7, finite-population
-    corrected) and emitted as trace counter samples — so the exported
-    trace shows the estimate *converging*, and the report CLI can say
-    how many replays the target error actually needed.
-    """
-
-    def __init__(self, tracer, population, confidence):
-        self.tracer = tracer
-        self.population = population
-        self.confidence = confidence
-        self.totals = []
-
-    def seed(self, results):
-        for result in results:
-            self.totals.append(result.power.total_mw)
-
-    def update(self, result):
-        self.totals.append(result.power.total_mw)
-        n = len(self.totals)
-        registry = get_registry()
-        registry.counter("sampling.replays_completed").inc()
-        if n < 2:
-            return      # one sample has no interval half-width yet
-        est = estimate_mean(self.totals, self.population,
-                            self.confidence)
-        rel_pct = est.relative_error_bound * 100.0
-        self.tracer.counter("sampling.n", n)
-        self.tracer.counter("sampling.mean_mw", est.mean)
-        self.tracer.counter("sampling.rel_error_pct", rel_pct)
-        registry.gauge("sampling.rel_error_pct").set(rel_pct)
-        registry.gauge("sampling.mean_mw").set(est.mean)
-
-
 def run_strober(design, workload, sample_size=30, replay_length=128,
                 max_cycles=2_000_000, backend="auto", seed=0,
                 confidence=0.99, workload_kwargs=None, strict_replay=True,
                 record_full_io=False, workers=1, journal=None,
                 replay_timeout=None, replay_retries=2, batch_lanes=1,
                 gl_backend=None, debug=False, trace=None, tracer=None,
-                serial_gl_backend=None, fault_plan=None):
+                serial_gl_backend=None, fault_plan=None,
+                target_rel_error=None, min_sample=None, max_sample=None):
     """The headline API: energy-evaluate ``workload`` on ``design``.
 
     ``workload`` is a benchmark name from :data:`ALL_PROGRAMS` or a
@@ -259,6 +226,21 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
     fault-injection harness hook (:class:`repro.robust.FaultPlan`):
     it deliberately sabotages chosen replay dispatches and exists so
     chaos campaigns can drive sabotage through the public API.
+
+    ``target_rel_error`` switches the replay phase into *adaptive*
+    mode: snapshots are replayed in confidence-driven (bit-reversal)
+    order and the run stops — cancelling in-flight batches without
+    killing the pool — the moment the eq.-7 confidence interval's
+    relative error drops to the target (a fraction, e.g. ``0.05`` for
+    ±5%), bounded below by ``min_sample`` (default 2) and above by
+    ``max_sample`` (default: every sampled snapshot).  The stop
+    reason, sample size, final relative error, and fraction of
+    snapshots replayed land on the returned run's ``sampling`` dict
+    (and, with ``journal``, in a control record).  Reopening an
+    existing journal with a *tighter* target replays only the
+    additional snapshots needed.  Left at ``None`` (the default),
+    every snapshot is replayed and results are bit-identical to the
+    fixed-sample pipeline.
     """
     from ..gatelevel.glcodegen import resolve_backend
     batch_lanes = 64 if batch_lanes is None else int(batch_lanes)
@@ -282,7 +264,9 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 replay_retries=replay_retries, batch_lanes=batch_lanes,
                 gl_backend=gl_backend, debug=debug, tracer=tracer,
                 serial_gl_backend=serial_gl_backend,
-                fault_plan=fault_plan)
+                fault_plan=fault_plan,
+                target_rel_error=target_rel_error,
+                min_sample=min_sample, max_sample=max_sample)
     finally:
         set_tracer(prev_tracer)
         if trace is not None:
@@ -300,7 +284,8 @@ def _run_strober(design, workload, *, sample_size, replay_length,
                  max_cycles, backend, seed, confidence, workload_kwargs,
                  strict_replay, record_full_io, workers, journal,
                  replay_timeout, replay_retries, batch_lanes, gl_backend,
-                 debug, tracer, serial_gl_backend=None, fault_plan=None):
+                 debug, tracer, serial_gl_backend=None, fault_plan=None,
+                 target_rel_error=None, min_sample=None, max_sample=None):
     """The traced flow body; ``tracer`` is already installed."""
     t0 = time.perf_counter()
     with tracer.span("phase.elaborate", cat="phase", design=design):
@@ -332,6 +317,13 @@ def _run_strober(design, workload, *, sample_size, replay_length,
             # advisory provenance: backends are bit-identical, so
             # resume comparison ignores this key (see journal module)
             "gl_backend": gl_backend,
+            # advisory sampling knobs: resume comparison ignores these
+            # too — that is what makes incremental re-sampling work
+            # (reopen the same journal with a tighter target and only
+            # the additional snapshots are replayed)
+            "target_rel_error": target_rel_error,
+            "min_sample": min_sample,
+            "max_sample": max_sample,
             # pipeline fingerprints: a journal written under different
             # transform pipelines must not be resumed
             "pipelines": {"sim": _sim_pipeline().fingerprint(),
@@ -373,7 +365,8 @@ def _run_strober(design, workload, *, sample_size, replay_length,
 
         if journal is not None:
             from ..robust.journal import (
-                TYPE_META, TYPE_SNAPSHOT, TYPE_SIM, TYPE_RESULT)
+                TYPE_META, TYPE_SNAPSHOT, TYPE_SIM, TYPE_RESULT,
+                TYPE_CONTROL)
             with tracer.span("phase.journal", cat="phase",
                              resumed=resume is not None):
                 journal_file = RunJournal(journal).open()
@@ -404,39 +397,53 @@ def _run_strober(design, workload, *, sample_size, replay_length,
         with tracer.span("phase.replay", cat="phase",
                          workers=-1 if workers is None else workers,
                          batch_lanes=batch_lanes) as replay_span:
-            pending = [(i, s) for i, s in enumerate(snapshots)
+            pending = [i for i in range(len(snapshots))
                        if i not in done]
             population = max(
                 int(math.ceil(result.cycles / replay_length)),
                 len(snapshots) or 1)
-            telemetry = _SamplingTelemetry(tracer, population,
-                                           confidence)
-            telemetry.seed(done[i] for i in sorted(done))
-            journal_hook = None
-            if journal_file is not None:
-                pending_index = [i for i, _ in pending]
-
-                def journal_hook(pos, replay_result):
+            controller = AdaptiveSamplingController(
+                population, available=len(snapshots) or 1,
+                confidence=confidence,
+                target_rel_error=target_rel_error,
+                min_sample=min_sample, max_sample=max_sample,
+                tracer=tracer)
+            controller.seed(done[i].power.total_mw
+                            for i in sorted(done))
+            order = controller.plan_order(pending)
+            cancel = CancelToken()
+            # The stream labels every result with its *original*
+            # snapshot index, so out-of-order completion under a
+            # worker pool can never journal a result under the wrong
+            # index — and the controller's cancel token stops dispatch
+            # the moment the target interval is met.
+            for idx, replay_result in engine.replay_stream(
+                    snapshots, strict=strict_replay, workers=workers,
+                    timeout=replay_timeout, max_retries=replay_retries,
+                    batch_lanes=batch_lanes, fault_plan=fault_plan,
+                    serial_gl_backend=serial_gl_backend, order=order,
+                    cancel=cancel):
+                done[idx] = replay_result
+                if journal_file is not None:
                     journal_file.append(TYPE_RESULT,
-                                        {"index": pending_index[pos],
+                                        {"index": idx,
                                          "result": replay_result})
-
-            def on_result(pos, replay_result):
-                if journal_hook is not None:
-                    journal_hook(pos, replay_result)
-                telemetry.update(replay_result)
-
-            new_results = engine.replay_all(
-                [s for _, s in pending], strict=strict_replay,
-                workers=workers, on_result=on_result,
-                timeout=replay_timeout, max_retries=replay_retries,
-                batch_lanes=batch_lanes, fault_plan=fault_plan,
-                serial_gl_backend=serial_gl_backend)
-            for (i, _), replay_result in zip(pending, new_results):
-                done[i] = replay_result
-            replays = [done[i] for i in range(len(snapshots))]
+                controller.observe(idx, replay_result)
+                if (controller.should_stop() is not None
+                        and not cancel.cancelled):
+                    controller.request_cancel(cancel,
+                                              controller.stop_reason)
+            sampling = controller.finish()
+            if journal_file is not None and controller.adaptive:
+                journal_file.append(TYPE_CONTROL,
+                                    {"controller": sampling})
+            replays = [done[i] for i in sorted(done)]
             replay_span.set(snapshots=len(snapshots),
                             resumed=len(snapshots) - len(pending))
+            if controller.adaptive:
+                replay_span.set(
+                    adaptive=True, replayed=controller.replayed,
+                    stop_reason=sampling["stop_reason"])
         replay_seconds = replay_span.dur
 
         with tracer.span("phase.energy", cat="phase") as energy_span:
@@ -481,6 +488,7 @@ def _run_strober(design, workload, *, sample_size, replay_length,
                                       None)),
         ),
         health=engine.last_health,
+        sampling=sampling,
     )
 
 

@@ -142,6 +142,39 @@ def make_replay_batches(snapshots, lanes):
     return batches
 
 
+def plan_replay_batches(snapshots, lanes, order=None):
+    """Pack snapshot indices into bit-lane batches following ``order``.
+
+    The ``order``-aware generalization of :func:`make_replay_batches`:
+    ``order`` is a sequence of snapshot positions (a permutation, or a
+    strict subset for incremental re-sampling) giving the dispatch
+    order; batches group *adjacent-in-order* indices sharing one trace
+    length, at most ``lanes`` per batch.  With ``order=None`` this is
+    exactly :func:`make_replay_batches` — natural order over all
+    snapshots — so fixed-sample runs batch byte-identically to the
+    historical path.
+    """
+    if order is None:
+        return make_replay_batches(snapshots, lanes)
+    if not 1 <= lanes <= MAX_LANES:
+        raise ValueError(f"lanes must be in 1..{MAX_LANES}, got {lanes}")
+    snapshots = list(snapshots)
+    batches = []
+    current = []
+    current_len = None
+    for i in order:
+        n_cycles = len(snapshots[i].input_trace)
+        if current and (len(current) >= lanes
+                        or n_cycles != current_len):
+            batches.append(current)
+            current = []
+        current.append(i)
+        current_len = n_cycles
+    if current:
+        batches.append(current)
+    return batches
+
+
 def replay_port_names(circuit):
     """Input ports a replay drives (everything but the FAME1 host bit)."""
     return [node.name for node in circuit.inputs
@@ -489,11 +522,149 @@ class ReplayEngine:
                     wall_seconds=per_lane_seconds)
                 for lane, snapshot in enumerate(snapshots)]
 
+    def replay_stream(self, snapshots, strict=True, workers=1,
+                      timeout=None, max_retries=2, fault_plan=None,
+                      batch_lanes=1, serial_gl_backend=None, order=None,
+                      cancel=None):
+        """Stream replays: a generator of ``(index, result)`` pairs.
+
+        The streaming core of :meth:`replay_all`.  Batches are
+        dispatched incrementally and each completed replay is yielded
+        in *completion* order, labelled with the snapshot's position in
+        ``snapshots`` — the original index travels with the result, so
+        out-of-order completion under a multi-worker pool can never be
+        attributed to the wrong snapshot.
+
+        ``order`` — optional sequence of snapshot positions fixing the
+        dispatch order (may be a strict subset, in which case only
+        those snapshots are replayed).  The adaptive sampling
+        controller passes a confidence-driven order; incremental
+        journal re-sampling passes the not-yet-journaled subset.
+
+        ``cancel`` — optional :class:`repro.parallel.CancelToken`:
+        once set, no further batches are dispatched, already-completed
+        results still stream out, and in-flight work is abandoned
+        without killing the pool (supervised runs count the abandoned
+        snapshots in ``self.last_health.cancelled``).
+
+        Arguments are validated here, eagerly; the returned generator
+        is lazy.  Supervised runs (``workers`` > 1) that lose their
+        worker pool mid-stream (e.g. a worker-init failure) degrade to
+        in-process serial replay of the *remaining* snapshots only —
+        results already yielded stay credited and are not re-replayed.
+        Other parameters are as :meth:`replay_all`.
+        """
+        snapshots = list(snapshots)
+        self.last_health = None
+        if batch_lanes is None:
+            batch_lanes = MAX_LANES
+        batch_lanes = int(batch_lanes)
+        if not 1 <= batch_lanes <= MAX_LANES:
+            raise ValueError(
+                f"batch_lanes must be in 1..{MAX_LANES}, got {batch_lanes}")
+        if workers is None:
+            import os
+            workers = os.cpu_count() or 1
+        workers = max(1, min(int(workers), len(snapshots) or 1))
+        if order is not None:
+            order = [int(i) for i in order]
+            if len(set(order)) != len(order):
+                raise ValueError(
+                    "order contains duplicate snapshot indices")
+            if any(not 0 <= i < len(snapshots) for i in order):
+                raise ValueError("order index out of range")
+        if workers == 1:
+            return self._stream_serial(snapshots, strict, batch_lanes,
+                                       order, cancel)
+        return self._stream_supervised(
+            snapshots, strict, workers, timeout, max_retries,
+            fault_plan, batch_lanes, serial_gl_backend, order, cancel)
+
+    def _serial_batches(self, snapshots, batch_lanes, order):
+        if batch_lanes == 1:
+            positions = order if order is not None \
+                else range(len(snapshots))
+            return [[i] for i in positions]
+        return plan_replay_batches(snapshots, batch_lanes, order=order)
+
+    def _stream_serial(self, snapshots, strict, batch_lanes, order,
+                       cancel):
+        with get_tracer().span("replay.all", cat="replay", workers=1,
+                               batch_lanes=batch_lanes,
+                               snapshots=len(snapshots)):
+            for batch in self._serial_batches(snapshots, batch_lanes,
+                                              order):
+                if cancel is not None and cancel.cancelled:
+                    break
+                batch_results = self.replay_batch(
+                    [snapshots[i] for i in batch], strict=strict)
+                for i, result in zip(batch, batch_results):
+                    yield i, result
+
+    def _stream_supervised(self, snapshots, strict, workers, timeout,
+                           max_retries, fault_plan, batch_lanes,
+                           serial_gl_backend, order, cancel):
+        from ..parallel import ParallelReplayError
+        from ..robust.supervisor import (
+            replay_supervised_stream, ReplayHealthReport)
+        tracer = get_tracer()
+        report = ReplayHealthReport()
+        # When the caller demands a specific fallback backend and
+        # this engine runs a different one, the supervisor must
+        # build its own fallback engine instead of reusing this
+        # one (whose kernel is exactly what the caller distrusts).
+        serial_self = (serial_gl_backend is None
+                       or serial_gl_backend == self.gl_backend)
+        with tracer.span("replay.all", cat="replay", workers=workers,
+                         batch_lanes=batch_lanes,
+                         snapshots=len(snapshots)) as span:
+            done = set()
+            try:
+                for idx, result in replay_supervised_stream(
+                        self.flow, snapshots, workers=workers,
+                        port_names=self._port_names,
+                        grouping=self.grouping, freq_hz=self.freq_hz,
+                        strict=strict, timeout=timeout,
+                        max_retries=max_retries, fault_plan=fault_plan,
+                        serial_engine=self if serial_self else None,
+                        batch_lanes=batch_lanes,
+                        gl_backend=self.gl_backend,
+                        serial_gl_backend=serial_gl_backend,
+                        order=order, cancel=cancel, report=report):
+                    done.add(idx)
+                    yield idx, result
+                self.last_health = report
+                span.set(healthy=report.healthy,
+                         incidents=len(report.incidents))
+                if report.cancelled:
+                    span.set(cancelled=report.cancelled)
+                if not report.healthy:
+                    warnings.warn(report.summary(), RuntimeWarning)
+            except ParallelReplayError as exc:
+                span.set(serial_fallback=True)
+                warnings.warn(f"parallel replay unavailable ({exc}); "
+                              "falling back to serial", RuntimeWarning)
+                positions = (order if order is not None
+                             else range(len(snapshots)))
+                remaining = [i for i in positions if i not in done]
+                for batch in self._serial_batches(snapshots, batch_lanes,
+                                                  remaining):
+                    if cancel is not None and cancel.cancelled:
+                        break
+                    batch_results = self.replay_batch(
+                        [snapshots[i] for i in batch], strict=strict)
+                    for i, result in zip(batch, batch_results):
+                        yield i, result
+
     def replay_all(self, snapshots, strict=True, workers=1,
                    on_result=None, timeout=None, max_retries=2,
                    fault_plan=None, batch_lanes=1,
                    serial_gl_backend=None):
         """Replay every snapshot; optionally across worker processes.
+
+        Thin collecting wrapper over :meth:`replay_stream`: consumes
+        the stream to completion and returns results in snapshot
+        order.
 
         The paper parallelizes this step — each replay is independent,
         so results are identical regardless of ``workers``.  With
@@ -529,74 +700,16 @@ class ReplayEngine:
         are bit-identical, so only the speed changes).
         """
         snapshots = list(snapshots)
-        self.last_health = None
-        if batch_lanes is None:
-            batch_lanes = MAX_LANES
-        batch_lanes = int(batch_lanes)
-        if not 1 <= batch_lanes <= MAX_LANES:
-            raise ValueError(
-                f"batch_lanes must be in 1..{MAX_LANES}, got {batch_lanes}")
-        if workers is None:
-            import os
-            workers = os.cpu_count() or 1
-        workers = max(1, min(int(workers), len(snapshots) or 1))
-
-        def _serial():
-            out = [None] * len(snapshots)
-            if batch_lanes == 1:
-                for i, snap in enumerate(snapshots):
-                    result = self.replay(snap, strict=strict)
-                    if on_result is not None:
-                        on_result(i, result)
-                    out[i] = result
-                return out
-            for batch in make_replay_batches(snapshots, batch_lanes):
-                batch_results = self.replay_batch(
-                    [snapshots[i] for i in batch], strict=strict)
-                for i, result in zip(batch, batch_results):
-                    if on_result is not None:
-                        on_result(i, result)
-                    out[i] = result
-            return out
-
-        tracer = get_tracer()
-        if workers == 1:
-            with tracer.span("replay.all", cat="replay", workers=1,
-                             batch_lanes=batch_lanes,
-                             snapshots=len(snapshots)):
-                return _serial()
-        from ..parallel import ParallelReplayError
-        from ..robust.supervisor import replay_supervised
-        with tracer.span("replay.all", cat="replay", workers=workers,
-                         batch_lanes=batch_lanes,
-                         snapshots=len(snapshots)) as span:
-            # When the caller demands a specific fallback backend and
-            # this engine runs a different one, the supervisor must
-            # build its own fallback engine instead of reusing this
-            # one (whose kernel is exactly what the caller distrusts).
-            serial_self = (serial_gl_backend is None
-                           or serial_gl_backend == self.gl_backend)
-            try:
-                results, health = replay_supervised(
-                    self.flow, snapshots, workers=workers,
-                    port_names=self._port_names, grouping=self.grouping,
-                    freq_hz=self.freq_hz, strict=strict, timeout=timeout,
-                    max_retries=max_retries, fault_plan=fault_plan,
-                    on_result=on_result,
-                    serial_engine=self if serial_self else None,
-                    batch_lanes=batch_lanes, gl_backend=self.gl_backend,
-                    serial_gl_backend=serial_gl_backend)
-                self.last_health = health
-                span.set(healthy=health.healthy,
-                         incidents=len(health.incidents))
-                if not health.healthy:
-                    warnings.warn(health.summary(), RuntimeWarning)
-                return results
-            except ParallelReplayError as exc:
-                span.set(serial_fallback=True)
-                warnings.warn(f"parallel replay unavailable ({exc}); "
-                              "falling back to serial", RuntimeWarning)
-                return _serial()
+        out = [None] * len(snapshots)
+        for i, result in self.replay_stream(
+                snapshots, strict=strict, workers=workers,
+                timeout=timeout, max_retries=max_retries,
+                fault_plan=fault_plan, batch_lanes=batch_lanes,
+                serial_gl_backend=serial_gl_backend):
+            out[i] = result
+            if on_result is not None:
+                on_result(i, result)
+        return out
 
     def replay_full_trace(self, io_trace, from_reset=True, strict=False):
         """Ground-truth run: replay an *entire* execution's I/O trace on

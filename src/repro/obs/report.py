@@ -143,6 +143,20 @@ def sampling_series(doc):
                                     tracks["sampling.rel_error_pct"])]
 
 
+def controller_events(doc):
+    """Adaptive-sampling-controller decisions, in trace order.
+
+    The controller emits one instant per decision — ``controller.
+    dispatch`` (the plan), ``controller.progress`` (per observed
+    replay), ``controller.cancel`` (the in-flight abandon), and
+    ``controller.stop`` (the final verdict).  Instants export as
+    ``ph == "i"`` events; fixed-sample runs emit none.
+    """
+    return [ev for ev in doc["traceEvents"]
+            if ev.get("ph") == "i"
+            and str(ev.get("name", "")).startswith("controller.")]
+
+
 def _metric(doc, name, default=0.0):
     inst = doc.get("reproMetrics", {}).get(name)
     return default if inst is None else inst.get("value", default)
@@ -217,6 +231,40 @@ def render_report(doc):
                      f"error bound over {n} replay(s)")
     else:
         lines.append("-- sampling-error telemetry: none recorded --")
+
+    decisions = controller_events(doc)
+    if decisions:
+        lines.append("")
+        lines.append("-- adaptive sampling controller --")
+        for ev in decisions:
+            args = ev.get("args", {})
+            name = ev["name"].split("controller.", 1)[1]
+            if name == "dispatch":
+                lines.append(
+                    f"  dispatch: {args.get('planned', '?')} of "
+                    f"{args.get('pending', '?')} pending snapshot(s) "
+                    f"planned ({args.get('strategy', '?')} order, "
+                    f"target rel error "
+                    f"{args.get('target_rel_error', '?')})")
+            elif name == "cancel":
+                lines.append(
+                    f"  cancel: in-flight batches abandoned after "
+                    f"n={args.get('n', '?')} ({args.get('reason', '?')})")
+            elif name == "stop":
+                rel = args.get("rel_error")
+                rel_txt = (f"{rel * 100:.2f}%"
+                           if isinstance(rel, (int, float)) else "n/a")
+                lines.append(
+                    f"  stop: {args.get('reason', '?')} at "
+                    f"n={args.get('n', '?')} (rel error {rel_txt}, "
+                    f"replayed fraction "
+                    f"{args.get('fraction_replayed', 0) * 100:.0f}%, "
+                    f"early_stop={args.get('early_stop')})")
+        progress = [ev for ev in decisions
+                    if ev["name"] == "controller.progress"]
+        if progress:
+            lines.append(f"  progress events: {len(progress)} "
+                         f"(one per observed replay)")
     return "\n".join(lines)
 
 

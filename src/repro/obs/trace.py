@@ -166,13 +166,21 @@ class Tracer(NullTracer):
     job service's ``/status`` endpoint subscribes to; a callback that
     raises is dropped silently, because observability must never fail
     the observed work.
+
+    ``on_event`` is the same live stream for *instant* events: fired
+    (outside the lock) with each event dict as :meth:`instant` records
+    it, ingested worker events included.  The job service subscribes
+    to it per job so the adaptive sampling controller's
+    ``controller.*`` decisions (dispatch, progress, cancel, stop)
+    surface in job status while the run is still executing.
     """
 
     enabled = True
 
-    def __init__(self, distributed=False, on_span=None):
+    def __init__(self, distributed=False, on_span=None, on_event=None):
         self.distributed = bool(distributed)
         self.on_span = on_span
+        self.on_event = on_event
         self.spans = []           # closed SpanRecords, completion order
         self.events = []          # instant events (dicts)
         self.counters = []        # counter samples (dicts)
@@ -216,11 +224,21 @@ class Tracer(NullTracer):
 
     def instant(self, name, cat="", **args):
         """A zero-duration marker (incident, corruption, spawn…)."""
+        event = {"name": name, "cat": cat,
+                 "ts": time.time(), "pid": os.getpid(),
+                 "tid": threading.get_ident(),
+                 "args": args}
         with self._lock:
-            self.events.append({"name": name, "cat": cat,
-                                "ts": time.time(), "pid": os.getpid(),
-                                "tid": threading.get_ident(),
-                                "args": args})
+            self.events.append(event)
+        self._notify_event(event)
+
+    def _notify_event(self, event):
+        if self.on_event is None:
+            return
+        try:
+            self.on_event(event)
+        except Exception:
+            pass        # a broken subscriber must not fail the work
 
     def counter(self, name, value, cat="telemetry"):
         """One sample of a time-varying quantity (Chrome counter track)."""
@@ -257,12 +275,15 @@ class Tracer(NullTracer):
             d["name"], d["cat"], d["ts"], d["dur"], d["cpu"],
             d["pid"], d["tid"], d["span_id"], d["parent_id"],
             d["args"]) for d in payload.get("spans", ())]
+        events = list(payload.get("events", ()))
         with self._lock:
             self.spans.extend(ingested)
-            self.events.extend(payload.get("events", ()))
+            self.events.extend(events)
             self.counters.extend(payload.get("counters", ()))
         for record in ingested:
             self._notify(record)
+        for event in events:
+            self._notify_event(event)
 
     # -- queries ----------------------------------------------------
 

@@ -16,10 +16,13 @@ from .cache import (
     ArtifactCache, get_cache, cache_enabled, default_cache_dir,
     cache_stats, reset_cache_stats, CACHE_VERSION,
 )
-from .pool import replay_parallel, ParallelReplayError, default_workers
+from .pool import (
+    replay_parallel, ParallelReplayError, CancelToken, default_workers,
+)
 
 __all__ = [
     "ArtifactCache", "get_cache", "cache_enabled", "default_cache_dir",
     "cache_stats", "reset_cache_stats", "CACHE_VERSION",
-    "replay_parallel", "ParallelReplayError", "default_workers",
+    "replay_parallel", "ParallelReplayError", "CancelToken",
+    "default_workers",
 ]

@@ -33,6 +33,40 @@ class ParallelReplayError(Exception):
     """The replay payload cannot be shipped to worker processes."""
 
 
+class CancelToken:
+    """Cooperative cancellation signal for a streaming replay.
+
+    The adaptive sampling controller sets the token once its target
+    confidence interval is met; the supervisor checks it between
+    dispatches and stops handing out new batches.  In-flight batches
+    are *abandoned*, not interrupted: their workers finish (or are
+    politely shut down at teardown) without the pool being killed, so
+    a cancelled stream still ends with a healthy, reusable report.
+
+    Thread-safe: built on :class:`threading.Event` so the consumer
+    thread can cancel while the scheduler is blocked in a poll.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.reason = None
+
+    def cancel(self, reason=None):
+        """Request cancellation (idempotent; first reason wins)."""
+        if reason is not None and self.reason is None:
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self):
+        return self._event.is_set()
+
+    def __bool__(self):
+        return self.cancelled
+
+
 _ENV_START_METHOD = "REPRO_START_METHOD"
 
 

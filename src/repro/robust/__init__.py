@@ -23,11 +23,11 @@ state — and this package makes them either *detected* or *recovered*:
 
 from .supervisor import (
     ReplayHealthReport, ReplayIncident, replay_supervised,
-    default_replay_timeout, default_init_grace,
+    replay_supervised_stream, default_replay_timeout, default_init_grace,
 )
 from .journal import (
     RunJournal, JournalError, read_journal,
-    TYPE_META, TYPE_SNAPSHOT, TYPE_SIM, TYPE_RESULT,
+    TYPE_META, TYPE_SNAPSHOT, TYPE_SIM, TYPE_RESULT, TYPE_CONTROL,
     TYPE_JOB, TYPE_JOB_UPDATE,
 )
 from .faultinject import (
@@ -38,10 +38,11 @@ from .faultinject import (
 
 __all__ = [
     "ReplayHealthReport", "ReplayIncident", "replay_supervised",
+    "replay_supervised_stream",
     "default_replay_timeout", "default_init_grace",
     "RunJournal", "JournalError", "read_journal",
     "TYPE_META", "TYPE_SNAPSHOT", "TYPE_SIM", "TYPE_RESULT",
-    "TYPE_JOB", "TYPE_JOB_UPDATE",
+    "TYPE_CONTROL", "TYPE_JOB", "TYPE_JOB_UPDATE",
     "FaultSpec", "FaultPlan", "flip_snapshot_bit", "corrupt_file",
     "corrupt_cache_entry", "corrupt_journal_tail", "run_campaign",
     "poison_cache_entry", "enospc_cache_writes", "run_service_campaign",

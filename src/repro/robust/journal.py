@@ -44,6 +44,12 @@ TYPE_META = 1        # dict of run-identity parameters
 TYPE_SNAPSHOT = 2    # {"index": int, "snapshot": ReplayableSnapshot}
 TYPE_SIM = 3         # FAME outcome: cycles, instret, exit_code, counters
 TYPE_RESULT = 4      # {"index": int, "result": ReplayResult}
+TYPE_CONTROL = 5     # {"controller": sampling summary dict} — written
+                     # once per *adaptive* run completion (stop reason,
+                     # sample size, final rel error); fixed-sample runs
+                     # write none, keeping their byte stream identical
+                     # to pre-adaptive journals.  Readers from before
+                     # this type existed skip it (foreign-record rule).
 
 # Service-level job records (repro.service): the job daemon journals
 # its queue in the same CRC-framed format, in a separate file.  Record
@@ -169,6 +175,10 @@ class ResumeState:
     sim: dict
     snapshots: list
     results: dict = field(default_factory=dict)   # index -> ReplayResult
+    # Sampling-controller records, in journal order: one summary dict
+    # per completed adaptive pass over this journal (empty for fixed
+    # runs and journals written before TYPE_CONTROL existed).
+    controls: list = field(default_factory=list)
 
 
 class _MemoryShim:
@@ -218,8 +228,14 @@ def load_resume(path, expected_meta):
 # them from both sides.  The gate-level evaluation backend is advisory
 # because every backend is bit-identical by construction — a journal
 # written under one backend resumes under another (and journals from
-# before the key existed resume under any).
-_ADVISORY_META_KEYS = ("gl_backend",)
+# before the key existed resume under any).  The adaptive-sampling
+# knobs are advisory because every replay result is a pure function of
+# its snapshot: which subset got replayed is provenance, and keeping
+# the knobs out of the identity is precisely what lets a fixed-sample
+# journal be reopened with ``target_rel_error`` (or a tighter target)
+# to replay only the additional snapshots needed.
+_ADVISORY_META_KEYS = ("gl_backend", "target_rel_error", "min_sample",
+                       "max_sample")
 
 
 def _identity_meta(meta):
@@ -244,6 +260,7 @@ def _load_resume(path, expected_meta):
     sim = None
     snapshots = {}
     results = {}
+    controls = []
     for rtype, obj in records[1:]:
         if rtype == TYPE_SNAPSHOT:
             snapshots[obj["index"]] = obj["snapshot"]
@@ -251,6 +268,8 @@ def _load_resume(path, expected_meta):
             sim = obj
         elif rtype == TYPE_RESULT:
             results[obj["index"]] = obj["result"]
+        elif rtype == TYPE_CONTROL:
+            controls.append(obj.get("controller", obj))
     if sim is None:
         # Interrupted mid-simulation: snapshots (if any) came from an
         # unfinished reservoir and must not be trusted.
@@ -267,4 +286,4 @@ def _load_resume(path, expected_meta):
             return None
         ordered.append(snapshots[i])
     return ResumeState(meta=meta, sim=sim, snapshots=ordered,
-                       results=results)
+                       results=results, controls=controls)

@@ -112,10 +112,13 @@ class ReplayHealthReport:
     worker_errors: int = 0
     respawns: int = 0
     serial_fallbacks: int = 0
+    cancelled: int = 0           # snapshots abandoned by a CancelToken
     incidents: list = field(default_factory=list)
 
     @property
     def healthy(self):
+        # A cooperative cancellation is a *decision*, not a fault: a
+        # stream the controller stopped early still counts as healthy.
         return not self.incidents
 
     def record(self, kind, index, cycle, attempt, detail=""):
@@ -399,41 +402,47 @@ class _Worker:
                 pass
 
 
-def replay_supervised(flow, snapshots, *, workers, port_names,
-                      grouping=None, freq_hz=None, strict=True,
-                      start_method=None, timeout=None, max_retries=2,
-                      backoff_base=0.25, fault_plan=None, on_result=None,
-                      serial_engine=None, batch_lanes=1, gl_backend=None,
-                      serial_gl_backend=None, init_grace=None):
-    """Replay ``snapshots`` under supervision; order-preserving.
+def replay_supervised_stream(flow, snapshots, *, workers, port_names,
+                             grouping=None, freq_hz=None, strict=True,
+                             start_method=None, timeout=None,
+                             max_retries=2, backoff_base=0.25,
+                             fault_plan=None, serial_engine=None,
+                             batch_lanes=1, gl_backend=None,
+                             serial_gl_backend=None, init_grace=None,
+                             order=None, cancel=None, report=None):
+    """Stream supervised replays: yields ``(index, result)`` pairs.
 
-    Returns ``(results, ReplayHealthReport)``.  ``on_result(index,
-    result)`` fires as each replay completes (in completion order, with
-    the snapshot's position in ``snapshots``) — the hook the crash-safe
-    run journal uses to persist progress incrementally.
+    The streaming core of :func:`replay_supervised`.  Batches are
+    dispatched incrementally and each completed replay is yielded *in
+    completion order* as ``(index, result)`` where ``index`` is the
+    snapshot's position in ``snapshots`` — the original index travels
+    with the result, so an out-of-order completion can never be
+    attributed to the wrong snapshot.
 
-    ``batch_lanes`` > 1 packs snapshots into bit-lane batches (see
-    :func:`repro.core.replay.make_replay_batches`): the unit of
-    dispatch, deadline, retry, and serial fallback becomes the batch,
-    with the per-snapshot ``timeout`` scaled by each batch's size.
-    With the default of 1 every batch is a single snapshot and the
-    semantics are exactly the historical per-snapshot ones.
+    ``order`` — optional sequence of snapshot positions giving the
+    dispatch order; may be a strict subset, in which case only those
+    snapshots are replayed.  This is how the adaptive sampling
+    controller replays in confidence-driven order (and how incremental
+    journal re-sampling replays only the missing snapshots).  Default:
+    natural order over all snapshots, batched exactly as the
+    historical path.
 
-    ``fault_plan`` (a :class:`repro.robust.FaultPlan`) deliberately
-    sabotages chosen dispatches; it exists for the fault-injection
-    harness and is consumed supervisor-side so a retried snapshot is
-    not re-faulted once the plan is exhausted.  Faults are matched on
-    the batch's first snapshot.
+    ``cancel`` — optional :class:`repro.parallel.CancelToken`.  Once
+    set, no further batches are dispatched; results that already
+    arrived are still yielded, in-flight batches are *abandoned*
+    (counted in ``report.cancelled``), and the pool is torn down
+    politely — workers get the shutdown sentinel and a join grace
+    before any kill, so cancellation does not register as a crash.
 
-    ``serial_engine`` is the engine used for last-resort in-process
-    replays; built lazily from ``flow`` when not supplied.
-    ``serial_gl_backend`` overrides the gate-level backend of that
-    lazily-built engine — the job service passes ``"interp"`` so the
-    in-process fallback never executes a possibly-poisoned compiled
-    kernel inside the supervising process (backends are bit-identical,
-    so the results are unchanged).  ``init_grace`` (seconds, default
-    :func:`default_init_grace`) is the extra deadline headroom granted
-    while a worker is still paying its one-time engine-init cost.
+    ``report`` — optional :class:`ReplayHealthReport` to fill in;
+    supplied by callers that need live/after-the-fact access to the
+    health counters while consuming the stream.
+
+    Argument validation (and the :class:`ParallelReplayError` for an
+    unpicklable payload) happens eagerly, before the first
+    ``next()`` — callers that fall back to serial on that error never
+    start a generator.  Other parameters are as
+    :func:`replay_supervised`.
     """
     from ..obs import get_tracer, get_registry
     tracer = get_tracer()
@@ -444,10 +453,21 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
 
     snapshots = list(snapshots)
     n = len(snapshots)
-    report = ReplayHealthReport(total_snapshots=n,
-                                batch_lanes=max(1, int(batch_lanes)))
-    if n == 0:
-        return [], report
+    if report is None:
+        report = ReplayHealthReport()
+    report.total_snapshots = n
+    report.batch_lanes = max(1, int(batch_lanes))
+    if order is None:
+        positions = None
+    else:
+        positions = [int(i) for i in order]
+        if len(set(positions)) != len(positions):
+            raise ValueError("order contains duplicate snapshot indices")
+        if any(not 0 <= i < n for i in positions):
+            raise ValueError("order index out of range")
+        report.total_snapshots = len(positions)
+    if n == 0 or positions == []:
+        return iter(())
     try:
         payload = pickle.dumps((flow, list(port_names), grouping,
                                 freq_hz, trace_workers, gl_backend),
@@ -456,8 +476,11 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
         raise ParallelReplayError(
             f"replay payload is not picklable: {exc}") from exc
     if batch_lanes > 1:
-        from ..core.replay import make_replay_batches
-        batches = make_replay_batches(snapshots, batch_lanes)
+        from ..core.replay import plan_replay_batches
+        batches = plan_replay_batches(snapshots, batch_lanes,
+                                      order=positions)
+    elif positions is not None:
+        batches = [[i] for i in positions]
     else:
         batches = [[i] for i in range(n)]
     n_tasks = len(batches)
@@ -470,8 +493,28 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
     report.workers = workers
     report.timeout_seconds = timeout
 
+    return _supervise_stream(
+        flow, snapshots, payload, batches, workers=workers,
+        port_names=port_names, grouping=grouping, freq_hz=freq_hz,
+        strict=strict, start_method=start_method, timeout=timeout,
+        max_retries=max_retries, backoff_base=backoff_base,
+        fault_plan=fault_plan, serial_engine=serial_engine,
+        gl_backend=gl_backend, serial_gl_backend=serial_gl_backend,
+        init_grace=init_grace, cancel=cancel, report=report,
+        tracer=tracer, registry=registry)
+
+
+def _supervise_stream(flow, snapshots, payload, batches, *, workers,
+                      port_names, grouping, freq_hz, strict,
+                      start_method, timeout, max_retries, backoff_base,
+                      fault_plan, serial_engine, gl_backend,
+                      serial_gl_backend, init_grace, cancel, report,
+                      tracer, registry):
+    """Generator body of :func:`replay_supervised_stream` (validated)."""
     from ..core.replay import ReplayError
     from ..scan.snapshot import SnapshotError
+
+    n_tasks = len(batches)
 
     ctx = _pick_context(start_method)
     pool = [_Worker(ctx, payload) for _ in range(workers)]
@@ -484,12 +527,12 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                        reason=reason)
         return _Worker(ctx, payload)
 
-    results = [None] * n
     completed = [False] * n_tasks
     attempts = [0] * n_tasks
     ready = deque(range(n_tasks))
     waiting = []                   # (eligible_monotonic_time, task index)
     done = 0
+    events = deque()               # (index, result) awaiting yield
 
     def _get_serial_engine():
         nonlocal serial_engine
@@ -508,13 +551,11 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
         completed[tidx] = True
         done += 1
         for idx, result in zip(batches[tidx], batch_results):
-            results[idx] = result
             if serial:
                 report.completed_serial += 1
             else:
                 report.completed_parallel += 1
-            if on_result is not None:
-                on_result(idx, result)
+            events.append((idx, result))
 
     def _batch_detail(tidx, detail):
         size = len(batches[tidx])
@@ -555,8 +596,10 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
             delay = _BACKOFF_RNG.uniform(0.0, cap)
             waiting.append((time.monotonic() + delay, tidx))
 
+    cancelled = False
     try:
         while done < n_tasks:
+            cancelled = cancel is not None and cancel.cancelled
             now = time.monotonic()
             if waiting:
                 still = []
@@ -569,7 +612,8 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
 
             for w in pool:
                 w.pump()
-                if w.task is None and ready and w.proc.is_alive():
+                if (not cancelled and w.task is None and ready
+                        and w.proc.is_alive()):
                     tidx = ready.popleft()
                     batch = batches[tidx]
                     fault = (fault_plan.pick(batch[0],
@@ -584,13 +628,17 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
             # tick elapses), then drain every complete message from
             # every worker — dead ones included — before health
             # checks, so a worker that answered and then died is
-            # credited, not retried.
-            conns = [c for c in (w.poll_conn() for w in pool
-                                 if w.proc.is_alive()) if c is not None]
-            if conns:
-                _mpconn.wait(conns, timeout=_POLL_S)
-            else:
-                time.sleep(_POLL_S)
+            # credited, not retried.  A cancelled stream skips the
+            # sleep: one final non-blocking drain credits whatever
+            # already arrived, then the loop exits.
+            if not cancelled:
+                conns = [c for c in (w.poll_conn() for w in pool
+                                     if w.proc.is_alive())
+                         if c is not None]
+                if conns:
+                    _mpconn.wait(conns, timeout=_POLL_S)
+                else:
+                    time.sleep(_POLL_S)
             for w in pool:
                 for msg in w.drain():
                     tidx, status, body = msg
@@ -628,6 +676,20 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                         _retry_or_fallback(
                             tidx, "worker-error",
                             f"{type(body).__name__}: {body}")
+            while events:
+                yield events.popleft()
+
+            if cancelled:
+                abandoned = sum(len(batches[t]) for t in range(n_tasks)
+                                if not completed[t])
+                if abandoned:
+                    report.cancelled = abandoned
+                    registry.counter("supervisor.cancelled").inc(abandoned)
+                    tracer.instant(
+                        "supervisor.cancelled", cat="supervisor",
+                        snapshots=abandoned,
+                        reason=str(getattr(cancel, "reason", None) or ""))
+                break
 
             now = time.monotonic()
             for i, w in enumerate(pool):
@@ -656,11 +718,74 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                         tidx, "timeout",
                         f"no result within {timeout * len(batches[tidx]):.1f}s;"
                         f" worker killed")
+            while events:
+                yield events.popleft()
     finally:
         for w in pool:
-            if w.proc.is_alive() and w.task is None:
+            if w.proc.is_alive() and (w.task is None or cancelled):
+                # Idle workers — and busy ones whose batch was merely
+                # abandoned by a cancel — get the polite sentinel and a
+                # join grace; only unresponsive ones are killed.
                 w.shutdown()
             else:
                 w.kill()
 
+
+def replay_supervised(flow, snapshots, *, workers, port_names,
+                      grouping=None, freq_hz=None, strict=True,
+                      start_method=None, timeout=None, max_retries=2,
+                      backoff_base=0.25, fault_plan=None, on_result=None,
+                      serial_engine=None, batch_lanes=1, gl_backend=None,
+                      serial_gl_backend=None, init_grace=None):
+    """Replay ``snapshots`` under supervision; order-preserving.
+
+    Returns ``(results, ReplayHealthReport)``.  ``on_result(index,
+    result)`` fires as each replay completes (in completion order, with
+    the snapshot's position in ``snapshots``) — the hook the crash-safe
+    run journal uses to persist progress incrementally.
+
+    This is the collecting wrapper over
+    :func:`replay_supervised_stream`, which dispatches batches
+    incrementally and yields each result as it completes; streaming
+    consumers (the adaptive sampling controller) use the generator
+    directly.
+
+    ``batch_lanes`` > 1 packs snapshots into bit-lane batches (see
+    :func:`repro.core.replay.make_replay_batches`): the unit of
+    dispatch, deadline, retry, and serial fallback becomes the batch,
+    with the per-snapshot ``timeout`` scaled by each batch's size.
+    With the default of 1 every batch is a single snapshot and the
+    semantics are exactly the historical per-snapshot ones.
+
+    ``fault_plan`` (a :class:`repro.robust.FaultPlan`) deliberately
+    sabotages chosen dispatches; it exists for the fault-injection
+    harness and is consumed supervisor-side so a retried snapshot is
+    not re-faulted once the plan is exhausted.  Faults are matched on
+    the batch's first snapshot.
+
+    ``serial_engine`` is the engine used for last-resort in-process
+    replays; built lazily from ``flow`` when not supplied.
+    ``serial_gl_backend`` overrides the gate-level backend of that
+    lazily-built engine — the job service passes ``"interp"`` so the
+    in-process fallback never executes a possibly-poisoned compiled
+    kernel inside the supervising process (backends are bit-identical,
+    so the results are unchanged).  ``init_grace`` (seconds, default
+    :func:`default_init_grace`) is the extra deadline headroom granted
+    while a worker is still paying its one-time engine-init cost.
+    """
+    snapshots = list(snapshots)
+    report = ReplayHealthReport()
+    results = [None] * len(snapshots)
+    for idx, result in replay_supervised_stream(
+            flow, snapshots, workers=workers, port_names=port_names,
+            grouping=grouping, freq_hz=freq_hz, strict=strict,
+            start_method=start_method, timeout=timeout,
+            max_retries=max_retries, backoff_base=backoff_base,
+            fault_plan=fault_plan, serial_engine=serial_engine,
+            batch_lanes=batch_lanes, gl_backend=gl_backend,
+            serial_gl_backend=serial_gl_backend, init_grace=init_grace,
+            report=report):
+        results[idx] = result
+        if on_result is not None:
+            on_result(idx, result)
     return results, report

@@ -1,16 +1,18 @@
 """Statistical sampling: Table I estimators and reservoir sampling."""
 
 from .stats import (
-    Estimate, estimate_mean, minimum_sample_size, validate_sample_size,
-    population_mean, population_variance, sample_mean, sample_variance,
-    sampling_variance, z_quantile, MIN_NORMAL_SAMPLE,
+    Estimate, OnlineMeanEstimator, estimate_mean, minimum_sample_size,
+    validate_sample_size, population_mean, population_variance,
+    sample_mean, sample_variance, sampling_variance, z_quantile,
+    MIN_NORMAL_SAMPLE,
 )
 from .reservoir import (
     ReservoirSampler, expected_record_count, paper_record_count_model,
 )
 
 __all__ = [
-    "Estimate", "estimate_mean", "minimum_sample_size",
+    "Estimate", "OnlineMeanEstimator", "estimate_mean",
+    "minimum_sample_size",
     "validate_sample_size", "population_mean", "population_variance",
     "sample_mean", "sample_variance", "sampling_variance", "z_quantile",
     "MIN_NORMAL_SAMPLE",

@@ -149,9 +149,31 @@ class Estimate:
 
 
 def estimate_mean(values, population_size, confidence=0.99):
-    """Full estimator pipeline: eqs. (3), (4), (6), (7) in one call."""
+    """Full estimator pipeline: eqs. (3), (4), (6), (7) in one call.
+
+    Hardened for the degenerate states an *online* consumer (the
+    adaptive sampling controller, which re-evaluates the interval
+    after every completed replay) necessarily passes through:
+
+    * ``n == 0`` — no data yet: mean 0 with a zero half-width; the
+      relative error bound is infinite (``mean == 0``), so nothing can
+      mistake it for a converged estimate;
+    * ``n == 1`` — one sample has no variance information: the sample
+      value with a zero half-width (the controller's ``min_sample``
+      floor, never below 2, is what makes this state unreachable as a
+      stop decision);
+    * zero-variance samples — a legitimate zero half-width, with the
+      variance clamped at 0 so float cancellation can never feed a
+      negative into ``sqrt``.
+    """
     values = list(values)
-    var = sampling_variance(values, population_size)
+    n = len(values)
+    if n == 0:
+        return Estimate(mean=0.0, variance=0.0, confidence=confidence,
+                        half_width=0.0, sample_size=0,
+                        population_size=population_size)
+    var = (0.0 if n < 2
+           else max(sampling_variance(values, population_size), 0.0))
     z = z_quantile(confidence)
     mean = sample_mean(values)
     return Estimate(
@@ -159,9 +181,78 @@ def estimate_mean(values, population_size, confidence=0.99):
         variance=var,
         confidence=confidence,
         half_width=z * math.sqrt(var),
-        sample_size=len(values),
+        sample_size=n,
         population_size=population_size,
     )
+
+
+class OnlineMeanEstimator:
+    """Incremental eq.-7 estimator: O(1) per sample, no recompute.
+
+    The adaptive sampling controller re-evaluates the confidence
+    interval after *every* completed replay; recomputing
+    :func:`estimate_mean` over the full sample each time (what the old
+    live telemetry did) is O(n) per result — O(n²) over a run.  This
+    keeps Welford running moments instead, so each update is a handful
+    of flops and :meth:`estimate` produces the same eq. 3/4/6/7
+    pipeline (same z quantile, same finite-population correction) up
+    to float associativity.
+
+    The *final* reported energy numbers still come from the batch
+    :func:`estimate_mean` over the collected replays — bit-identical
+    to the historical pipeline — so this class only ever decides *when
+    to stop*, never what is reported.
+    """
+
+    __slots__ = ("population_size", "confidence", "_z", "n", "mean",
+                 "_m2")
+
+    def __init__(self, population_size, confidence=0.99):
+        if population_size < 1:
+            raise ValueError("population_size must be >= 1")
+        self.population_size = int(population_size)
+        self.confidence = confidence
+        self._z = z_quantile(confidence)
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0          # sum of squared deviations (Welford)
+
+    def add(self, value):
+        """Fold one sample in; returns self for chaining."""
+        value = float(value)
+        if self.n >= self.population_size:
+            raise ValueError("sample larger than population")
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+        return self
+
+    @property
+    def sample_variance(self):
+        """Unbiased s_x² (eq. 4); 0.0 below two samples."""
+        if self.n < 2:
+            return 0.0
+        return max(self._m2 / (self.n - 1), 0.0)
+
+    def estimate(self):
+        """The current :class:`Estimate`, O(1) and total on any n."""
+        n, big_n = self.n, self.population_size
+        var = (0.0 if n >= big_n or n < 2
+               else self.sample_variance * (big_n - n) / (big_n * n))
+        return Estimate(
+            mean=self.mean,
+            variance=var,
+            confidence=self.confidence,
+            half_width=self._z * math.sqrt(var),
+            sample_size=n,
+            population_size=big_n,
+        )
+
+    @property
+    def relative_error(self):
+        """Half width over mean of the current estimate (inf at n=0)."""
+        return self.estimate().relative_error_bound
 
 
 def minimum_sample_size(values, max_relative_error, confidence=0.99):

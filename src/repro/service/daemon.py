@@ -121,6 +121,7 @@ class Job:
         self.finished_at = None
         self.last_phase = None    # most recent closed phase span
         self.span_count = 0
+        self.progress = None      # latest controller.* decision args
         self.cancel_requested = False
         self.done = asyncio.Event()
 
@@ -142,6 +143,7 @@ class Job:
             "finished_at": self.finished_at,
             "last_phase": self.last_phase,
             "spans": self.span_count,
+            "progress": self.progress,
         }
 
 
@@ -392,7 +394,8 @@ class StroberService:
                                    f"{job.id}.trace.json")
                       if self.config.trace_dir else None)
         tracer = Tracer(distributed=trace_path is not None,
-                        on_span=functools.partial(self._on_span, job))
+                        on_span=functools.partial(self._on_span, job),
+                        on_event=functools.partial(self._on_event, job))
         kwargs = spec.run_kwargs()
 
         def work():
@@ -465,6 +468,19 @@ class StroberService:
         self._last_span = {"job": job.id, "name": record.name,
                            "cat": record.cat,
                            "dur": round(record.dur, 6)}
+
+    def _on_event(self, job, event):
+        # Same live feed, for instant events: the adaptive sampling
+        # controller's decisions surface in job status mid-run.
+        name = event.get("name", "")
+        if not name.startswith("controller."):
+            return
+        kind = name.split("controller.", 1)[1]
+        if kind not in ("dispatch", "progress", "cancel", "stop"):
+            return
+        info = {"event": kind}
+        info.update(event.get("args") or {})
+        job.progress = info
 
     # -- the socket protocol -----------------------------------------
 
@@ -677,6 +693,7 @@ def _summarize(run):
         "resumed_replays": run.timings.get("resumed_replays"),
         "wall_seconds": run.wall_seconds,
         "trace_path": run.trace_path,
+        "sampling": getattr(run, "sampling", None),
     }
 
 

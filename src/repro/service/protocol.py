@@ -65,7 +65,11 @@ class ServiceError(Exception):
         return {"type": self.type, "message": self.message}
 
 
-SPEC_VERSION = 1
+# v2 added the adaptive-sampling knobs (target_rel_error, min_sample,
+# max_sample).  A v1 spec is a valid v2 spec (the knobs default off),
+# so old clients keep working; a spec claiming a version newer than
+# this is rejected at admission.
+SPEC_VERSION = 2
 
 _FAULT_KINDS = ("kill", "stall", "error")
 _FAULT_KEYS = frozenset({"kind", "index", "times", "seconds",
@@ -100,6 +104,11 @@ class JobSpec:
     deadline_s: float = None      # per-job wall clock; None = no deadline
     retries: int = None           # None = daemon default
     faults: list = field(default_factory=list)
+    # Adaptive sampling (spec v2): stop replaying once the eq.-7
+    # interval's relative error reaches the target; None = fixed-sample
+    target_rel_error: float = None
+    min_sample: int = None
+    max_sample: int = None
 
     @classmethod
     def from_dict(cls, obj):
@@ -160,14 +169,18 @@ class JobSpec:
                 ("workers", lambda v: 1 <= v <= 64, "an int in 1..64"),
                 ("batch_lanes", lambda v: 1 <= v <= 64,
                  "an int in 1..64"),
-                ("retries", lambda v: 0 <= v <= 10, "an int in 0..10")):
+                ("retries", lambda v: 0 <= v <= 10, "an int in 0..10"),
+                ("min_sample", lambda v: v >= 2, "an int >= 2"),
+                ("max_sample", lambda v: v >= 2, "an int >= 2")):
             value = need(name, (int,), pred, what)
             if value is not None:
                 setattr(spec, name, value)
         for name, pred, what in (
                 ("confidence", lambda v: 0.0 < v < 1.0,
                  "a float in (0, 1)"),
-                ("deadline_s", lambda v: v > 0.0, "a positive number")):
+                ("deadline_s", lambda v: v > 0.0, "a positive number"),
+                ("target_rel_error", lambda v: 0.0 < v < 1.0,
+                 "a float in (0, 1)")):
             value = need(name, (int, float), pred, what)
             if value is not None:
                 setattr(spec, name, float(value))
@@ -206,6 +219,9 @@ class JobSpec:
             "workload_kwargs": dict(self.workload_kwargs),
             "deadline_s": self.deadline_s, "retries": self.retries,
             "faults": [dict(f) for f in self.faults],
+            "target_rel_error": self.target_rel_error,
+            "min_sample": self.min_sample,
+            "max_sample": self.max_sample,
         }
 
     def run_kwargs(self):
@@ -221,6 +237,9 @@ class JobSpec:
             "workers": self.workers,
             "batch_lanes": self.batch_lanes,
             "workload_kwargs": dict(self.workload_kwargs) or None,
+            "target_rel_error": self.target_rel_error,
+            "min_sample": self.min_sample,
+            "max_sample": self.max_sample,
         }
 
     def fault_plan(self):

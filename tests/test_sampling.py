@@ -13,10 +13,10 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sampling import (
-    Estimate, ReservoirSampler, estimate_mean, expected_record_count,
-    minimum_sample_size, paper_record_count_model, population_mean,
-    population_variance, sample_mean, sample_variance, sampling_variance,
-    validate_sample_size, z_quantile,
+    Estimate, OnlineMeanEstimator, ReservoirSampler, estimate_mean,
+    expected_record_count, minimum_sample_size, paper_record_count_model,
+    population_mean, population_variance, sample_mean, sample_variance,
+    sampling_variance, validate_sample_size, z_quantile,
 )
 
 
@@ -110,6 +110,90 @@ class TestEstimate:
         # A single draw at 99.9% should essentially always cover; allow
         # the property to fail for no seed in this deterministic sweep.
         assert est.contains(true_mean) or est.relative_error_bound > 0.0
+
+
+class TestEstimateMeanDegenerate:
+    """The states an online consumer passes through before eq. 7 has
+    any variance information: they must be total, never converged."""
+
+    def test_empty_sample(self):
+        est = estimate_mean([], population_size=100)
+        assert est.mean == 0.0
+        assert est.half_width == 0.0
+        assert est.sample_size == 0
+        assert est.relative_error_bound == float("inf")
+
+    def test_single_sample(self):
+        est = estimate_mean([42.0], population_size=100)
+        assert est.mean == 42.0
+        assert est.variance == 0.0
+        assert est.half_width == 0.0
+        assert est.sample_size == 1
+
+    def test_zero_variance_sample(self):
+        est = estimate_mean([7.0] * 5, population_size=100)
+        assert est.mean == 7.0
+        assert est.half_width == 0.0
+        assert est.relative_error_bound == 0.0
+
+    def test_n_ge_2_unchanged(self):
+        """Hardening must not perturb the healthy path bit-for-bit."""
+        values = [3.1, 4.1, 5.9, 2.6, 5.3]
+        est = estimate_mean(values, population_size=1000)
+        assert est.mean == sample_mean(values)
+        assert est.variance == sampling_variance(values, 1000)
+        assert est.half_width == \
+            z_quantile(0.99) * math.sqrt(est.variance)
+
+
+class TestOnlineMeanEstimator:
+    def test_matches_batch_estimator(self):
+        rng = random.Random(11)
+        values = [100 + rng.gauss(0, 10) for _ in range(40)]
+        online = OnlineMeanEstimator(1000)
+        for v in values:
+            online.add(v)
+        batch = estimate_mean(values, 1000)
+        est = online.estimate()
+        assert est.mean == pytest.approx(batch.mean, rel=1e-12)
+        assert est.variance == pytest.approx(batch.variance, rel=1e-9)
+        assert est.half_width == pytest.approx(batch.half_width,
+                                               rel=1e-9)
+        assert online.relative_error == pytest.approx(
+            batch.relative_error_bound, rel=1e-9)
+
+    def test_matches_batch_at_every_prefix(self):
+        rng = random.Random(5)
+        values = [50 + rng.gauss(0, 4) for _ in range(12)]
+        online = OnlineMeanEstimator(200, confidence=0.95)
+        for i, v in enumerate(values, start=1):
+            online.add(v)
+            batch = estimate_mean(values[:i], 200, confidence=0.95)
+            assert online.estimate().half_width == pytest.approx(
+                batch.half_width, rel=1e-9, abs=1e-12)
+
+    def test_degenerate_states(self):
+        online = OnlineMeanEstimator(10)
+        assert online.estimate().sample_size == 0
+        assert online.relative_error == float("inf")
+        online.add(3.0)
+        est = online.estimate()
+        assert est.mean == 3.0 and est.half_width == 0.0
+        online.add(3.0)   # zero variance at n=2
+        assert online.estimate().half_width == 0.0
+        assert online.relative_error == 0.0
+
+    def test_full_census_has_zero_width(self):
+        online = OnlineMeanEstimator(3)
+        for v in (5.0, 7.0, 6.0):
+            online.add(v)
+        assert online.estimate().half_width == 0.0
+        with pytest.raises(ValueError):
+            online.add(8.0)   # sample larger than population
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            OnlineMeanEstimator(0)
 
 
 class TestSampleSizeRule:
