@@ -325,6 +325,135 @@ def test_compiled_replay_speedup(batch_lanes, gl_backend):
         assert speedup["c"] >= 3.0
 
 
+def test_native_replay_speedup(batch_lanes):
+    """Whole-cycle native stepping vs the per-eval hot loop it replaced.
+
+    The earlier compiled backends accelerated only the combinational
+    eval: every cycle still crossed back into Python for toggle
+    counting, SRAM write commit, and DFF commit.  ``run_cycles`` moves
+    the whole cycle — and N cycles per call — into the kernel, so the
+    C backend makes one GIL-releasing foreign call per replay instead
+    of one per eval.  This bench times both loops under every backend
+    the host can build, verifies value arrays *and* toggle counts stay
+    bit-identical, records the per-phase ``glstep.*`` breakdown of the
+    native C run, and writes ``results/BENCH_replay_native.json``.
+    """
+    import numpy as np
+    from repro.gatelevel import BatchedGateLevelSimulator, build_kernel
+    from repro.gatelevel.glcodegen import GLCodegenUnavailable
+    from repro.obs import get_registry
+
+    lanes = max(2, min(batch_lanes, 64))
+    warm_cycles, timed_cycles = 20, 200
+    engine = get_replay_engine("rocket_mini")
+    netlist = engine.flow.netlist
+    schedule = engine._schedule
+
+    kernels = {"interp": None}
+    try:
+        kernels["compiled"] = build_kernel(netlist, schedule,
+                                           "compiled", use_cache=False)
+    except Exception:
+        pass
+    try:
+        k = build_kernel(netlist, schedule, "c", use_cache=False)
+        if k is not None and k.backend == "c":
+            kernels["c"] = k
+    except GLCodegenUnavailable:
+        pass
+
+    def legacy_run(sim, n):
+        # the pre-run_cycles replay hot loop: settle with one eval to
+        # check outputs, then step() — which evaluated *again* before
+        # Python-side toggle counting, SRAM write ports, and DFF
+        # commit.  run_cycles collapses this to a single in-kernel
+        # eval per cycle (the second eval is idempotent, so dropping
+        # it is bit-identical; SRAM read counts are edge-triggered).
+        sim._ensure_toggle_capacity(n)
+        for _ in range(n):
+            sim.eval()
+            sim.eval()
+            values = sim._values
+            sim._count_toggles((values ^ sim._prev) & sim.active_mask)
+            np.copyto(sim._prev, values)
+            sim._commit()
+            sim.cycles += 1
+
+    def native_run(sim, n):
+        sim.run_cycles(n)
+
+    registry = get_registry()
+    phase_names = ["stimulus", "eval", "check", "toggle", "sram",
+                   "commit"]
+    per_cycle = {}
+    values = {}
+    toggles = {}
+    phases = {}
+    for name, kernel in kernels.items():
+        for mode, runner in (("legacy", legacy_run),
+                             ("native", native_run)):
+            sim = BatchedGateLevelSimulator(netlist, lanes=lanes,
+                                            schedule=schedule,
+                                            kernel=kernel)
+            runner(sim, warm_cycles)
+            before = {p: registry.value(f"glstep.{p}_seconds")
+                      for p in phase_names}
+            t0 = time.perf_counter()
+            runner(sim, timed_cycles)
+            per_cycle[(name, mode)] = (time.perf_counter() - t0) \
+                / timed_cycles
+            if mode == "native":
+                phases[name] = {
+                    p: registry.value(f"glstep.{p}_seconds")
+                    - before[p] for p in phase_names}
+            values[(name, mode)] = sim._values.copy()
+            toggles[(name, mode)] = sim.lane_toggles(0)
+    ref = ("interp", "legacy")
+    for key in values:
+        assert np.array_equal(values[key], values[ref]), key
+        assert np.array_equal(toggles[key], toggles[ref]), key
+
+    legacy_interp = per_cycle[("interp", "legacy")]
+    rows = []
+    for name in kernels:
+        for mode in ("legacy", "native"):
+            dt = per_cycle[(name, mode)]
+            rows.append([f"{name} {mode}", f"{dt * 1000:.3f} ms",
+                         f"{legacy_interp / max(dt, 1e-12):.2f}x"])
+    native_over_legacy = {
+        name: per_cycle[(name, "legacy")]
+        / max(per_cycle[(name, "native")], 1e-12)
+        for name in kernels}
+    for name, ratio in native_over_legacy.items():
+        rows.append([f"{name}: native vs legacy", "",
+                     f"{ratio:.2f}x"])
+    emit("replay_native",
+         fmt_table(["loop", "per cycle", "speedup"], rows))
+    save_json("BENCH_replay_native", {
+        "design": "rocket_mini",
+        "lanes": lanes,
+        "timed_cycles": timed_cycles,
+        "per_cycle_ms": {f"{name}_{mode}": dt * 1000
+                         for (name, mode), dt in per_cycle.items()},
+        "speedup_vs_interp_legacy": {
+            f"{name}_{mode}": legacy_interp / max(dt, 1e-12)
+            for (name, mode), dt in per_cycle.items()},
+        "native_over_legacy": native_over_legacy,
+        "native_phase_seconds": phases,
+        "have_cc": "c" in kernels,
+        "cpu_count": os.cpu_count(),
+    })
+
+    # acceptance: whole-cycle native stepping must never lose to the
+    # per-eval loop, and with a C compiler on full-width batches the
+    # one-call-per-replay kernel must deliver a real multiple over the
+    # per-eval C backend it replaces
+    for name, ratio in native_over_legacy.items():
+        assert ratio >= 0.9, (name, ratio)
+    if "c" in kernels and lanes >= 32:
+        assert native_over_legacy["c"] >= 3.0
+
+
 def test_obs_overhead(batch_lanes, trace_dir):
     """What the observability layer costs on the batched-replay path.
 

@@ -74,7 +74,8 @@ class StroberRun:
 
 
 _CIRCUIT_CACHE = {}
-_ENGINE_CACHE = {}   # (design, freq_hz, gl_backend) -> ReplayEngine
+_ENGINE_CACHE = {}   # (design, freq_hz, gl_backend, gl_overlap)
+                     #   -> ReplayEngine
 
 
 def clear_caches(disk=False):
@@ -133,25 +134,27 @@ def get_circuits(design):
 
 
 def get_replay_engine(design, freq_hz=None, use_cache=True, debug=False,
-                      gl_backend=None):
+                      gl_backend=None, gl_overlap=None):
     """The (cached) gate-level replay engine for a named configuration.
 
-    Keyed by ``(design, freq_hz, gl_backend)``: the frequency feeds
-    straight into power analysis, and the gate-level evaluation backend
-    owns a generated kernel, so neither may share a cache slot.
-    ``use_cache=False`` skips the on-disk artifact cache (the in-memory
-    engine cache still applies); ``debug=True`` runs the structural IR
-    verifier between the ASIC pipeline's passes.
+    Keyed by ``(design, freq_hz, gl_backend, gl_overlap)``: the
+    frequency feeds straight into power analysis, the gate-level
+    evaluation backend owns a generated kernel, and the thread-overlap
+    setting sizes the engine's batch thread pool, so none may share a
+    cache slot.  ``use_cache=False`` skips the on-disk artifact cache
+    (the in-memory engine cache still applies); ``debug=True`` runs the
+    structural IR verifier between the ASIC pipeline's passes.
     """
-    from ..gatelevel.glcodegen import resolve_backend
+    from ..gatelevel.glcodegen import resolve_backend, resolve_overlap
     gl_backend = resolve_backend(gl_backend)
-    key = (design, freq_hz, gl_backend)
+    gl_overlap = resolve_overlap(gl_overlap)
+    key = (design, freq_hz, gl_backend, gl_overlap)
     if key not in _ENGINE_CACHE:
         _, target = get_circuits(design)
         flow = _soc_asic_flow(target, use_cache=use_cache, debug=debug)
         _ENGINE_CACHE[key] = ReplayEngine(
             target, flow=flow, grouping=soc_grouping, freq_hz=freq_hz,
-            gl_backend=gl_backend)
+            gl_backend=gl_backend, overlap=gl_overlap)
     return _ENGINE_CACHE[key]
 
 
@@ -160,7 +163,8 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 confidence=0.99, workload_kwargs=None, strict_replay=True,
                 record_full_io=False, workers=1, journal=None,
                 replay_timeout=None, replay_retries=2, batch_lanes=1,
-                gl_backend=None, debug=False, trace=None, tracer=None,
+                gl_backend=None, gl_overlap=None, debug=False,
+                trace=None, tracer=None,
                 serial_gl_backend=None, fault_plan=None,
                 target_rel_error=None, min_sample=None, max_sample=None):
     """The headline API: energy-evaluate ``workload`` on ``design``.
@@ -186,6 +190,15 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
     are bit-identical, so the choice is recorded in the journal run key
     as advisory provenance only — a journal written under one backend
     resumes under another.
+
+    ``gl_overlap`` keeps up to that many replay batches in flight on
+    threads *within* each process (``$REPRO_GL_OVERLAP`` supplies the
+    default, 1 = off).  The native ``run_cycles`` kernel releases the
+    GIL for a batch's whole trace, so overlap buys real parallelism
+    without worker processes — and composes with ``workers``, where
+    each worker overlaps its own super-task of batches.  Results are
+    bit-identical for any setting; like the backend it is advisory in
+    the journal run key.
 
     Every circuit transform runs through the pass pipeline
     (:mod:`repro.passes`): the FAME1 decoupling on the simulator
@@ -242,9 +255,10 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
     every snapshot is replayed and results are bit-identical to the
     fixed-sample pipeline.
     """
-    from ..gatelevel.glcodegen import resolve_backend
+    from ..gatelevel.glcodegen import resolve_backend, resolve_overlap
     batch_lanes = 64 if batch_lanes is None else int(batch_lanes)
     gl_backend = resolve_backend(gl_backend)
+    gl_overlap = resolve_overlap(gl_overlap)
     workload_name = workload if workload in ALL_PROGRAMS else "(custom)"
     if tracer is None:
         tracer = Tracer(distributed=trace is not None)
@@ -262,7 +276,8 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 record_full_io=record_full_io, workers=workers,
                 journal=journal, replay_timeout=replay_timeout,
                 replay_retries=replay_retries, batch_lanes=batch_lanes,
-                gl_backend=gl_backend, debug=debug, tracer=tracer,
+                gl_backend=gl_backend, gl_overlap=gl_overlap,
+                debug=debug, tracer=tracer,
                 serial_gl_backend=serial_gl_backend,
                 fault_plan=fault_plan,
                 target_rel_error=target_rel_error,
@@ -284,8 +299,9 @@ def _run_strober(design, workload, *, sample_size, replay_length,
                  max_cycles, backend, seed, confidence, workload_kwargs,
                  strict_replay, record_full_io, workers, journal,
                  replay_timeout, replay_retries, batch_lanes, gl_backend,
-                 debug, tracer, serial_gl_backend=None, fault_plan=None,
-                 target_rel_error=None, min_sample=None, max_sample=None):
+                 gl_overlap, debug, tracer, serial_gl_backend=None,
+                 fault_plan=None, target_rel_error=None,
+                 min_sample=None, max_sample=None):
     """The traced flow body; ``tracer`` is already installed."""
     t0 = time.perf_counter()
     with tracer.span("phase.elaborate", cat="phase", design=design):
@@ -314,9 +330,11 @@ def _run_strober(design, workload, *, sample_size, replay_length,
             "strict_replay": bool(strict_replay),
             "workload_kwargs": workload_kwargs or {},
             "batch_lanes": batch_lanes,
-            # advisory provenance: backends are bit-identical, so
-            # resume comparison ignores this key (see journal module)
+            # advisory provenance: backends and thread overlap are
+            # bit-identical, so resume comparison ignores these keys
+            # (see journal module)
             "gl_backend": gl_backend,
+            "gl_overlap": gl_overlap,
             # advisory sampling knobs: resume comparison ignores these
             # too — that is what makes incremental re-sampling work
             # (reopen the same journal with a tighter target and only
@@ -390,7 +408,8 @@ def _run_strober(design, workload, *, sample_size, replay_length,
         with tracer.span("phase.flow", cat="phase") as flow_span:
             engine = get_replay_engine(design, freq_hz=config.freq_hz,
                                        debug=debug,
-                                       gl_backend=gl_backend)
+                                       gl_backend=gl_backend,
+                                       gl_overlap=gl_overlap)
             flow_span.set(cache_hit=engine.flow.cache_hit)
         flow_seconds = flow_span.dur
 
@@ -479,6 +498,7 @@ def _run_strober(design, workload, *, sample_size, replay_length,
                 "workers": workers,
                 "batch_lanes": batch_lanes,
                 "gl_backend": engine.gl_backend,
+                "gl_overlap": engine.gl_overlap,
                 "flow_cache_hit": engine.flow.cache_hit,
                 "resumed_sim": resume is not None,
                 "resumed_replays": len(resume.results) if resume else 0,

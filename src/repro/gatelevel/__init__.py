@@ -15,12 +15,13 @@ from .synthesis import (
 from .placement import place, Placement, ClusterBox, PlacementPass
 from .gl_sim import (
     GateLevelSimulator, BatchedGateLevelSimulator, GateSimError,
-    LevelizedSchedule, build_schedule, pack_lane_words, MAX_LANES,
-    SCHEDULE_VERSION,
+    StimulusMismatch, PackedStimulus, LevelizedSchedule, build_schedule,
+    pack_lane_words, MAX_LANES, SCHEDULE_VERSION, STEP_PHASES,
 )
 from .glcodegen import (
-    build_kernel, resolve_backend, kernel_cache_key, netlist_fingerprint,
-    GLCodegenError, GLCodegenUnavailable, GLCODEGEN_VERSION,
+    build_kernel, resolve_backend, resolve_overlap, kernel_cache_key,
+    netlist_fingerprint, GLCodegenError, GLCodegenUnavailable,
+    GLCODEGEN_VERSION,
 )
 from .formal import (
     match_netlist, verify_equivalence, NameMap, MatchPoint, MatchError,
@@ -35,9 +36,11 @@ __all__ = [
     "RetimedHint", "mangle", "SynthesisPass",
     "place", "Placement", "ClusterBox", "PlacementPass",
     "GateLevelSimulator", "BatchedGateLevelSimulator", "GateSimError",
+    "StimulusMismatch", "PackedStimulus",
     "LevelizedSchedule", "build_schedule", "pack_lane_words",
-    "MAX_LANES", "SCHEDULE_VERSION",
-    "build_kernel", "resolve_backend", "kernel_cache_key",
+    "MAX_LANES", "SCHEDULE_VERSION", "STEP_PHASES",
+    "build_kernel", "resolve_backend", "resolve_overlap",
+    "kernel_cache_key",
     "netlist_fingerprint", "GLCodegenError", "GLCodegenUnavailable",
     "GLCODEGEN_VERSION",
     "match_netlist", "verify_equivalence", "NameMap", "MatchPoint",

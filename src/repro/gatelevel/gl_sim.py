@@ -40,6 +40,25 @@ class GateSimError(Exception):
     pass
 
 
+class StimulusMismatch(GateSimError):
+    """A strict :meth:`BatchedGateLevelSimulator.run_cycles` check failed.
+
+    Raised at the first failing (cycle, check, lane) in ascending lane
+    order, with the simulator's combinational state settled for the
+    failing cycle but activity not yet counted and state not yet
+    committed — exactly where the interpreted per-cycle loop would have
+    stopped, so callers can peek live values for diagnostics.
+    """
+
+    def __init__(self, cycle, name, lane):
+        super().__init__(
+            f"stimulus check {name!r} failed at cycle {cycle}, "
+            f"lane {lane}")
+        self.cycle = cycle
+        self.name = name
+        self.lane = lane
+
+
 #: Snapshots per uint64 word in the batched simulator.
 MAX_LANES = 64
 
@@ -205,6 +224,140 @@ def pack_lane_words(values, nbits):
             word |= ((value >> i) & 1) << lane
         words.append(word)
     return np.array(words, dtype=np.uint64)
+
+
+#: Hot-loop phase names, in execution order, for ``glstep.*`` counters.
+STEP_PHASES = ("stimulus", "eval", "check", "toggle", "sram", "commit")
+
+
+def _note_step_phases(seconds, cycles):
+    """Flush one run_cycles call's per-phase timings to the registry."""
+    registry = get_registry()
+    for name, spent in zip(STEP_PHASES, seconds):
+        if spent > 0.0:
+            registry.counter(f"glstep.{name}_seconds").inc(float(spent))
+    registry.counter("glstep.cycles").inc(int(cycles))
+    registry.counter("glstep.calls").inc()
+
+
+class PackedStimulus:
+    """A whole replay trace precompiled into per-cycle schedules.
+
+    One instance describes everything :meth:`~BatchedGateLevelSimulator
+    .run_cycles` must do for ``n_cycles`` consecutive cycles:
+
+    * **pokes** — masked input scatters applied before eval, as
+      ``(nets, lane_mask, words)`` triples (see
+      :meth:`~BatchedGateLevelSimulator.poke_packed`);
+    * **checks** — expected-output comparisons evaluated right after
+      eval, as ``(name, nets, lane_mask, words)``; mismatching lanes are
+      counted (or raise :class:`StimulusMismatch` in strict mode);
+    * **forces** — optional per-cycle force segments ``(nets, masks,
+      vals)`` replacing the simulator's ambient forces for that cycle
+      (``None`` for a cycle means *no* forces that cycle).  When no
+      segment was ever set the stimulus leaves ambient forces alone.
+
+    :meth:`flat` lazily flattens everything into contiguous numpy arrays
+    shaped for the generated C kernel's ``gl_run`` ABI, so a batch pays
+    the packing cost once no matter how many times it replays (journal
+    resume, adaptive tightening, retries).
+    """
+
+    def __init__(self, n_cycles):
+        self.n_cycles = n_cycles
+        self.pokes = [[] for _ in range(n_cycles)]
+        self.checks = [[] for _ in range(n_cycles)]
+        self.forces = None
+        self.check_meta = []   # (cycle, name) per flat check op
+        self._flat = None
+
+    def add_poke(self, t, nets, lane_mask, words):
+        self.pokes[t].append((nets, np.uint64(lane_mask), words))
+        self._flat = None
+
+    def add_check(self, t, name, nets, lane_mask, words):
+        self.checks[t].append((name, nets, np.uint64(lane_mask), words))
+        self._flat = None
+
+    def set_forces(self, t, nets, masks, vals):
+        """Install a force segment for cycle ``t`` (arrays, pre-masked)."""
+        if self.forces is None:
+            self.forces = [None] * self.n_cycles
+        self.forces[t] = (nets, masks, vals)
+        self._flat = None
+
+    def flat(self):
+        """Contiguous arrays for the native kernel (built once, cached).
+
+        Returns a dict with per-cycle op counts, per-op masks/offsets/
+        lengths, and flat net/word arrays for pokes and checks, plus
+        per-cycle force segments (``force_counts`` is ``None`` when the
+        stimulus never forces, meaning ambient forces stay in effect).
+        Also populates :attr:`check_meta` in flat-op order.
+        """
+        if self._flat is not None:
+            return self._flat
+        flat = {}
+        self.check_meta = []
+        for kind, sched in (("poke", self.pokes), ("check", self.checks)):
+            counts = np.zeros(self.n_cycles, dtype=np.int64)
+            masks, offs, cnts = [], [], []
+            net_parts, word_parts = [], []
+            cursor = 0
+            for t, ops in enumerate(sched):
+                counts[t] = len(ops)
+                for op in ops:
+                    if kind == "check":
+                        name, nets, mask, words = op
+                        self.check_meta.append((t, name))
+                    else:
+                        nets, mask, words = op
+                    masks.append(int(mask))
+                    offs.append(cursor)
+                    cnts.append(len(nets))
+                    net_parts.append(np.asarray(nets, dtype=np.int64))
+                    word_parts.append(np.asarray(words, dtype=np.uint64))
+                    cursor += len(nets)
+            flat[f"{kind}_counts"] = counts
+            flat[f"{kind}_masks"] = np.array(masks, dtype=np.uint64)
+            flat[f"{kind}_off"] = np.array(offs, dtype=np.int64)
+            flat[f"{kind}_cnt"] = np.array(cnts, dtype=np.int64)
+            flat[f"{kind}_nets"] = (
+                np.concatenate(net_parts) if net_parts
+                else np.zeros(0, dtype=np.int64))
+            flat[f"{kind}_words"] = (
+                np.concatenate(word_parts) if word_parts
+                else np.zeros(0, dtype=np.uint64))
+        if self.forces is None:
+            flat["force_counts"] = None
+        else:
+            counts = np.zeros(self.n_cycles, dtype=np.int64)
+            offs = np.zeros(self.n_cycles, dtype=np.int64)
+            net_parts, mask_parts, val_parts = [], [], []
+            cursor = 0
+            for t, seg in enumerate(self.forces):
+                offs[t] = cursor
+                if seg is None:
+                    continue
+                nets, masks_a, vals = seg
+                counts[t] = len(nets)
+                net_parts.append(np.asarray(nets, dtype=np.int64))
+                mask_parts.append(np.asarray(masks_a, dtype=np.uint64))
+                val_parts.append(np.asarray(vals, dtype=np.uint64))
+                cursor += len(nets)
+            flat["force_counts"] = counts
+            flat["force_off"] = offs
+            flat["force_nets"] = (
+                np.concatenate(net_parts) if net_parts
+                else np.zeros(0, dtype=np.int64))
+            flat["force_masks"] = (
+                np.concatenate(mask_parts) if mask_parts
+                else np.zeros(0, dtype=np.uint64))
+            flat["force_vals"] = (
+                np.concatenate(val_parts) if val_parts
+                else np.zeros(0, dtype=np.uint64))
+        self._flat = flat
+        return flat
 
 
 class GateLevelSimulator:
@@ -496,7 +649,15 @@ class BatchedGateLevelSimulator:
         self._force_masks = None
         self._force_vals = None
         self.cycles = 0
-        self._toggle_planes = []   # vertical counters, LSB plane first
+        # Vertical toggle counters live in one preallocated C-visible
+        # arena: row p is counter-bit plane p across every net (LSB
+        # first).  ``_plane_count`` tracks how many rows are in use;
+        # ``_plane_count_buf`` is its int64 mirror the native kernel
+        # updates in place.
+        self._toggle_arena = np.zeros((4, netlist.n_nets),
+                                      dtype=np.uint64)
+        self._plane_count = 0
+        self._plane_count_buf = np.zeros(1, dtype=np.int64)
         n_srams = len(netlist.srams)
         self.sram_reads = np.zeros((n_srams, lanes), dtype=np.int64)
         self.sram_writes = np.zeros((n_srams, lanes), dtype=np.int64)
@@ -578,11 +739,39 @@ class BatchedGateLevelSimulator:
         np.copyto(self._prev, self._values)
 
     def clear_activity(self):
-        self._toggle_planes = []
+        if self._plane_count:
+            self._toggle_arena[:self._plane_count] = 0
+        self._plane_count = 0
         self.cycles = 0
         self.sram_reads[:] = 0
         self.sram_writes[:] = 0
         self._prev = self._values.copy()
+
+    @property
+    def _toggle_planes(self):
+        """The in-use vertical counter planes as a list of arena views
+        (LSB plane first) — the pre-arena representation, kept for
+        activity export and white-box tests."""
+        return [self._toggle_arena[p] for p in range(self._plane_count)]
+
+    def _grow_toggle_arena(self, min_planes):
+        cap = self._toggle_arena.shape[0]
+        if min_planes <= cap:
+            return
+        new_cap = max(min_planes, cap * 2)
+        arena = np.zeros((new_cap, self.netlist.n_nets), dtype=np.uint64)
+        if self._plane_count:
+            arena[:self._plane_count] = \
+                self._toggle_arena[:self._plane_count]
+        self._toggle_arena = arena
+
+    def _ensure_toggle_capacity(self, extra_cycles):
+        """Grow the arena so ``extra_cycles`` more cycles cannot carry
+        out of the top plane (per-net counts never exceed the cycle
+        count, so ``bit_length`` of the worst-case total bounds the
+        planes needed)."""
+        self._grow_toggle_arena(
+            int(self.cycles + extra_cycles).bit_length())
 
     def _set_net_bit(self, net, bit, lane):
         if lane is None:
@@ -872,28 +1061,134 @@ class BatchedGateLevelSimulator:
 
     def step(self, n=1):
         """Advance n clock cycles in every lane (eval, count, commit)."""
-        for _ in range(n):
-            self.eval()
-            diff = (self._values ^ self._prev) & self.active_mask
-            self._count_toggles(diff)
-            np.copyto(self._prev, self._values)
-            self._commit()
-            self.cycles += 1
+        self.run_cycles(n)
+
+    def run_cycles(self, n=None, stim=None, strict=False):
+        """Advance ``n`` cycles, optionally driven by a
+        :class:`PackedStimulus` (pokes before eval, checks after eval,
+        per-cycle force segments).
+
+        This is the whole-replay hot loop: with a generated C kernel the
+        entire call — eval, toggle counting, SRAM write ports, DFF
+        commit, stimulus, checks — is **one** foreign call that releases
+        the GIL; the interpreted path runs the same per-cycle sequence
+        in Python so all backends stay bit-identical by construction.
+
+        Returns the per-lane mismatch counts (int64, one per lane).  In
+        strict mode the first failing check raises
+        :class:`StimulusMismatch` instead, leaving the failing cycle
+        settled but uncommitted.
+        """
+        if stim is not None:
+            if n is None:
+                n = stim.n_cycles
+            elif n > stim.n_cycles:
+                raise GateSimError(
+                    f"run_cycles({n}) exceeds stimulus length "
+                    f"{stim.n_cycles}")
+        elif n is None:
+            raise GateSimError("run_cycles needs a cycle count or "
+                               "a stimulus")
+        n = int(n)
+        mismatches = np.zeros(self.lanes, dtype=np.int64)
+        if n <= 0:
+            return mismatches
+        self._ensure_toggle_capacity(n)
+        kernel = self._kernel
+        if kernel is not None and hasattr(kernel, "run_cycles"):
+            kernel.run_cycles(self, n, stim, strict, mismatches)
+        else:
+            self._run_cycles_py(n, stim, strict, mismatches)
+        return mismatches
+
+    def _run_cycles_py(self, n, stim, strict, mismatches):
+        """The interpreted/compiled-eval per-cycle loop behind
+        :meth:`run_cycles` — semantics identical to the native kernel."""
+        phases = [0.0] * 6
+        pokes = stim.pokes if stim is not None else None
+        checks = stim.checks if stim is not None else None
+        seg_forces = stim is not None and stim.forces is not None
+        saved = (self._force_nets, self._force_masks, self._force_vals)
+        perf = time.perf_counter
+        cycles_done = 0
+        try:
+            for t in range(n):
+                t0 = perf()
+                if pokes is not None:
+                    # compiled-backend evals rebind _values, so read the
+                    # attribute afresh every cycle
+                    values = self._values
+                    for nets, mask, words in pokes[t]:
+                        values[nets] = ((values[nets] & ~mask)
+                                        | (words & mask))
+                if seg_forces:
+                    seg = stim.forces[t]
+                    if seg is None:
+                        self._force_nets = None
+                        self._force_masks = None
+                        self._force_vals = None
+                    else:
+                        (self._force_nets, self._force_masks,
+                         self._force_vals) = seg
+                t1 = perf()
+                phases[0] += t1 - t0
+                self.eval()
+                values = self._values
+                t2 = perf()
+                phases[1] += t2 - t1
+                if checks is not None:
+                    for name, nets, mask, exp in checks[t]:
+                        diff = int(np.bitwise_or.reduce(
+                            values[nets] ^ exp) & mask)
+                        while diff:
+                            lane = (diff & -diff).bit_length() - 1
+                            diff &= diff - 1
+                            mismatches[lane] += 1
+                            if strict:
+                                raise StimulusMismatch(t, name, lane)
+                t3 = perf()
+                phases[2] += t3 - t2
+                self._count_toggles(
+                    (values ^ self._prev) & self.active_mask)
+                np.copyto(self._prev, values)
+                t4 = perf()
+                phases[3] += t4 - t3
+                self._commit_sram_writes()
+                t5 = perf()
+                phases[4] += t5 - t4
+                self._commit_dffs()
+                self.cycles += 1
+                cycles_done += 1
+                phases[5] += perf() - t5
+        finally:
+            if seg_forces:
+                (self._force_nets, self._force_masks,
+                 self._force_vals) = saved
+            _note_step_phases(phases, cycles_done)
 
     def _count_toggles(self, diff):
         # Ripple-carry add of the 1-bit diff word into the vertical
-        # counter planes; a surviving carry grows the counter width.
+        # counter arena; a surviving carry widens the counters.
         carry = diff
-        for plane in self._toggle_planes:
-            if not carry.any():
-                return
+        arena = self._toggle_arena
+        p = 0
+        while carry.any():
+            if p == arena.shape[0]:
+                self._grow_toggle_arena(p + 1)
+                arena = self._toggle_arena
+            plane = arena[p]
             new_carry = plane & carry
-            plane ^= carry
+            np.bitwise_xor(plane, carry, out=plane)
             carry = new_carry
-        if carry.any():
-            self._toggle_planes.append(carry.copy())
+            p += 1
+        if p > self._plane_count:
+            self._plane_count = p
 
     def _commit(self):
+        self._commit_sram_writes()
+        self._commit_dffs()
+
+    def _commit_sram_writes(self):
         # SRAM writes sample their nets before DFF outputs change (the
         # same pre-commit ordering as the scalar simulator).  Per-lane
         # addresses/values are assembled with packed dot products; only
@@ -935,6 +1230,9 @@ class BatchedGateLevelSimulator:
                             value |= ((int(v[net]) >> lane) & 1) << i
                     store[lane][addr] = value
                     self.sram_writes[macro_idx, lane] += 1
+
+    def _commit_dffs(self):
+        v = self._values
         n_dff = len(self.netlist.dffs)
         if n_dff:
             v[self._dff_q[:n_dff]] = v[self._dff_d[:n_dff]]

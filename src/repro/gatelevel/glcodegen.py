@@ -67,10 +67,13 @@ from array import array
 import numpy as np
 
 from .netlist import CONST0, CONST1
+from .gl_sim import StimulusMismatch, _note_step_phases
 from ..obs import get_tracer, get_registry
 
 #: Bump when the lowering rules or kernel ABI change (cache invalidation).
-GLCODEGEN_VERSION = 2
+#: 3: whole-cycle ``gl_run_cycles`` entry point (native toggle counting,
+#: DFF commit, SRAM write ports, packed stimulus, forces).
+GLCODEGEN_VERSION = 3
 
 #: Word width of the lane representation the kernels are generated for.
 #: Kernels are lane-oblivious (full-word bitwise ops), so one artifact
@@ -80,6 +83,7 @@ WORD_LANES = 64
 _ENV_BACKEND = "REPRO_GL_BACKEND"
 _ENV_CC = "REPRO_GL_CC"
 _ENV_CFLAGS = "REPRO_GL_CFLAGS"
+_ENV_OVERLAP = "REPRO_GL_OVERLAP"
 
 BACKENDS = ("interp", "compiled", "c", "auto")
 
@@ -119,6 +123,27 @@ def resolve_backend(backend=None):
     return value
 
 
+def resolve_overlap(overlap=None):
+    """Normalize the per-process batch thread-overlap request:
+    explicit arg > ``$REPRO_GL_OVERLAP`` > 1 (no overlap).
+
+    Overlap > 1 lets a replay engine run that many independent snapshot
+    batches on concurrent threads — real parallelism once the hot loop
+    is one GIL-releasing native call per batch.
+    """
+    if overlap is None:
+        overlap = os.environ.get(_ENV_OVERLAP) or 1
+    try:
+        overlap = int(overlap)
+    except (TypeError, ValueError):
+        raise GLCodegenError(
+            f"gl overlap must be a positive integer, got {overlap!r}")
+    if overlap < 1:
+        raise GLCodegenError(
+            f"gl overlap must be >= 1, got {overlap}")
+    return overlap
+
+
 def netlist_fingerprint(netlist):
     """Structural content hash of a netlist (memoized on the instance).
 
@@ -141,12 +166,20 @@ def netlist_fingerprint(netlist):
 
 
 def kernel_cache_key(netlist, backend, schedule):
-    """Content-addressed cache key for one generated kernel."""
+    """Content-addressed cache key for one generated kernel.
+
+    For the ``c`` backend the effective compiler flag string is folded
+    in, so changing ``$REPRO_GL_CFLAGS`` rebuilds the shared object
+    instead of silently loading one compiled under different flags.
+    """
     from ..passes import compose_cache_key
+    extra = {}
+    if backend == "c":
+        extra["cflags"] = " ".join(_cc_flags())
     return compose_cache_key(
         netlist_fingerprint(netlist), "",
         lanes=WORD_LANES, backend=backend,
-        codegen=GLCODEGEN_VERSION, schedule=schedule.version)
+        codegen=GLCODEGEN_VERSION, schedule=schedule.version, **extra)
 
 
 # -- lowering ---------------------------------------------------------------
@@ -282,38 +315,98 @@ def generate_python_source(netlist, schedule):
     return "\n".join(lines)
 
 
+def _c_const_array(name, values, ctype="int64_t"):
+    """Emit a static const C array (at least one element)."""
+    vals = list(values) or [0]
+    lines = [f"static const {ctype} {name}[] = {{"]
+    for i in range(0, len(vals), 16):
+        lines.append("  " + ", ".join(str(v) for v in vals[i:i + 16])
+                     + ",")
+    lines.append("};")
+    return lines
+
+
 def generate_c_source(netlist, schedule):
-    """Emit the C translation unit for one netlist.
+    """Emit the whole-cycle C translation unit for one netlist.
 
-    The kernel evaluates in place on the caller's value buffer
-    (``uint64_t *V``, one word per net) — the numpy array the batched
-    simulator already owns, passed as a ctypes pointer, so the C
-    backend needs no per-cycle conversion.  Gate statements are chunked
-    into small static functions so the C compiler stays fast on large
-    netlists; SRAM read ports compile to per-port functions (address
-    assembly, store gather, data repack, last-address memo + read
-    counter) interleaved at their exact schedule level, all driven by
-    one exported entry point::
+    Two exported entry points share one generated eval core
+    (``eval_once``: chunked straight-line gate statements, native SRAM
+    read ports, force application at the interpreter's exact points —
+    before the first level and after every level):
 
-        void gl_eval(uint64_t *V, uint64_t **stores, int64_t **lasts,
-                     int64_t *reads, int64_t lanes)
+    * ``gl_eval(V, stores, lasts, reads, lanes)`` — settle combinational
+      logic once, forces off (the PR-6 ABI, kept for single evals);
+    * ``gl_run_cycles(gl_state *S, gl_run *R)`` — the whole-replay hot
+      loop.  For each of ``R->n_cycles`` cycles it applies packed pokes,
+      installs that cycle's force segment (or the ambient forces),
+      settles logic, evaluates expected-output checks (counting
+      mismatching lanes, or stopping at the first one in strict mode),
+      ripple-carry adds the XOR diff into the vertical toggle-counter
+      arena, runs every SRAM write port, and gather/scatter-commits the
+      DFFs — all natively, so a replay batch is **one** GIL-releasing
+      foreign call.  Returns the number of fully committed cycles
+      (``< n_cycles`` only on a strict stop, recorded in ``R->stop`` as
+      ``{cycle, flat check index, lane}``).
 
-    where ``stores[m]`` is macro *m*'s ``(lanes, depth)`` row-major
-    word store, ``lasts[k]`` read port *k*'s per-lane last-address
-    memo (schedule traversal order, ``-1`` = never read), ``reads``
-    the base of the ``(n_srams, lanes)`` read-counter matrix, and
-    ``lanes`` the live lane count.  Raises
-    :class:`GLCodegenUnavailable` for netlists the C lowering cannot
-    express (SRAM words or addresses wider than 64/62 bits — those
-    stay on the arbitrary-precision Python paths).
+    ``gl_state`` points at the simulator's live numpy buffers (values,
+    prev-values, toggle arena + in-use plane count, SRAM stores,
+    read-port memos, access counters, DFF scratch); ``gl_run`` at the
+    :class:`~repro.gatelevel.gl_sim.PackedStimulus` flat arrays.  Gate
+    chunks compile at the translation unit's base optimization level
+    (codegen keeps ``-O0`` compile times tolerable on big netlists)
+    while the fixed-size runtime helpers — toggle tick, write ports,
+    DFF commit, the run driver — are annotated ``HOT`` (``-O2`` under
+    gcc) since they dominate the per-cycle work and never grow with
+    netlist size.  Raises :class:`GLCodegenUnavailable` for netlists
+    the C lowering cannot express (SRAM words or addresses wider than
+    64/62 bits — those stay on the arbitrary-precision Python paths).
     """
     for macro in netlist.srams:
         if macro.width > 64:
             raise GLCodegenUnavailable(
                 f"SRAM macro {macro.name!r} is {macro.width} bits wide; "
                 f"the C lowering packs one uint64 word per entry")
-    parts = ["#include <stdint.h>",
-             "#define M 0xFFFFFFFFFFFFFFFFULL"]
+        for _en, addr_nets, _data_nets in macro.write_ports:
+            if len(addr_nets) > 62:
+                raise GLCodegenUnavailable(
+                    f"SRAM macro {macro.name!r} has a "
+                    f"{len(addr_nets)}-bit write address; the C "
+                    f"lowering assembles addresses in an int64")
+    n_dff = len(netlist.dffs)
+    parts = [
+        "#include <stdint.h>",
+        "#include <time.h>",
+        "#define M 0xFFFFFFFFFFFFFFFFULL",
+        f"#define N_NETS {netlist.n_nets}",
+        f"#define N_DFF {n_dff}",
+        "#if defined(__GNUC__) && !defined(__clang__)",
+        '#define HOT __attribute__((optimize("O2")))',
+        "#else",
+        "#define HOT",
+        "#endif",
+        "typedef struct {",
+        "  int64_t n;",
+        "  const int64_t *nets;",
+        "  const uint64_t *masks;",
+        "  const uint64_t *vals;",
+        "} gl_forces;",
+        "static HOT void apply_forces(uint64_t *V, "
+        "const gl_forces *F) {",
+        "  for (int64_t i = 0; i < F->n; i++) {",
+        "    int64_t net = F->nets[i];",
+        "    V[net] = (V[net] & ~F->masks[i]) | F->vals[i];",
+        "  }",
+        "}",
+        "static HOT int64_t lowbit(uint64_t x) {",
+        "#if defined(__GNUC__)",
+        "  return (int64_t)__builtin_ctzll(x);",
+        "#else",
+        "  int64_t i = 0;",
+        "  while (!((x >> i) & 1)) i++;",
+        "  return i;",
+        "#endif",
+        "}",
+    ]
 
     def ref(net):
         if net == CONST0:
@@ -332,10 +425,12 @@ def generate_c_source(netlist, schedule):
         for start in range(0, len(stmts), _CHUNK):
             fn = f"chunk_{chunk_id}"
             chunk_id += 1
-            parts.append(f"static void {fn}(uint64_t *V) {{")
+            parts.append(f"static void {fn}(uint64_t *V, "
+                         f"const gl_forces *F) {{")
+            parts.append("  (void)F;")
             parts.extend(stmts[start:start + _CHUNK])
             parts.append("}")
-            driver.append(f"  {fn}(V);")
+            driver.append(f"  {fn}(V, F);")
         stmts = []
 
     for groups, rams in schedule.levels:
@@ -363,7 +458,7 @@ def generate_c_source(netlist, schedule):
                 terms.append(f"({bit} << {i})" if i else bit)
             fn = f"ram_{ram_id}"
             parts.append(
-                f"static void {fn}(uint64_t *V, const uint64_t *S, "
+                f"static HOT void {fn}(uint64_t *V, const uint64_t *S, "
                 f"int64_t *LA, int64_t *RD, int64_t lanes) {{")
             parts.append(f"  uint64_t acc[{width}] = {{0}};")
             parts.append("  for (int64_t lane = 0; lane < lanes; "
@@ -387,14 +482,225 @@ def generate_c_source(netlist, schedule):
                 f"lasts[{ram_id}], reads + {macro_idx} * lanes, "
                 f"lanes);")
             ram_id += 1
+        # forces re-assert after every level, matching the interpreter
+        stmts.append("  if (F->n) apply_forces(V, F);")
     flush_chunks()
 
-    parts.append("void gl_eval(uint64_t *V, uint64_t **stores, "
+    parts.append("static void eval_once(uint64_t *V, "
+                 "const gl_forces *F, uint64_t **stores, "
                  "int64_t **lasts, int64_t *reads, int64_t lanes) {")
     parts.append("  (void)stores; (void)lasts; (void)reads; "
                  "(void)lanes;")
+    parts.append("  if (F->n) apply_forces(V, F);")
     parts.extend(driver)
     parts.append("}")
+
+    parts.append("void gl_eval(uint64_t *V, uint64_t **stores, "
+                 "int64_t **lasts, int64_t *reads, int64_t lanes) {")
+    parts.append("  gl_forces F = {0, 0, 0, 0};")
+    parts.append("  eval_once(V, &F, stores, lasts, reads, lanes);")
+    parts.append("}")
+
+    # -- whole-cycle runtime --------------------------------------------
+    parts.extend(_c_const_array(
+        "DFF_D", schedule.dff_d[:n_dff].tolist() if n_dff else []))
+    parts.extend(_c_const_array(
+        "DFF_Q", schedule.dff_q[:n_dff].tolist() if n_dff else []))
+    parts.extend([
+        "static HOT void commit_dffs(uint64_t *V, uint64_t *T) {",
+        "  for (int64_t i = 0; i < N_DFF; i++) T[i] = V[DFF_D[i]];",
+        "  for (int64_t i = 0; i < N_DFF; i++) V[DFF_Q[i]] = T[i];",
+        "}",
+        # Fused XOR-diff + prev update + vertical ripple-carry add.
+        # Walking planes at stride N_NETS is fine: the carry usually
+        # dies after one or two planes.
+        "static HOT int64_t toggle_tick(uint64_t *V, uint64_t *P, "
+        "uint64_t *PL, int64_t cap, int64_t used, uint64_t active) {",
+        "  for (int64_t i = 0; i < N_NETS; i++) {",
+        "    uint64_t cur = V[i];",
+        "    uint64_t carry = (cur ^ P[i]) & active;",
+        "    P[i] = cur;",
+        "    int64_t p = 0;",
+        "    while (carry && p < cap) {",
+        "      uint64_t *pl = PL + (uint64_t)p * N_NETS + i;",
+        "      uint64_t nc = *pl & carry;",
+        "      *pl ^= carry;",
+        "      carry = nc;",
+        "      p++;",
+        "    }",
+        "    if (p > used) used = p;",
+        "  }",
+        "  return used;",
+        "}",
+        "static double now_ns(void) {",
+        "  struct timespec ts;",
+        "  clock_gettime(CLOCK_MONOTONIC, &ts);",
+        "  return (double)ts.tv_sec * 1e9 + (double)ts.tv_nsec;",
+        "}",
+    ])
+
+    wport_driver = []
+    wport_id = 0
+    for macro_idx, macro in enumerate(netlist.srams):
+        for en, addr_nets, data_nets in macro.write_ports:
+            terms = []
+            for i, net in enumerate(addr_nets):
+                bit = f"(int64_t)(({ref(net)} >> lane) & 1)"
+                terms.append(f"({bit} << {i})" if i else bit)
+            dterms = []
+            for i, net in enumerate(data_nets):
+                bit = f"(({ref(net)} >> lane) & 1)"
+                dterms.append(f"({bit} << {i})" if i else bit)
+            fn = f"wport_{wport_id}"
+            parts.append(
+                f"static HOT void {fn}(uint64_t *V, uint64_t *S, "
+                f"int64_t *WR, uint64_t active) {{")
+            parts.append(f"  uint64_t en = {ref(en)} & active;")
+            parts.append("  while (en) {")
+            parts.append("    int64_t lane = lowbit(en);")
+            parts.append("    en &= en - 1;")
+            parts.append(
+                f"    int64_t addr = "
+                f"{' | '.join(terms) if terms else '0'};")
+            parts.append(f"    if (addr >= {macro.depth}) continue;")
+            parts.append(
+                f"    uint64_t w = "
+                f"{' | '.join(dterms) if dterms else '0ULL'};")
+            parts.append(
+                f"    S[(uint64_t)lane * {macro.depth}u + "
+                f"(uint64_t)addr] = w;")
+            parts.append("    WR[lane] += 1;")
+            parts.append("  }")
+            parts.append("}")
+            wport_driver.append(
+                f"    wport_{wport_id}(V, S->stores[{macro_idx}], "
+                f"S->writes + {macro_idx} * lanes, S->active_mask);")
+            wport_id += 1
+
+    parts.extend([
+        "typedef struct {",
+        "  uint64_t *V;",
+        "  uint64_t *PREV;",
+        "  uint64_t *PLANES;",
+        "  int64_t planes_cap;",
+        "  int64_t *planes_used;",
+        "  uint64_t **stores;",
+        "  int64_t **lasts;",
+        "  int64_t *reads;",
+        "  int64_t *writes;",
+        "  uint64_t *dff_tmp;",
+        "  int64_t lanes;",
+        "  uint64_t active_mask;",
+        "} gl_state;",
+        "typedef struct {",
+        "  int64_t n_cycles;",
+        "  const int64_t *poke_counts;",
+        "  const uint64_t *poke_masks;",
+        "  const int64_t *poke_off;",
+        "  const int64_t *poke_cnt;",
+        "  const int64_t *poke_nets;",
+        "  const uint64_t *poke_words;",
+        "  const int64_t *check_counts;",
+        "  const uint64_t *check_masks;",
+        "  const int64_t *check_off;",
+        "  const int64_t *check_cnt;",
+        "  const int64_t *check_nets;",
+        "  const uint64_t *check_words;",
+        "  const int64_t *force_counts;",
+        "  const int64_t *force_off;",
+        "  const int64_t *force_nets;",
+        "  const uint64_t *force_masks;",
+        "  const uint64_t *force_vals;",
+        "  int64_t ambient_n;",
+        "  const int64_t *ambient_nets;",
+        "  const uint64_t *ambient_masks;",
+        "  const uint64_t *ambient_vals;",
+        "  int64_t strict;",
+        "  int64_t *mismatches;",
+        "  int64_t *stop;",
+        "  int64_t profile;",
+        "  double *phase_ns;",
+        "} gl_run;",
+        "HOT int64_t gl_run_cycles(gl_state *S, gl_run *R) {",
+        "  uint64_t *V = S->V;",
+        "  int64_t lanes = S->lanes;",
+        "  int64_t used = *S->planes_used;",
+        "  int64_t poke_op = 0, check_op = 0;",
+        "  gl_forces F;",
+        "  double t0 = 0.0, t1 = 0.0;",
+        "  R->stop[0] = -1; R->stop[1] = -1; R->stop[2] = -1;",
+        "  for (int64_t t = 0; t < R->n_cycles; t++) {",
+        "    if (R->profile) t0 = now_ns();",
+        "    if (R->poke_counts) {",
+        "      int64_t ops = R->poke_counts[t];",
+        "      for (int64_t k = 0; k < ops; k++, poke_op++) {",
+        "        uint64_t mask = R->poke_masks[poke_op];",
+        "        int64_t off = R->poke_off[poke_op];",
+        "        int64_t cnt = R->poke_cnt[poke_op];",
+        "        const int64_t *nets = R->poke_nets + off;",
+        "        const uint64_t *words = R->poke_words + off;",
+        "        for (int64_t j = 0; j < cnt; j++)",
+        "          V[nets[j]] = (V[nets[j]] & ~mask) | "
+        "(words[j] & mask);",
+        "      }",
+        "    }",
+        "    if (R->force_counts) {",
+        "      F.n = R->force_counts[t];",
+        "      F.nets = R->force_nets + R->force_off[t];",
+        "      F.masks = R->force_masks + R->force_off[t];",
+        "      F.vals = R->force_vals + R->force_off[t];",
+        "    } else {",
+        "      F.n = R->ambient_n;",
+        "      F.nets = R->ambient_nets;",
+        "      F.masks = R->ambient_masks;",
+        "      F.vals = R->ambient_vals;",
+        "    }",
+        "    if (R->profile) { t1 = now_ns(); "
+        "R->phase_ns[0] += t1 - t0; t0 = t1; }",
+        "    eval_once(V, &F, S->stores, S->lasts, S->reads, lanes);",
+        "    if (R->profile) { t1 = now_ns(); "
+        "R->phase_ns[1] += t1 - t0; t0 = t1; }",
+        "    if (R->check_counts) {",
+        "      int64_t ops = R->check_counts[t];",
+        "      for (int64_t k = 0; k < ops; k++, check_op++) {",
+        "        int64_t off = R->check_off[check_op];",
+        "        int64_t cnt = R->check_cnt[check_op];",
+        "        const int64_t *nets = R->check_nets + off;",
+        "        const uint64_t *words = R->check_words + off;",
+        "        uint64_t diff = 0;",
+        "        for (int64_t j = 0; j < cnt; j++)",
+        "          diff |= V[nets[j]] ^ words[j];",
+        "        diff &= R->check_masks[check_op];",
+        "        while (diff) {",
+        "          int64_t lane = lowbit(diff);",
+        "          diff &= diff - 1;",
+        "          R->mismatches[lane] += 1;",
+        "          if (R->strict) {",
+        "            R->stop[0] = t; R->stop[1] = check_op; "
+        "R->stop[2] = lane;",
+        "            *S->planes_used = used;",
+        "            return t;",
+        "          }",
+        "        }",
+        "      }",
+        "    }",
+        "    if (R->profile) { t1 = now_ns(); "
+        "R->phase_ns[2] += t1 - t0; t0 = t1; }",
+        "    used = toggle_tick(V, S->PREV, S->PLANES, "
+        "S->planes_cap, used, S->active_mask);",
+        "    if (R->profile) { t1 = now_ns(); "
+        "R->phase_ns[3] += t1 - t0; t0 = t1; }",
+        *wport_driver,
+        "    if (R->profile) { t1 = now_ns(); "
+        "R->phase_ns[4] += t1 - t0; t0 = t1; }",
+        "    commit_dffs(V, S->dff_tmp);",
+        "    if (R->profile) { t1 = now_ns(); "
+        "R->phase_ns[5] += t1 - t0; t0 = t1; }",
+        "  }",
+        "  *S->planes_used = used;",
+        "  return R->n_cycles;",
+        "}",
+    ])
     return "\n".join(parts)
 
 
@@ -450,16 +756,77 @@ class PythonKernel:
             sim._values[:] = out
 
 
-class CKernel:
-    """gcc+ctypes straight-line evaluator (backend ``c``).
+class _GlState(ctypes.Structure):
+    """Mirror of the generated ``gl_state`` struct (live sim buffers)."""
 
-    Evaluates in place on the simulator's numpy buffers — value array,
-    SRAM word stores, last-address memos, read counters — through raw
-    pointers bound once per simulator in :meth:`install`.  Every one of
-    those arrays is allocated in the simulator's ``__init__`` and only
-    ever mutated in place (``full_reset`` included), so the captured
-    addresses stay valid for the simulator's lifetime and an eval is a
-    single foreign call with zero per-cycle Python.
+    _fields_ = [
+        ("V", ctypes.c_void_p),
+        ("PREV", ctypes.c_void_p),
+        ("PLANES", ctypes.c_void_p),
+        ("planes_cap", ctypes.c_int64),
+        ("planes_used", ctypes.c_void_p),
+        ("stores", ctypes.c_void_p),
+        ("lasts", ctypes.c_void_p),
+        ("reads", ctypes.c_void_p),
+        ("writes", ctypes.c_void_p),
+        ("dff_tmp", ctypes.c_void_p),
+        ("lanes", ctypes.c_int64),
+        ("active_mask", ctypes.c_uint64),
+    ]
+
+
+class _GlRun(ctypes.Structure):
+    """Mirror of the generated ``gl_run`` struct (packed stimulus)."""
+
+    _fields_ = [
+        ("n_cycles", ctypes.c_int64),
+        ("poke_counts", ctypes.c_void_p),
+        ("poke_masks", ctypes.c_void_p),
+        ("poke_off", ctypes.c_void_p),
+        ("poke_cnt", ctypes.c_void_p),
+        ("poke_nets", ctypes.c_void_p),
+        ("poke_words", ctypes.c_void_p),
+        ("check_counts", ctypes.c_void_p),
+        ("check_masks", ctypes.c_void_p),
+        ("check_off", ctypes.c_void_p),
+        ("check_cnt", ctypes.c_void_p),
+        ("check_nets", ctypes.c_void_p),
+        ("check_words", ctypes.c_void_p),
+        ("force_counts", ctypes.c_void_p),
+        ("force_off", ctypes.c_void_p),
+        ("force_nets", ctypes.c_void_p),
+        ("force_masks", ctypes.c_void_p),
+        ("force_vals", ctypes.c_void_p),
+        ("ambient_n", ctypes.c_int64),
+        ("ambient_nets", ctypes.c_void_p),
+        ("ambient_masks", ctypes.c_void_p),
+        ("ambient_vals", ctypes.c_void_p),
+        ("strict", ctypes.c_int64),
+        ("mismatches", ctypes.c_void_p),
+        ("stop", ctypes.c_void_p),
+        ("profile", ctypes.c_int64),
+        ("phase_ns", ctypes.c_void_p),
+    ]
+
+
+def _data_ptr(arr):
+    """Raw data pointer of a numpy array, or 0 for ``None``."""
+    return arr.ctypes.data if arr is not None else 0
+
+
+class CKernel:
+    """gcc+ctypes whole-cycle evaluator (backend ``c``).
+
+    Operates in place on the simulator's numpy buffers — value array,
+    SRAM word stores, last-address memos, access counters, the toggle
+    arena — through raw pointers.  The long-lived pointer tables are
+    bound once per simulator in :meth:`install`; buffers the simulator
+    is allowed to *rebind* (``_prev`` on ``clear_activity``, the toggle
+    arena on growth) are re-read per call in :meth:`run_cycles`, which
+    executes an entire replay batch — stimulus, eval, checks, toggle
+    counting, SRAM write ports, DFF commit — as one foreign call that
+    releases the GIL (ctypes drops it around every ``CDLL`` call), so
+    threads running independent batches overlap natively.
     """
 
     backend = "c"
@@ -476,6 +843,10 @@ class CKernel:
                        ctypes.c_int64]
         fn.restype = None
         self._fn = fn
+        run = lib.gl_run_cycles
+        run.argtypes = [ctypes.POINTER(_GlState), ctypes.POINTER(_GlRun)]
+        run.restype = ctypes.c_int64
+        self._run = run
         self.source = source
         self.workdir = workdir
         self.compile_seconds = compile_seconds
@@ -498,11 +869,88 @@ class CKernel:
                           ctypes.c_int64(sim.lanes))
         # keep the memo arrays reachable while the pointer table lives
         sim._gl_c_memos = port_memos
+        # per-simulator DFF gather scratch: commit must read every D
+        # before scattering to Q (aliasing), and it cannot live in the
+        # .so because one library serves many sims on many threads
+        sim._gl_dff_tmp = np.zeros(
+            max(len(sim.netlist.dffs), 1), dtype=np.uint64)
 
     def eval(self, sim):
         stores, lasts, reads, lanes = sim._gl_c_args
         self._fn(sim._values.ctypes.data_as(self._ptr_t),
                  stores, lasts, reads, lanes)
+
+    def run_cycles(self, sim, n, stim, strict, mismatches):
+        """Run ``n`` cycles natively; returns committed-cycle count.
+
+        Builds the ``gl_state`` view fresh per call (``_prev`` and the
+        toggle arena may have been rebound since the last one), hands
+        the packed stimulus' flat arrays to ``gl_run_cycles``, then
+        syncs the plane count and cycle counter back and raises
+        :class:`~repro.gatelevel.gl_sim.StimulusMismatch` on a strict
+        stop.
+        """
+        stores, lasts, reads, _lanes = sim._gl_c_args
+        arena = sim._toggle_arena
+        buf = sim._plane_count_buf
+        buf[0] = sim._plane_count
+        state = _GlState(
+            V=sim._values.ctypes.data,
+            PREV=sim._prev.ctypes.data,
+            PLANES=arena.ctypes.data,
+            planes_cap=arena.shape[0],
+            planes_used=buf.ctypes.data,
+            stores=ctypes.addressof(stores),
+            lasts=ctypes.addressof(lasts),
+            reads=sim.sram_reads.ctypes.data,
+            writes=sim.sram_writes.ctypes.data,
+            dff_tmp=sim._gl_dff_tmp.ctypes.data,
+            lanes=sim.lanes,
+            active_mask=int(sim.active_mask))
+        flat = stim.flat() if stim is not None else None
+        stop = np.full(3, -1, dtype=np.int64)
+        phase_ns = np.zeros(6, dtype=np.float64)
+        run = _GlRun(
+            n_cycles=n,
+            strict=1 if strict else 0,
+            mismatches=mismatches.ctypes.data,
+            stop=stop.ctypes.data,
+            profile=1,
+            phase_ns=phase_ns.ctypes.data)
+        if flat is not None:
+            run.poke_counts = _data_ptr(flat["poke_counts"])
+            run.poke_masks = _data_ptr(flat["poke_masks"])
+            run.poke_off = _data_ptr(flat["poke_off"])
+            run.poke_cnt = _data_ptr(flat["poke_cnt"])
+            run.poke_nets = _data_ptr(flat["poke_nets"])
+            run.poke_words = _data_ptr(flat["poke_words"])
+            run.check_counts = _data_ptr(flat["check_counts"])
+            run.check_masks = _data_ptr(flat["check_masks"])
+            run.check_off = _data_ptr(flat["check_off"])
+            run.check_cnt = _data_ptr(flat["check_cnt"])
+            run.check_nets = _data_ptr(flat["check_nets"])
+            run.check_words = _data_ptr(flat["check_words"])
+        if flat is not None and flat["force_counts"] is not None:
+            run.force_counts = _data_ptr(flat["force_counts"])
+            run.force_off = _data_ptr(flat["force_off"])
+            run.force_nets = _data_ptr(flat["force_nets"])
+            run.force_masks = _data_ptr(flat["force_masks"])
+            run.force_vals = _data_ptr(flat["force_vals"])
+        elif sim._force_nets is not None:
+            run.ambient_n = len(sim._force_nets)
+            run.ambient_nets = _data_ptr(sim._force_nets)
+            run.ambient_masks = _data_ptr(sim._force_masks)
+            run.ambient_vals = _data_ptr(sim._force_vals)
+        # the flat dict and ambient arrays stay referenced by locals /
+        # the sim for the duration of the call, keeping pointers valid
+        done = int(self._run(ctypes.byref(state), ctypes.byref(run)))
+        sim._plane_count = int(buf[0])
+        sim.cycles += done
+        _note_step_phases(phase_ns / 1e9, done)
+        if done < n:
+            t, op, lane = (int(x) for x in stop)
+            raise StimulusMismatch(t, stim.check_meta[op][1], lane)
+        return done
 
 
 # -- compilation + artifact cache -------------------------------------------
@@ -578,13 +1026,16 @@ def _find_compiler():
 
 
 def _cc_flags():
-    # -O0 compiles an order of magnitude faster than -O1 on these
-    # straight-line translation units and the kernel is memory-bound
-    # anyway; override with $REPRO_GL_CFLAGS for tuning experiments.
+    # -O1 buys ~10-20% on the whole-cycle run_cycles loop (the toggle
+    # ripple and commit loops vectorize a little) at a still-small
+    # compile cost on these straight-line translation units; override
+    # with $REPRO_GL_CFLAGS for tuning experiments (-O0 for fastest
+    # builds).  The flags are folded into the kernel cache key, so
+    # changing them rebuilds rather than reusing a stale .so.
     env = os.environ.get(_ENV_CFLAGS)
     if env:
         return env.split()
-    return ["-O0"]
+    return ["-O1"]
 
 
 def _build_so(netlist, schedule, workdir):
@@ -631,7 +1082,9 @@ def compile_c_kernel(netlist, schedule, use_cache=True):
             f.write(entry["so"])
         try:
             lib = ctypes.CDLL(so_path)
-            lib.gl_eval     # resolve the entry point now, not lazily
+            # resolve both entry points now, not lazily
+            lib.gl_eval
+            lib.gl_run_cycles
             source = entry["source"]
             from_cache = True
         except (OSError, AttributeError) as exc:

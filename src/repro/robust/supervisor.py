@@ -172,8 +172,8 @@ def _worker_main(payload, task_conn, result_conn):
     try:
         from ..core.replay import ReplayEngine
         from ..obs import Tracer, NullTracer, set_tracer, get_registry
-        flow, port_names, grouping, freq_hz, trace, gl_backend = \
-            pickle.loads(payload)
+        (flow, port_names, grouping, freq_hz, trace, gl_backend,
+         gl_overlap) = pickle.loads(payload)
         get_registry().reset()
         tracer = Tracer() if trace else NullTracer()
         set_tracer(tracer)
@@ -183,7 +183,8 @@ def _worker_main(payload, task_conn, result_conn):
         with tracer.span("worker.init", cat="worker"):
             engine = ReplayEngine.from_flow(
                 flow, port_names=port_names, grouping=grouping,
-                freq_hz=freq_hz, gl_backend=gl_backend)
+                freq_hz=freq_hz, gl_backend=gl_backend,
+                overlap=gl_overlap)
         # One-time init is done: the supervisor re-arms the in-flight
         # task's deadline on receipt, so compile/load cost is excluded
         # from the batch's wall-clock budget.
@@ -211,17 +212,25 @@ def _worker_main(payload, task_conn, result_conn):
             return               # supervisor went away
         if task is None:
             return
-        # A task is one *batch* of snapshots (a single-snapshot list
-        # when batch_lanes == 1; replay_batch degenerates to the
-        # scalar replay for those).
-        tidx, snaps, strict, fault = task
+        # A task is one *super-task*: a flat list of snapshots plus the
+        # ``splits`` that carve it back into lane-batches.  With thread
+        # overlap off every task holds exactly one batch (a single-
+        # snapshot list when batch_lanes == 1; replay degenerates to
+        # the scalar path for those); with overlap on, the engine runs
+        # the batches concurrently on its thread pool.
+        tidx, snaps, strict, fault, splits = task
         try:
             if fault is not None:
                 from .faultinject import apply_worker_fault
                 apply_worker_fault(fault)
+            groups = []
+            cursor = 0
+            for size in splits:
+                groups.append(snaps[cursor:cursor + size])
+                cursor += size
             with tracer.span("worker.task", cat="worker", task=tidx,
-                             lanes=len(snaps)):
-                results = engine.replay_batch(snaps, strict=strict)
+                             lanes=len(snaps), batches=len(groups)):
+                results = engine.replay_batches(groups, strict=strict)
             # Flush spans *before* the result: the pipe is FIFO, so by
             # the time the supervisor has parsed this task's result it
             # has necessarily merged this task's spans — the last
@@ -302,7 +311,7 @@ class _Worker:
                 self._outbox[0] = buf[n:]
 
     def dispatch(self, tidx, snaps, strict, fault, timeout, attempt,
-                 init_grace=0.0):
+                 splits, init_grace=0.0):
         self.task = tidx
         self.attempt = attempt
         self.task_timeout = timeout
@@ -313,7 +322,7 @@ class _Worker:
         # moment the ready message is drained.
         grace = 0.0 if self.ready else init_grace
         self.deadline = time.monotonic() + timeout + grace
-        self._send((tidx, snaps, strict, fault))
+        self._send((tidx, snaps, strict, fault, splits))
 
     # ---- incoming results (non-blocking, parent side) ----
 
@@ -408,6 +417,7 @@ def replay_supervised_stream(flow, snapshots, *, workers, port_names,
                              max_retries=2, backoff_base=0.25,
                              fault_plan=None, serial_engine=None,
                              batch_lanes=1, gl_backend=None,
+                             gl_overlap=None,
                              serial_gl_backend=None, init_grace=None,
                              order=None, cancel=None, report=None):
     """Stream supervised replays: yields ``(index, result)`` pairs.
@@ -437,6 +447,16 @@ def replay_supervised_stream(flow, snapshots, *, workers, port_names,
     ``report`` — optional :class:`ReplayHealthReport` to fill in;
     supplied by callers that need live/after-the-fact access to the
     health counters while consuming the stream.
+
+    ``gl_overlap`` — thread-level batch overlap inside each worker
+    process (default :func:`repro.gatelevel.resolve_overlap`, i.e.
+    ``$REPRO_GL_OVERLAP`` or 1).  With overlap > 1 the unit of
+    dispatch becomes a *super-task* of up to ``gl_overlap``
+    consecutive lane-batches; the worker's engine replays them
+    concurrently on its thread pool (the native ``run_cycles`` kernel
+    releases the GIL for the whole trace).  Deadlines scale with the
+    super-task's total snapshot count — as-if-serial, so the overlap
+    speedup only ever adds headroom.
 
     Argument validation (and the :class:`ParallelReplayError` for an
     unpicklable payload) happens eagerly, before the first
@@ -468,9 +488,12 @@ def replay_supervised_stream(flow, snapshots, *, workers, port_names,
         report.total_snapshots = len(positions)
     if n == 0 or positions == []:
         return iter(())
+    from ..gatelevel.glcodegen import resolve_overlap
+    gl_overlap = resolve_overlap(gl_overlap)
     try:
         payload = pickle.dumps((flow, list(port_names), grouping,
-                                freq_hz, trace_workers, gl_backend),
+                                freq_hz, trace_workers, gl_backend,
+                                gl_overlap),
                                protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
         raise ParallelReplayError(
@@ -483,7 +506,16 @@ def replay_supervised_stream(flow, snapshots, *, workers, port_names,
         batches = [[i] for i in positions]
     else:
         batches = [[i] for i in range(n)]
-    n_tasks = len(batches)
+    # Super-tasks: with thread overlap each dispatch unit carries up to
+    # ``gl_overlap`` consecutive lane-batches for the worker's thread
+    # pool; with overlap off every task is exactly one batch and the
+    # semantics are the historical per-batch ones.
+    if gl_overlap > 1 and len(batches) > 1:
+        tasks = [batches[i:i + gl_overlap]
+                 for i in range(0, len(batches), gl_overlap)]
+    else:
+        tasks = [[batch] for batch in batches]
+    n_tasks = len(tasks)
     workers = max(1, min(int(workers), n_tasks))
     if timeout is None:
         timeout = default_replay_timeout(
@@ -494,7 +526,7 @@ def replay_supervised_stream(flow, snapshots, *, workers, port_names,
     report.timeout_seconds = timeout
 
     return _supervise_stream(
-        flow, snapshots, payload, batches, workers=workers,
+        flow, snapshots, payload, tasks, workers=workers,
         port_names=port_names, grouping=grouping, freq_hz=freq_hz,
         strict=strict, start_method=start_method, timeout=timeout,
         max_retries=max_retries, backoff_base=backoff_base,
@@ -504,17 +536,24 @@ def replay_supervised_stream(flow, snapshots, *, workers, port_names,
         tracer=tracer, registry=registry)
 
 
-def _supervise_stream(flow, snapshots, payload, batches, *, workers,
+def _supervise_stream(flow, snapshots, payload, tasks, *, workers,
                       port_names, grouping, freq_hz, strict,
                       start_method, timeout, max_retries, backoff_base,
                       fault_plan, serial_engine, gl_backend,
                       serial_gl_backend, init_grace, cancel, report,
                       tracer, registry):
-    """Generator body of :func:`replay_supervised_stream` (validated)."""
+    """Generator body of :func:`replay_supervised_stream` (validated).
+
+    ``tasks`` is a list of super-tasks, each a list of lane-batches
+    (each a list of snapshot indices); ``flat`` is the per-task flat
+    index list, which is also the order worker results come back in.
+    """
     from ..core.replay import ReplayError
     from ..scan.snapshot import SnapshotError
 
-    n_tasks = len(batches)
+    n_tasks = len(tasks)
+    flat = [[i for batch in task for i in batch] for task in tasks]
+    splits = [[len(batch) for batch in task] for task in tasks]
 
     ctx = _pick_context(start_method)
     pool = [_Worker(ctx, payload) for _ in range(workers)]
@@ -550,7 +589,7 @@ def _supervise_stream(flow, snapshots, payload, batches, *, workers,
             return
         completed[tidx] = True
         done += 1
-        for idx, result in zip(batches[tidx], batch_results):
+        for idx, result in zip(flat[tidx], batch_results):
             if serial:
                 report.completed_serial += 1
             else:
@@ -558,7 +597,7 @@ def _supervise_stream(flow, snapshots, payload, batches, *, workers,
             events.append((idx, result))
 
     def _batch_detail(tidx, detail):
-        size = len(batches[tidx])
+        size = len(flat[tidx])
         if size > 1:
             return f"{detail} (batch of {size} snapshots)"
         return detail
@@ -566,10 +605,10 @@ def _supervise_stream(flow, snapshots, payload, batches, *, workers,
     def _retry_or_fallback(tidx, kind, detail):
         """Record the incident, then either reschedule or go serial.
 
-        Incidents are attributed to the batch's first snapshot."""
+        Incidents are attributed to the task's first snapshot."""
         if completed[tidx]:
             return
-        first = batches[tidx][0]
+        first = flat[tidx][0]
         attempts[tidx] += 1
         report.record(kind, first, snapshots[first].cycle, attempts[tidx],
                       _batch_detail(tidx, detail))
@@ -580,10 +619,12 @@ def _supervise_stream(flow, snapshots, payload, batches, *, workers,
                           _batch_detail(
                               tidx,
                               "retries exhausted; replaying in-process"))
+            # Replay each lane-batch of the task individually — a
+            # super-task's flat group may exceed the lane limit.
             _complete(tidx,
-                      _get_serial_engine().replay_batch(
-                          [snapshots[i] for i in batches[tidx]],
-                          strict=strict),
+                      _get_serial_engine().replay_batches(
+                          [[snapshots[i] for i in batch]
+                           for batch in tasks[tidx]], strict=strict),
                       serial=True)
         else:
             report.retries += 1
@@ -615,13 +656,16 @@ def _supervise_stream(flow, snapshots, payload, batches, *, workers,
                 if (not cancelled and w.task is None and ready
                         and w.proc.is_alive()):
                     tidx = ready.popleft()
-                    batch = batches[tidx]
-                    fault = (fault_plan.pick(batch[0],
-                                             snapshots[batch[0]])
+                    indices = flat[tidx]
+                    fault = (fault_plan.pick(indices[0],
+                                             snapshots[indices[0]])
                              if fault_plan is not None else None)
-                    w.dispatch(tidx, [snapshots[i] for i in batch],
-                               strict, fault, timeout * len(batch),
-                               attempts[tidx] + 1,
+                    # Deadline scales with the task's total snapshot
+                    # count, as if its batches ran serially: overlap
+                    # only ever adds headroom, never tightens it.
+                    w.dispatch(tidx, [snapshots[i] for i in indices],
+                               strict, fault, timeout * len(indices),
+                               attempts[tidx] + 1, splits[tidx],
                                init_grace=init_grace)
 
             # Sleep until some worker has bytes for us (or the poll
@@ -680,7 +724,7 @@ def _supervise_stream(flow, snapshots, payload, batches, *, workers,
                 yield events.popleft()
 
             if cancelled:
-                abandoned = sum(len(batches[t]) for t in range(n_tasks)
+                abandoned = sum(len(flat[t]) for t in range(n_tasks)
                                 if not completed[t])
                 if abandoned:
                     report.cancelled = abandoned
@@ -716,7 +760,7 @@ def _supervise_stream(flow, snapshots, payload, batches, *, workers,
                     pool[i] = _respawn("timeout")
                     _retry_or_fallback(
                         tidx, "timeout",
-                        f"no result within {timeout * len(batches[tidx]):.1f}s;"
+                        f"no result within {timeout * len(flat[tidx]):.1f}s;"
                         f" worker killed")
             while events:
                 yield events.popleft()
@@ -736,7 +780,8 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
                       start_method=None, timeout=None, max_retries=2,
                       backoff_base=0.25, fault_plan=None, on_result=None,
                       serial_engine=None, batch_lanes=1, gl_backend=None,
-                      serial_gl_backend=None, init_grace=None):
+                      gl_overlap=None, serial_gl_backend=None,
+                      init_grace=None):
     """Replay ``snapshots`` under supervision; order-preserving.
 
     Returns ``(results, ReplayHealthReport)``.  ``on_result(index,
@@ -783,6 +828,7 @@ def replay_supervised(flow, snapshots, *, workers, port_names,
             max_retries=max_retries, backoff_base=backoff_base,
             fault_plan=fault_plan, serial_engine=serial_engine,
             batch_lanes=batch_lanes, gl_backend=gl_backend,
+            gl_overlap=gl_overlap,
             serial_gl_backend=serial_gl_backend, init_grace=init_grace,
             report=report):
         results[idx] = result

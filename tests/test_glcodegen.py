@@ -13,8 +13,9 @@ from repro.core import run_strober
 from repro.core.flow import clear_caches, get_replay_engine
 from repro.gatelevel import (
     BatchedGateLevelSimulator, GateLevelSimulator, MAX_LANES,
-    build_kernel, build_schedule, kernel_cache_key, netlist_fingerprint,
-    resolve_backend, synthesize, GLCodegenError,
+    PackedStimulus, StimulusMismatch, build_kernel, build_schedule,
+    kernel_cache_key, netlist_fingerprint, pack_lane_words,
+    resolve_backend, resolve_overlap, synthesize, GLCodegenError,
 )
 from repro.gatelevel import glcodegen
 from repro.hdl import Module, elaborate
@@ -320,3 +321,284 @@ class TestFallbackLadder:
         netlist = _small_netlist()
         assert build_kernel(netlist, build_schedule(netlist),
                             "interp") is None
+
+
+def _whole_trace_stim(netlist, lanes, cycles=24, seed=11,
+                      force_window=None):
+    """Random inputs as a PackedStimulus plus per-cycle poke lists for
+    the step-by-step reference loop.  ``force_window`` = (lo, hi,
+    value) installs complete force segments on cycles [lo, hi)."""
+    rng = random.Random(seed)
+    mask = (1 << lanes) - 1 if lanes < 64 else (1 << 64) - 1
+    d_nets = np.array(netlist.inputs["d"], dtype=np.int64)
+    we_nets = np.array(netlist.inputs["we"], dtype=np.int64)
+    stim = PackedStimulus(cycles)
+    per_cycle = []
+    for t in range(cycles):
+        d = [rng.randrange(256) for _ in range(lanes)]
+        we = [rng.randrange(2) for _ in range(lanes)]
+        stim.add_poke(t, d_nets, mask, pack_lane_words(d, len(d_nets)))
+        stim.add_poke(t, we_nets, mask,
+                      pack_lane_words(we, len(we_nets)))
+        per_cycle.append((d, we))
+    if force_window is not None:
+        lo, hi, value = force_window
+        nets = np.array(netlist.preserved_nets["probe"], dtype=np.int64)
+        words = pack_lane_words([value] * lanes, len(nets))
+        vals = words & np.uint64(mask)
+        masks = np.full(len(nets), np.uint64(mask), dtype=np.uint64)
+        for t in range(lo, hi):
+            stim.set_forces(t, nets, masks, vals)
+    return stim, per_cycle
+
+
+def _reference_run(netlist, schedule, lanes, per_cycle,
+                   force_window=None):
+    """The historical poke/eval/peek/step loop on the interpreter;
+    returns the settled simulator and the per-cycle ``acc`` outputs."""
+    sim = BatchedGateLevelSimulator(netlist, lanes=lanes,
+                                    schedule=schedule)
+    expected = []
+    for t, (d, we) in enumerate(per_cycle):
+        if force_window is not None:
+            lo, hi, value = force_window
+            if t == lo:
+                sim.force_label("probe", value)
+            if t == hi:
+                sim.release_all()
+        sim.poke_lanes("d", d)
+        sim.poke_lanes("we", we)
+        sim.eval()
+        expected.append([sim.peek("acc", lane=lane)
+                         for lane in range(lanes)])
+        sim.step()
+    return sim, expected
+
+
+class TestRunCycles:
+    """Whole-trace ``run_cycles`` semantics: one call per batch must be
+    bit-identical to the historical per-cycle loop on every backend —
+    pokes, checks, mid-trace force segments, SRAM write-then-read in
+    the same cycle (the design reads ``scratch`` at the write pointer),
+    toggle planes, and the strict-mode stop point."""
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    @pytest.mark.parametrize("lanes", [1, 5, MAX_LANES])
+    def test_bit_identical_with_stepped_reference(self, backend, lanes):
+        netlist = _small_netlist()
+        netlist.preserved_nets["probe"] = list(netlist.outputs["acc"])
+        schedule = build_schedule(netlist)
+        window = (8, 16, 0x3C)
+        stim, per_cycle = _whole_trace_stim(netlist, lanes,
+                                            force_window=window)
+        ref, expected = _reference_run(netlist, schedule, lanes,
+                                       per_cycle, force_window=window)
+        acc_nets = np.array(netlist.outputs["acc"], dtype=np.int64)
+        mask = (1 << lanes) - 1 if lanes < 64 else (1 << 64) - 1
+        for t, vals in enumerate(expected):
+            stim.add_check(t, "acc", acc_nets, mask,
+                           pack_lane_words(vals, len(acc_nets)))
+        interp = BatchedGateLevelSimulator(netlist, lanes=lanes,
+                                           schedule=schedule)
+        sim = BatchedGateLevelSimulator(netlist, lanes=lanes,
+                                        schedule=schedule,
+                                        backend=backend)
+        for s in (interp, sim):
+            mismatches = s.run_cycles(stim=stim)
+            assert not mismatches.any()
+            assert s.cycles == len(per_cycle)
+            _assert_identical(ref, s, backend)
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    def test_mismatch_counts_identical(self, backend):
+        lanes = 5
+        netlist = _small_netlist()
+        schedule = build_schedule(netlist)
+        stim, per_cycle = _whole_trace_stim(netlist, lanes, seed=7)
+        _ref, expected = _reference_run(netlist, schedule, lanes,
+                                        per_cycle)
+        corrupt = {(5, 2), (12, 0), (12, 2), (20, 4)}
+        acc_nets = np.array(netlist.outputs["acc"], dtype=np.int64)
+        mask = (1 << lanes) - 1
+        for t, vals in enumerate(expected):
+            vals = [v ^ 1 if (t, lane) in corrupt else v
+                    for lane, v in enumerate(vals)]
+            stim.add_check(t, "acc", acc_nets, mask,
+                           pack_lane_words(vals, len(acc_nets)))
+        want = [sum(1 for t, lane in corrupt if lane == i)
+                for i in range(lanes)]
+        interp = BatchedGateLevelSimulator(netlist, lanes=lanes,
+                                           schedule=schedule)
+        sim = BatchedGateLevelSimulator(netlist, lanes=lanes,
+                                        schedule=schedule,
+                                        backend=backend)
+        assert interp.run_cycles(stim=stim).tolist() == want
+        assert sim.run_cycles(stim=stim).tolist() == want
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    def test_strict_stop_identical(self, backend):
+        # strict mode must stop at the same (cycle, op, lane) on every
+        # backend, leaving the failing cycle settled but uncommitted
+        lanes = 4
+        netlist = _small_netlist()
+        schedule = build_schedule(netlist)
+        stim, per_cycle = _whole_trace_stim(netlist, lanes, seed=9)
+        _ref, expected = _reference_run(netlist, schedule, lanes,
+                                        per_cycle)
+        acc_nets = np.array(netlist.outputs["acc"], dtype=np.int64)
+        mask = (1 << lanes) - 1
+        for t, vals in enumerate(expected):
+            if t == 10:
+                vals = [v ^ 1 if lane in (1, 3) else v
+                        for lane, v in enumerate(vals)]
+            stim.add_check(t, "acc", acc_nets, mask,
+                           pack_lane_words(vals, len(acc_nets)))
+        stops = []
+        for make_backend in ("interp", backend):
+            sim = BatchedGateLevelSimulator(
+                netlist, lanes=lanes, schedule=schedule,
+                backend=make_backend)
+            with pytest.raises(StimulusMismatch) as excinfo:
+                sim.run_cycles(stim=stim, strict=True)
+            exc = excinfo.value
+            stops.append((exc.cycle, exc.name, exc.lane, sim.cycles))
+        assert stops[0] == stops[1] == (10, "acc", 1, 10)
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    def test_step_phase_counters_accumulate(self, backend):
+        netlist = _small_netlist()
+        schedule = build_schedule(netlist)
+        registry = get_registry()
+        before_cycles = registry.value("glstep.cycles") or 0
+        before_calls = registry.value("glstep.calls") or 0
+        sim = BatchedGateLevelSimulator(netlist, lanes=8,
+                                        schedule=schedule,
+                                        backend=backend)
+        sim.step(17)
+        assert registry.value("glstep.cycles") == before_cycles + 17
+        assert registry.value("glstep.calls") == before_calls + 1
+        assert (registry.value("glstep.eval_seconds") or 0) > 0
+
+
+class TestResolveOverlap:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GL_OVERLAP", "4")
+        assert resolve_overlap(2) == 2
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GL_OVERLAP", "3")
+        assert resolve_overlap(None) == 3
+        monkeypatch.delenv("REPRO_GL_OVERLAP")
+        assert resolve_overlap(None) == 1
+
+    @pytest.mark.parametrize("bad", [0, -2, "zero"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(GLCodegenError):
+            resolve_overlap(bad)
+
+
+class TestThreadOverlap:
+    def test_overlap_power_identical(self, towers_run):
+        # overlapped batched replay (ragged batches AND singleton
+        # batches) must be bit-identical to the serial scalar path
+        engine = get_replay_engine("rocket_mini", gl_overlap=3)
+        assert engine.gl_overlap == 3
+        want = [_power_key(r) for r in towers_run.replays]
+        for lanes in (3, 1):
+            results = engine.replay_all(towers_run.snapshots,
+                                        workers=1, batch_lanes=lanes)
+            assert [_power_key(r) for r in results] == want
+
+    def test_run_strober_overlap_identical(self, towers_run):
+        run = run_strober("rocket_mini", "towers", sample_size=8,
+                          replay_length=32, backend="auto", seed=3,
+                          batch_lanes=3, gl_overlap=2,
+                          gl_backend="compiled")
+        assert run.timings["gl_overlap"] == 2
+        assert run.energy.epi_nj == towers_run.energy.epi_nj
+        assert [_power_key(r) for r in run.replays] == \
+            [_power_key(r) for r in towers_run.replays]
+
+    def test_supervised_super_tasks_identical(self, towers_run):
+        # workers > 1 dispatches super-tasks of gl_overlap batches;
+        # each worker overlaps them on its own thread pool
+        engine = get_replay_engine("rocket_mini", gl_overlap=2)
+        results = engine.replay_all(towers_run.snapshots, workers=2,
+                                    batch_lanes=3)
+        assert [_power_key(r) for r in results] == \
+            [_power_key(r) for r in towers_run.replays]
+        assert engine.last_health is not None
+        assert engine.last_health.healthy
+
+
+class TestStimulusCache:
+    def test_repeat_replays_hit_cache(self, towers_run):
+        engine = get_replay_engine("rocket_mini")
+        registry = get_registry()
+        engine.replay_all(towers_run.snapshots, batch_lanes=4)
+        hits0 = registry.value("replay.stim_cache.hits") or 0
+        misses0 = registry.value("replay.stim_cache.misses") or 0
+        engine.replay_all(towers_run.snapshots, batch_lanes=4)
+        assert (registry.value("replay.stim_cache.misses") or 0) \
+            == misses0
+        assert (registry.value("replay.stim_cache.hits") or 0) \
+            >= hits0 + 2
+
+
+class TestKernelVersionResume:
+    def test_journal_resumes_across_kernel_version(self, towers_run,
+                                                   tmp_path,
+                                                   monkeypatch):
+        # a journal written under the old kernel version must resume
+        # bit-identically under the new one: the kernel version keys
+        # the artifact cache (forcing a rebuild), never the run key
+        journal = str(tmp_path / "run.journal")
+        partial = run_strober("rocket_mini", "towers", sample_size=8,
+                              replay_length=32, backend="auto", seed=3,
+                              batch_lanes=4, journal=journal,
+                              gl_backend="compiled",
+                              target_rel_error=1.0, min_sample=2,
+                              max_sample=3)
+        assert partial.sampling["replayed"] < 8
+        monkeypatch.setattr(glcodegen, "GLCODEGEN_VERSION",
+                            glcodegen.GLCODEGEN_VERSION + 1)
+        clear_caches()
+        try:
+            resumed = run_strober("rocket_mini", "towers",
+                                  sample_size=8, replay_length=32,
+                                  backend="auto", seed=3,
+                                  batch_lanes=4, journal=journal,
+                                  gl_backend="compiled")
+        finally:
+            clear_caches()
+        assert resumed.result.resumed
+        assert resumed.energy.epi_nj == towers_run.energy.epi_nj
+        assert [_power_key(r) for r in resumed.replays] == \
+            [_power_key(r) for r in towers_run.replays]
+
+
+class TestCompilerFlags:
+    @needs_cc
+    def test_cflags_change_rebuilds_not_stale(self, tmp_path,
+                                              monkeypatch):
+        # changing $REPRO_GL_CFLAGS must land in a different cache
+        # slot — a rebuild, never a stale .so load under old flags
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        netlist = _small_netlist()
+        schedule = build_schedule(netlist)
+        build_kernel(netlist, schedule, "c")
+        key_default = kernel_cache_key(netlist, "c", schedule)
+        monkeypatch.setenv("REPRO_GL_CFLAGS", "-O0")
+        key_o0 = kernel_cache_key(netlist, "c", schedule)
+        assert key_o0 != key_default
+        rebuilt = build_kernel(netlist, schedule, "c")
+        assert rebuilt.backend == "c" and not rebuilt.from_cache
+        warm = build_kernel(netlist, schedule, "c")
+        assert warm.from_cache
+        # and the overridden-flags kernel evaluates bit-identically
+        ref = BatchedGateLevelSimulator(netlist, lanes=4,
+                                        schedule=schedule)
+        sim = BatchedGateLevelSimulator(netlist, lanes=4,
+                                        schedule=schedule, kernel=warm)
+        _drive([ref, sim], cycles=8)
+        _assert_identical(ref, sim, "c-O0")
