@@ -29,12 +29,24 @@ def save_result(name, text):
 
 
 def save_json(name, payload):
-    """Persist a machine-readable result next to the text table."""
+    """Persist a machine-readable result next to the text table.
+
+    Also appends the payload's numeric scalars as one row to the
+    run-history store (``repro.obs.store``), so every bench emission
+    extends the performance trajectory ``python -m repro.obs.regress``
+    gates on.  The append never raises and is a no-op when the store
+    is disabled via ``REPRO_OBS_HISTORY``.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     with open(path, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
+    try:
+        from repro.obs import append_bench_record
+        append_bench_record(name, payload)
+    except Exception:
+        pass        # history is telemetry; never fail the bench
     return path
 
 

@@ -18,6 +18,8 @@ returned :class:`StroberRun` so both accelerations are measurable.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 import time
 import zlib
@@ -28,6 +30,7 @@ from ..isa.programs import ALL_PROGRAMS
 from ..fame.transform import Fame1TransformPass
 from ..obs import (
     Tracer, set_tracer, get_registry, export_chrome_trace,
+    append_run_record,
 )
 from ..parallel.cache import get_cache
 from ..parallel.pool import CancelToken
@@ -63,6 +66,9 @@ class StroberRun:
     # final eq.-7 relative error, fraction of snapshots replayed (see
     # AdaptiveSamplingController.finish)
     sampling: dict = None
+    # Short hash of the run's identity parameters — the correlation id
+    # stamped on every span this run records and on its history row
+    run_key: str = None
 
     @property
     def cycles(self):
@@ -71,6 +77,22 @@ class StroberRun:
     @property
     def snapshots(self):
         return self.result.snapshots
+
+
+def compute_run_key(design, workload, sample_size, replay_length,
+                    max_cycles, seed, workload_kwargs):
+    """Short stable id over a run's identity parameters.
+
+    Backend/overlap/lane/worker knobs are deliberately excluded — they
+    are bit-identical execution strategies, and the correlation id
+    should survive a re-run under a different strategy (the history
+    row records those knobs separately as ``config``).
+    """
+    ident = json.dumps(
+        [design, workload, sample_size, replay_length, max_cycles,
+         seed, workload_kwargs or {}],
+        sort_keys=True, default=str)
+    return hashlib.blake2b(ident.encode(), digest_size=6).hexdigest()
 
 
 _CIRCUIT_CACHE = {}
@@ -260,8 +282,15 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
     gl_backend = resolve_backend(gl_backend)
     gl_overlap = resolve_overlap(gl_overlap)
     workload_name = workload if workload in ALL_PROGRAMS else "(custom)"
+    run_key = compute_run_key(design, workload_name, sample_size,
+                              replay_length, max_cycles, seed,
+                              workload_kwargs)
     if tracer is None:
         tracer = Tracer(distributed=trace is not None)
+    # Every span this run records — replay workers included, via the
+    # supervisor's spawn payload — carries the run identity, so traces
+    # from a multi-run process (the job service) stay joinable.
+    tracer.set_correlation(run_key=run_key)
     prev_tracer = set_tracer(tracer)
     try:
         with tracer.span("strober.run", cat="flow", design=design,
@@ -290,8 +319,13 @@ def run_strober(design, workload, sample_size=30, replay_length=128,
                 meta={"design": design, "workload": workload_name,
                       "workers": workers, "batch_lanes": batch_lanes,
                       "sample_size": sample_size,
-                      "replay_length": replay_length})
+                      "replay_length": replay_length,
+                      "run_key": run_key})
     run.trace_path = trace
+    run.run_key = run_key
+    # Persist the run's history row (append-only store; never raises,
+    # no-op when $REPRO_OBS_HISTORY disables the store).
+    append_run_record(run)
     return run
 
 

@@ -11,7 +11,14 @@ can trust*; this is the same discipline applied to our own runs):
   counters, gauges, and fixed-bucket histograms (the artifact cache's
   ``cache_stats()`` is a view over this registry);
 * exporters — Chrome trace-event JSON (open in Perfetto or
-  ``chrome://tracing``) and a metrics JSONL dump;
+  ``chrome://tracing``), a metrics JSONL dump, and Prometheus text
+  exposition (:mod:`repro.obs.prom`) for scraping long-running
+  processes;
+* :class:`HistoryStore` (:mod:`repro.obs.store`) — the persistent
+  layer: an append-only CRC-framed JSONL accumulating one compact row
+  per ``run_strober`` call and per benchmark emission, which
+  ``python -m repro.obs.regress`` turns into rolling-baseline
+  regression verdicts CI can gate on;
 * ``python -m repro.obs.report <trace>`` — phase-time tree, worker
   utilization, cache effectiveness, and the live sampling-error
   telemetry, from one trace file.
@@ -35,6 +42,14 @@ from .export import (
     export_chrome_trace, export_metrics_jsonl, chrome_trace_events,
     load_trace,
 )
+from .store import (
+    HistoryStore, default_history_path, history_enabled,
+    append_run_record, append_bench_record, run_record, bench_record,
+)
+from .prom import (
+    Sample, render_exposition, validate_exposition,
+    process_health_samples, PROM_CONTENT_TYPE,
+)
 
 __all__ = [
     "Tracer", "NullTracer", "SpanRecord", "get_tracer", "set_tracer",
@@ -42,4 +57,9 @@ __all__ = [
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "get_registry",
     "export_chrome_trace", "export_metrics_jsonl",
     "chrome_trace_events", "load_trace",
+    "HistoryStore", "default_history_path", "history_enabled",
+    "append_run_record", "append_bench_record", "run_record",
+    "bench_record",
+    "Sample", "render_exposition", "validate_exposition",
+    "process_health_samples", "PROM_CONTENT_TYPE",
 ]

@@ -146,11 +146,18 @@ class MetricsRegistry:
             self._instruments = {}
         return payload
 
-    def merge(self, payload):
+    def merge(self, payload, source=None):
         """Fold a :meth:`drain`/:meth:`snapshot` payload in (adds
-        counters and histogram buckets; gauges take the newer value)."""
+        counters and histogram buckets; gauges take the newer value).
+
+        ``source`` names where the payload came from (a worker pid,
+        a job id) and is woven into mismatch errors — with many
+        processes shipping deltas, an unattributed boundary mismatch
+        is undebuggable.
+        """
         if not payload:
             return
+        origin = f" (merging from {source})" if source else ""
         for name, d in payload.items():
             kind = d.get("kind")
             if kind == "counter":
@@ -162,13 +169,16 @@ class MetricsRegistry:
                 if list(hist.boundaries) != [float(b)
                                              for b in d["boundaries"]]:
                     raise ValueError(
-                        f"histogram {name!r} boundary mismatch on merge")
+                        f"histogram {name!r} boundary mismatch on "
+                        f"merge{origin}: have {list(hist.boundaries)}, "
+                        f"payload {list(d['boundaries'])}")
                 for i, c in enumerate(d["counts"]):
                     hist.counts[i] += c
                 hist.total += d["total"]
                 hist.count += d["count"]
             else:
-                raise ValueError(f"unknown metric kind {kind!r}")
+                raise ValueError(f"unknown metric kind "
+                                 f"{kind!r}{origin}")
 
     def reset(self, prefix=""):
         """Drop every instrument whose name starts with ``prefix``."""

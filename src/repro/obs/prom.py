@@ -1,0 +1,354 @@
+"""Prometheus text-format exposition over the metrics registry.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` is always live, but
+until now its contents were only reachable as a one-shot ``/status``
+snapshot or a trace file's embedded dump.  This module renders the
+registry — counters, gauges, and fixed-bucket histograms — in the
+Prometheus text exposition format (version 0.0.4), so a long-running
+daemon can be *scraped*::
+
+    # TYPE repro_service_jobs_done_total counter
+    repro_service_jobs_done_total 42
+    # TYPE repro_service_job_seconds histogram
+    repro_service_job_seconds_bucket{le="1"} 3
+    ...
+    repro_service_job_seconds_sum 17.2
+    repro_service_job_seconds_count 5
+
+Name mapping: registry names are dotted (``service.jobs_done``); the
+exposition flattens them to ``repro_service_jobs_done`` (every
+non-``[a-zA-Z0-9_:]`` rune becomes ``_``) and counters gain the
+conventional ``_total`` suffix.  Histogram buckets are emitted
+*cumulative* with the mandatory ``le="+Inf"`` terminal bucket, plus
+``_sum`` and ``_count`` — the shape every Prometheus client library
+produces and every scraper expects.
+
+Labeled series (per-design breaker floors, per-worker anything) do
+not live in the flat registry; callers pass them as explicit
+:class:`Sample` rows and the renderer groups them under one ``# TYPE``
+header per family.
+
+:func:`validate_exposition` checks a rendered page against the text-
+format grammar (line syntax, one TYPE per family, declaration before
+samples, cumulative monotone buckets, ``+Inf`` present).  CI runs it
+against a live daemon's scrape so a renderer regression fails the
+build rather than Prometheus's parser at 3 a.m.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+# Sample line: name{labels} value [timestamp]
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?"
+    r"|NaN|[Ii]nf|\+Inf|-Inf))"
+    r"(?: (?P<ts>-?\d+))?$")
+_LABEL_PAIR_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def sanitize(name, prefix="repro_"):
+    """A dotted registry name as a legal Prometheus metric name."""
+    flat = _SANITIZE.sub("_", str(name)).strip("_")
+    out = f"{prefix}{flat}" if not flat.startswith(prefix) else flat
+    if not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value):
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _fmt(value):
+    """A float the exposition format accepts (no exponent surprises
+    for integers, full precision for the rest)."""
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+@dataclass
+class Sample:
+    """One explicit exposition row, for series the flat registry
+    cannot express (labels).  ``kind`` is the family type; samples of
+    the same ``name`` must agree on it."""
+
+    name: str
+    value: float
+    kind: str = "gauge"
+    labels: dict = field(default_factory=dict)
+    help: str = None
+
+
+def registry_families(registry, prefix=""):
+    """The registry's instruments as (name, kind, rows) families.
+
+    ``rows`` are ``(suffix, labels, value)`` triples; histograms
+    expand into cumulative ``_bucket``/``_sum``/``_count`` rows here so
+    the renderer needs no type-specific logic.
+    """
+    families = []
+    for name, inst in sorted(registry.snapshot(prefix).items()):
+        metric = sanitize(name)
+        kind = inst["kind"]
+        if kind == "counter":
+            families.append((metric + "_total", "counter",
+                             [("", {}, inst["value"])]))
+        elif kind == "gauge":
+            families.append((metric, "gauge",
+                             [("", {}, inst["value"])]))
+        elif kind == "histogram":
+            rows = []
+            cumulative = 0
+            for edge, count in zip(inst["boundaries"], inst["counts"]):
+                cumulative += count
+                rows.append(("_bucket", {"le": _fmt(edge)}, cumulative))
+            rows.append(("_bucket", {"le": "+Inf"}, inst["count"]))
+            rows.append(("_sum", {}, inst["total"]))
+            rows.append(("_count", {}, inst["count"]))
+            families.append((metric, "histogram", rows))
+    return families
+
+
+def render_exposition(registry=None, samples=(), prefix="",
+                      help_texts=None):
+    """The full scrape page as one string (ends with a newline).
+
+    ``registry`` contributes every instrument under ``prefix``;
+    ``samples`` are explicit :class:`Sample` rows (labeled series),
+    grouped into families by name.  ``help_texts`` maps *rendered*
+    family names to ``# HELP`` strings.
+    """
+    help_texts = help_texts or {}
+    families = []
+    if registry is not None:
+        families.extend(registry_families(registry, prefix))
+    by_name = {}
+    order = []
+    for sample in samples:
+        name = sanitize(sample.name)
+        if sample.kind == "counter" and not name.endswith("_total"):
+            name += "_total"
+        if name not in by_name:
+            by_name[name] = (sample.kind, [])
+            order.append(name)
+        kind, rows = by_name[name]
+        if kind != sample.kind:
+            raise ValueError(
+                f"conflicting kinds for sample family {name!r}: "
+                f"{kind} vs {sample.kind}")
+        rows.append(("", dict(sample.labels), sample.value))
+        if sample.help and name not in help_texts:
+            help_texts[name] = sample.help
+    for name in order:
+        kind, rows = by_name[name]
+        families.append((name, kind, rows))
+
+    lines = []
+    seen = set()
+    for name, kind, rows in families:
+        if name in seen:
+            raise ValueError(f"duplicate metric family {name!r}")
+        seen.add(name)
+        if name in help_texts:
+            text = (str(help_texts[name]).replace("\\", r"\\")
+                    .replace("\n", r"\n"))
+            lines.append(f"# HELP {name} {text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for suffix, labels, value in rows:
+            label_txt = ""
+            if labels:
+                pairs = ",".join(
+                    f'{k}="{escape_label_value(v)}"'
+                    for k, v in sorted(labels.items()))
+                label_txt = "{" + pairs + "}"
+            lines.append(f"{name}{suffix}{label_txt} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- process-health samples ---------------------------------------------------
+
+
+def rss_bytes():
+    """Current resident set size, or None where unreadable."""
+    try:
+        with open("/proc/self/statm") as f:
+            pages = int(f.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # ru_maxrss: KiB on Linux, bytes on macOS — peak, not current,
+        # but a usable fallback where /proc is absent.
+        scale = 1 if os.uname().sysname == "Darwin" else 1024
+        return usage.ru_maxrss * scale
+    except Exception:
+        return None
+
+
+def open_fds():
+    """Open file descriptors of this process, or None."""
+    for fd_dir in ("/proc/self/fd", "/dev/fd"):
+        try:
+            return len(os.listdir(fd_dir))
+        except OSError:
+            continue
+    return None
+
+
+def process_health_samples(prefix="process"):
+    """RSS and fd-count gauges for the current process (only the ones
+    this platform can answer)."""
+    samples = []
+    rss = rss_bytes()
+    if rss is not None:
+        samples.append(Sample(f"{prefix}.rss_bytes", rss,
+                              help="resident set size of the process"))
+    fds = open_fds()
+    if fds is not None:
+        samples.append(Sample(f"{prefix}.open_fds", fds,
+                              help="open file descriptors"))
+    return samples
+
+
+# -- grammar validation -------------------------------------------------------
+
+
+def validate_exposition(text):
+    """Check ``text`` against the Prometheus text-format grammar.
+
+    Returns the list of problems found (empty = valid).  Checks: line
+    syntax, label syntax, TYPE values, at most one TYPE per family and
+    declared before its samples, histogram completeness (``+Inf``
+    bucket, monotone cumulative counts, ``_count`` == terminal
+    bucket), and a terminating newline.
+    """
+    errors = []
+    if not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+    typed = {}          # family -> type
+    hist = {}           # family -> {"buckets": [(le, v)], "count": v}
+    samples_seen = set()
+    for lineno, line in enumerate(text.split("\n")[:-1], start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                if parts[1:2] and parts[1] in ("HELP", "TYPE"):
+                    errors.append(f"line {lineno}: malformed "
+                                  f"{parts[1]} comment")
+                continue     # free comments are legal
+            _, keyword, name = parts[:3]
+            if not _NAME_OK.match(name):
+                errors.append(f"line {lineno}: bad metric name "
+                              f"{name!r} in {keyword}")
+                continue
+            if keyword == "TYPE":
+                if len(parts) != 4 or parts[3] not in _TYPES:
+                    errors.append(f"line {lineno}: TYPE must be one "
+                                  f"of {', '.join(_TYPES)}")
+                    continue
+                if name in typed:
+                    errors.append(f"line {lineno}: duplicate TYPE "
+                                  f"for {name}")
+                if name in samples_seen:
+                    errors.append(f"line {lineno}: TYPE for {name} "
+                                  f"after its samples")
+                typed[name] = parts[3]
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: not a valid sample line: "
+                          f"{line!r}")
+            continue
+        name = m.group("name")
+        labels = {}
+        raw_labels = m.group("labels")
+        if raw_labels:
+            body = raw_labels[1:-1].rstrip(",")
+            if body:
+                for pair in _split_label_pairs(body):
+                    if not _LABEL_PAIR_RE.match(pair):
+                        errors.append(f"line {lineno}: bad label "
+                                      f"pair {pair!r}")
+                        continue
+                    key, value = pair.split("=", 1)
+                    labels[key] = value[1:-1]
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[:-len(suffix)] if name.endswith(suffix) else None
+            if base and typed.get(base) == "histogram":
+                family = base
+                break
+        samples_seen.add(family)
+        samples_seen.add(name)
+        if typed.get(family) == "histogram":
+            entry = hist.setdefault(family,
+                                    {"buckets": [], "count": None})
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: histogram bucket "
+                                  f"without le label")
+                else:
+                    entry["buckets"].append(
+                        (le, float(m.group("value"))))
+            elif name.endswith("_count"):
+                entry["count"] = float(m.group("value"))
+    for family, entry in hist.items():
+        les = [le for le, _ in entry["buckets"]]
+        values = [v for _, v in entry["buckets"]]
+        if "+Inf" not in les:
+            errors.append(f"histogram {family}: no le=\"+Inf\" bucket")
+        if values != sorted(values):
+            errors.append(f"histogram {family}: bucket counts are "
+                          f"not cumulative/monotone: {values}")
+        if (entry["count"] is not None and values
+                and values[-1] != entry["count"]):
+            errors.append(f"histogram {family}: _count "
+                          f"{entry['count']} != terminal bucket "
+                          f"{values[-1]}")
+    return errors
+
+
+def _split_label_pairs(body):
+    """Split ``a="x",b="y"`` respecting escaped quotes inside values."""
+    pairs = []
+    depth_in_value = False
+    start = 0
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and depth_in_value:
+            i += 2
+            continue
+        if ch == '"':
+            depth_in_value = not depth_in_value
+        elif ch == "," and not depth_in_value:
+            pairs.append(body[start:i])
+            start = i + 1
+        i += 1
+    pairs.append(body[start:])
+    return [p for p in pairs if p]

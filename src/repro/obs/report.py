@@ -175,6 +175,12 @@ def render_report(doc):
     for key in ("workers", "batch_lanes", "sample_size"):
         if key in meta:
             parts.append(f"{key}={meta[key]}")
+    # Correlation ids: the export meta carries the flow's run_key; a
+    # service-produced trace additionally stamps job_id on every span.
+    for key in ("run_key", "job_id"):
+        value = meta.get(key, top.get("args", {}).get(key))
+        if value is not None:
+            parts.append(f"{key}={value}")
     lines.append("   " + "  ".join(parts))
 
     lines.append("")

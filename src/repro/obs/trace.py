@@ -134,6 +134,7 @@ class NullTracer:
 
     enabled = False
     distributed = False
+    correlation = {}
 
     def span(self, name, cat="", **args):
         return _NULL_SPAN
@@ -142,6 +143,9 @@ class NullTracer:
         pass
 
     def counter(self, name, value, cat="telemetry"):
+        pass
+
+    def set_correlation(self, **attrs):
         pass
 
     def ingest(self, payload):
@@ -173,14 +177,24 @@ class Tracer(NullTracer):
     to it per job so the adaptive sampling controller's
     ``controller.*`` decisions (dispatch, progress, cancel, stop)
     surface in job status while the run is still executing.
+
+    ``correlation`` is a small dict of identity attributes — the job
+    service's ``job_id``, the flow's ``run_key`` — stamped onto every
+    span and instant this tracer records (``setdefault``: an explicit
+    per-span attribute wins).  Replay worker processes receive the
+    parent's correlation in their spawn payload and stamp their own
+    spans with it, so one job's spans are joinable across pids in an
+    exported trace without walking parent links.
     """
 
     enabled = True
 
-    def __init__(self, distributed=False, on_span=None, on_event=None):
+    def __init__(self, distributed=False, on_span=None, on_event=None,
+                 correlation=None):
         self.distributed = bool(distributed)
         self.on_span = on_span
         self.on_event = on_event
+        self.correlation = dict(correlation or {})
         self.spans = []           # closed SpanRecords, completion order
         self.events = []          # instant events (dicts)
         self.counters = []        # counter samples (dicts)
@@ -205,9 +219,18 @@ class Tracer(NullTracer):
             return f"{self._pid}.{next(self._ids)}"
 
     def _record(self, record):
+        if self.correlation:
+            for key, value in self.correlation.items():
+                record.args.setdefault(key, value)
         with self._lock:
             self.spans.append(record)
         self._notify(record)
+
+    def set_correlation(self, **attrs):
+        """Add identity attributes stamped on every span from now on
+        (``None`` values are ignored so call sites stay branch-free)."""
+        self.correlation.update(
+            {k: v for k, v in attrs.items() if v is not None})
 
     def _notify(self, record):
         if self.on_span is None:
@@ -224,6 +247,9 @@ class Tracer(NullTracer):
 
     def instant(self, name, cat="", **args):
         """A zero-duration marker (incident, corruption, spawn…)."""
+        if self.correlation:
+            for key, value in self.correlation.items():
+                args.setdefault(key, value)
         event = {"name": name, "cat": cat,
                  "ts": time.time(), "pid": os.getpid(),
                  "tid": threading.get_ident(),

@@ -173,9 +173,12 @@ def _worker_main(payload, task_conn, result_conn):
         from ..core.replay import ReplayEngine
         from ..obs import Tracer, NullTracer, set_tracer, get_registry
         (flow, port_names, grouping, freq_hz, trace, gl_backend,
-         gl_overlap) = pickle.loads(payload)
+         gl_overlap, correlation) = pickle.loads(payload)
         get_registry().reset()
-        tracer = Tracer() if trace else NullTracer()
+        # The parent's correlation attrs (job id, run key) stamp this
+        # worker's spans too, so one job's spans join across pids.
+        tracer = (Tracer(correlation=correlation) if trace
+                  else NullTracer())
         set_tracer(tracer)
         t_init = time.perf_counter()
         # Engine construction compiles-or-cache-loads the gate-level
@@ -493,7 +496,7 @@ def replay_supervised_stream(flow, snapshots, *, workers, port_names,
     try:
         payload = pickle.dumps((flow, list(port_names), grouping,
                                 freq_hz, trace_workers, gl_backend,
-                                gl_overlap),
+                                gl_overlap, dict(tracer.correlation)),
                                protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
         raise ParallelReplayError(
@@ -690,7 +693,9 @@ def _supervise_stream(flow, snapshots, payload, tasks, *, workers,
                         # Worker span/metric shipment: merge into the
                         # parent trace with the worker's own pid/tid.
                         tracer.ingest(body.get("trace"))
-                        registry.merge(body.get("metrics"))
+                        registry.merge(body.get("metrics"),
+                                       source=f"worker-pid-"
+                                              f"{w.proc.pid}")
                         continue
                     if status == "ready":
                         # One-time engine init done: re-arm the

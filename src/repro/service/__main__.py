@@ -59,6 +59,12 @@ def build_parser():
                              "probed again (default: sticky)")
     parser.add_argument("--trace-dir", default=None,
                         help="write one Chrome-trace JSON per job here")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        help="also serve Prometheus text exposition "
+                             "over plain HTTP (GET /metrics) on this "
+                             "port (0 = ephemeral; the bound port is "
+                             "printed in the stdout address line as "
+                             "metrics_port)")
     return parser
 
 
@@ -68,7 +74,13 @@ async def serve(config):
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGTERM, signal.SIGINT):
         loop.add_signal_handler(sig, service.begin_drain, True)
-    print(json.dumps(service.address), flush=True)
+    address = dict(service.address)
+    if service.metrics_address is not None:
+        # Extra keys are safe: ServiceClient.from_address only reads
+        # family/path/host/port.
+        address["metrics_host"] = service.metrics_address[0]
+        address["metrics_port"] = service.metrics_address[1]
+    print(json.dumps(address), flush=True)
     await service.wait_stopped()
 
 
@@ -86,6 +98,7 @@ def main(argv=None):
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown_s,
         trace_dir=args.trace_dir,
+        metrics_port=args.metrics_port,
     )
     asyncio.run(serve(config))
     return 0

@@ -135,6 +135,10 @@ class ServiceClient:
     def status(self):
         return self.request("status")["status"]
 
+    def metrics(self):
+        """The daemon's Prometheus text exposition page (a string)."""
+        return self.request("metrics")["text"]
+
     def drain(self):
         return self.request("drain")["state"]
 

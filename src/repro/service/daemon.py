@@ -67,6 +67,10 @@ from dataclasses import dataclass
 
 from ..core.flow import run_strober
 from ..obs import Tracer, get_registry
+from ..obs.prom import (
+    PROM_CONTENT_TYPE, Sample, process_health_samples,
+    render_exposition,
+)
 from .breaker import BreakerBoard, quarantine_compiled_kernel
 from .protocol import (
     JobSpec, ServiceError, decode_line, encode_line, ok_response,
@@ -78,6 +82,11 @@ from .state import ServiceJournal, load_service_state, result_digest
 
 _METRIC_PREFIXES = ("service.", "supervisor.", "cache.", "sampling.",
                     "journal.")
+
+# Per-job wall-clock latency buckets (seconds): sized for this repo's
+# scaled workloads — sub-second smoke jobs up to multi-minute sweeps.
+_JOB_SECONDS_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+                        60.0, 120.0, 300.0)
 
 
 @dataclass
@@ -98,6 +107,10 @@ class ServiceConfig:
     breaker_threshold: int = 2
     breaker_cooldown_s: float = None
     trace_dir: str = None         # per-job Chrome traces when set
+    metrics_port: int = None      # plain-HTTP /metrics scrape port
+                                  # (0 = ephemeral; None = no listener —
+                                  # the ``metrics`` protocol command
+                                  # works either way)
 
 
 class Job:
@@ -169,6 +182,7 @@ class StroberService:
         self._exit_when_drained = False
         self._scheduler_task = None
         self._server = None
+        self._metrics_server = None
         self._started_at = None
         self._design_locks = {}   # design -> threading.Lock
         self._last_span = None
@@ -207,6 +221,12 @@ class StroberService:
             self._server = await asyncio.start_server(
                 self._handle_client, host=self.config.host,
                 port=self.config.port, limit=MAX_LINE_BYTES + 2)
+        if self.config.metrics_port is not None:
+            # A second, HTTP-speaking listener so a stock Prometheus
+            # scraper needs no knowledge of the line protocol.
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, host=self.config.host,
+                port=self.config.metrics_port)
         self._scheduler_task = asyncio.create_task(self._scheduler())
         self._started_at = time.time()
         self.state = "serving"
@@ -277,6 +297,15 @@ class StroberService:
         host, port = self._server.sockets[0].getsockname()[:2]
         return {"family": "tcp", "host": host, "port": port}
 
+    @property
+    def metrics_address(self):
+        """``(host, port)`` of the /metrics listener, or None."""
+        if self._metrics_server is None:
+            return None
+        host, port = (
+            self._metrics_server.sockets[0].getsockname()[:2])
+        return (host, port)
+
     # -- scheduler ---------------------------------------------------
 
     async def _scheduler(self):
@@ -304,6 +333,10 @@ class StroberService:
         self._server.close()
         with contextlib.suppress(Exception):
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            with contextlib.suppress(Exception):
+                await self._metrics_server.wait_closed()
         if self.config.unix_socket:
             with contextlib.suppress(OSError):
                 os.unlink(self.config.unix_socket)
@@ -393,9 +426,14 @@ class StroberService:
         trace_path = (os.path.join(self.config.trace_dir,
                                    f"{job.id}.trace.json")
                       if self.config.trace_dir else None)
+        # job_id stamps every span the attempt records — replay worker
+        # processes included (the supervisor ships the correlation in
+        # its spawn payload) — so a trace directory full of jobs stays
+        # joinable; the flow adds run_key to the same dict.
         tracer = Tracer(distributed=trace_path is not None,
                         on_span=functools.partial(self._on_span, job),
-                        on_event=functools.partial(self._on_event, job))
+                        on_event=functools.partial(self._on_event, job),
+                        correlation={"job_id": job.id})
         kwargs = spec.run_kwargs()
 
         def work():
@@ -446,6 +484,12 @@ class StroberService:
     def _finalize(self, job, state, run=None, error=None):
         job.state = state
         job.finished_at = time.time()
+        if job.started_at is not None:
+            # Wall-clock across all attempts, lock waits included —
+            # the latency a client actually observed.
+            get_registry().histogram(
+                "service.job_seconds", _JOB_SECONDS_BUCKETS).observe(
+                job.finished_at - job.started_at)
         if run is not None:
             job.digest = result_digest(run.replays)
             job.summary = _summarize(run)
@@ -507,6 +551,11 @@ class StroberService:
                 writer.write(encode_line(response))
                 await writer.drain()
         except (ConnectionError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Daemon exiting with this connection still open: finish
+            # the handler normally so loop teardown doesn't log the
+            # cancelled task through the streams protocol callback.
             pass
         finally:
             writer.close()
@@ -598,6 +647,11 @@ class StroberService:
     async def _cmd_status(self, request):
         return ok_response(cmd="status", status=self.status_snapshot())
 
+    async def _cmd_metrics(self, request):
+        return ok_response(cmd="metrics",
+                           content_type=PROM_CONTENT_TYPE,
+                           text=self.render_metrics())
+
     async def _cmd_drain(self, request):
         self.begin_drain(stop=False)
         return ok_response(cmd="drain", state=self.state)
@@ -605,6 +659,78 @@ class StroberService:
     async def _cmd_shutdown(self, request):
         self.begin_drain(stop=True)
         return ok_response(cmd="shutdown", state=self.state)
+
+    # -- metrics exposition ------------------------------------------
+
+    def render_metrics(self):
+        """The Prometheus text-format scrape page for this daemon.
+
+        Refreshes the process-health gauges (uptime, queue depth, jobs
+        in flight, RSS, open fds) at render time — a scrape always sees
+        current levels — then renders the whole metrics registry plus
+        the labeled per-design breaker series, which cannot live in
+        the flat registry.
+        """
+        registry = get_registry()
+        registry.gauge("service.uptime_seconds").set(
+            time.time() - self._started_at if self._started_at else 0.0)
+        registry.gauge("service.queue_depth").set(len(self._queue))
+        registry.gauge("service.jobs_inflight").set(len(self._running))
+        samples = list(process_health_samples())
+        for design, info in sorted(self.breakers.snapshot().items()):
+            samples.append(Sample(
+                "service.breaker_floor_info", 1.0,
+                labels={"design": design,
+                        "floor": info.get("floor") or "none"},
+                help="current gate-level backend floor per design "
+                     "(info-style: the value is always 1; the floor "
+                     "rides in the label)"))
+            for backend, count in sorted(
+                    (info.get("failures") or {}).items()):
+                samples.append(Sample(
+                    "service.breaker_failures", count,
+                    labels={"design": design, "backend": backend},
+                    help="breaker failure charges per design and "
+                         "backend rung"))
+        return render_exposition(registry=registry, samples=samples)
+
+    async def _handle_metrics_http(self, reader, writer):
+        """Minimal HTTP responder for the scrape port: ``GET /metrics``
+        answers the exposition page; everything else is a 404.  Always
+        ``Connection: close`` — scrapers reconnect per scrape and this
+        keeps the handler stateless."""
+        try:
+            try:
+                request_line = await reader.readline()
+                while True:          # drain headers to the blank line
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+            except (asyncio.LimitOverrunError, ValueError):
+                request_line = b""
+            parts = request_line.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = parts[1].split("?")[0] if len(parts) > 1 else ""
+            if method == "GET" and path == "/metrics":
+                body = self.render_metrics().encode()
+                status, ctype = "200 OK", PROM_CONTENT_TYPE
+            else:
+                body = b"only GET /metrics lives here\n"
+                status = "404 Not Found"
+                ctype = "text/plain; charset=utf-8"
+            writer.write(
+                (f"HTTP/1.1 {status}\r\n"
+                 f"Content-Type: {ctype}\r\n"
+                 f"Content-Length: {len(body)}\r\n"
+                 f"Connection: close\r\n"
+                 f"\r\n").encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
 
     # -- status ------------------------------------------------------
 

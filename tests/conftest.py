@@ -1,0 +1,25 @@
+"""Shared test fixtures.
+
+The run-history store (repro.obs.store) appends one row per real
+``run_strober`` call at teardown.  Tests run plenty of real flows, and
+those rows must not accumulate in the developer's ``~/.cache`` — so
+the whole session points ``REPRO_OBS_HISTORY`` at a temp file.  The
+hook itself stays active (and exercised); store-specific tests
+override the variable with ``monkeypatch`` as needed.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_history(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs-history") / "history.jsonl"
+    old = os.environ.get("REPRO_OBS_HISTORY")
+    os.environ["REPRO_OBS_HISTORY"] = str(path)
+    yield
+    if old is None:
+        os.environ.pop("REPRO_OBS_HISTORY", None)
+    else:
+        os.environ["REPRO_OBS_HISTORY"] = old

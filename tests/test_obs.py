@@ -415,3 +415,209 @@ class TestUntracedRun:
         assert run.trace_path is None
         assert run.timings["replay_seconds"] > 0
         assert isinstance(get_tracer(), NullTracer)
+
+    def test_run_key_assigned_and_stable(self):
+        from repro.core.flow import compute_run_key
+        a = compute_run_key("rocket_mini", "towers", 2, 32, 2_000_000,
+                            3, None)
+        b = compute_run_key("rocket_mini", "towers", 2, 32, 2_000_000,
+                            3, None)
+        c = compute_run_key("rocket_mini", "towers", 2, 32, 2_000_000,
+                            4, None)
+        assert a == b != c
+        assert len(a) == 12
+
+
+class TestCorrelation:
+    def test_spans_and_instants_stamped(self):
+        t = Tracer(correlation={"job_id": "job-7"})
+        with t.span("work", cat="x"):
+            pass
+        t.instant("mark", cat="x")
+        assert t.find("work")[0].args["job_id"] == "job-7"
+        assert t.events[0]["args"]["job_id"] == "job-7"
+
+    def test_explicit_attr_wins_over_correlation(self):
+        t = Tracer(correlation={"job_id": "outer"})
+        with t.span("work", job_id="inner"):
+            pass
+        t.instant("mark", job_id="inner")
+        assert t.find("work")[0].args["job_id"] == "inner"
+        assert t.events[0]["args"]["job_id"] == "inner"
+
+    def test_set_correlation_updates_and_ignores_none(self):
+        t = Tracer()
+        t.set_correlation(run_key="abc", job_id=None)
+        assert t.correlation == {"run_key": "abc"}
+        with t.span("late"):
+            pass
+        assert t.find("late")[0].args["run_key"] == "abc"
+
+    def test_null_tracer_accepts_correlation_calls(self):
+        null = NullTracer()
+        null.set_correlation(run_key="abc")    # no-op, no error
+        assert null.correlation == {}
+
+    def test_run_key_stamped_across_worker_pids(self, traced_worker_run):
+        """The flow's run_key must land on every span of every traced
+        process — the supervisor ships the correlation dict to replay
+        workers in the spawn payload."""
+        run, doc = traced_worker_run
+        assert run.run_key
+        spans = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert len({ev["pid"] for ev in spans}) >= 3
+        for ev in spans:
+            assert ev["args"]["run_key"] == run.run_key
+        assert doc["reproMeta"]["run_key"] == run.run_key
+
+    def test_report_shows_run_key(self, traced_worker_run):
+        from repro.obs.report import render_report
+        run, doc = traced_worker_run
+        assert f"run_key={run.run_key}" in render_report(doc)
+
+
+class TestMergeSource:
+    def test_mismatch_error_names_source(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (10,))
+        payload = {"h": {"kind": "histogram", "boundaries": [99],
+                         "counts": [0, 0], "total": 0, "count": 0}}
+        with pytest.raises(ValueError, match=r"worker-pid-1234"):
+            reg.merge(payload, source="worker-pid-1234")
+        with pytest.raises(ValueError, match=r"boundary mismatch"):
+            reg.merge(payload)     # sourceless merges still typed
+
+    def test_unknown_kind_names_source(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match=r"job-3"):
+            reg.merge({"x": {"kind": "banana", "value": 1}},
+                      source="job-3")
+
+
+class TestConcurrentDrainMerge:
+    def test_totals_conserved_under_contention(self):
+        """Worker registries hammered by increments while a merger
+        thread drains them into a parent: nothing lost, nothing
+        double-counted, no boundary errors."""
+        parent = MetricsRegistry()
+        workers = [MetricsRegistry() for _ in range(4)]
+        per_thread = 2000
+        stop = threading.Event()
+        errors = []
+
+        def producer(reg):
+            try:
+                for i in range(per_thread):
+                    reg.counter("c").inc()
+                    reg.histogram("h", (1, 10)).observe(i % 20)
+            except Exception as exc:        # pragma: no cover
+                errors.append(exc)
+
+        def merger():
+            try:
+                while not stop.is_set():
+                    for i, reg in enumerate(workers):
+                        parent.merge(reg.drain(), source=f"worker-{i}")
+            except Exception as exc:        # pragma: no cover
+                errors.append(exc)
+
+        producers = [threading.Thread(target=producer, args=(reg,))
+                     for reg in workers]
+        merge_thread = threading.Thread(target=merger)
+        merge_thread.start()
+        for t in producers:
+            t.start()
+        for t in producers:
+            t.join()
+        stop.set()
+        merge_thread.join()
+        for i, reg in enumerate(workers):   # final sweep
+            parent.merge(reg.drain(), source=f"worker-{i}")
+        assert not errors
+        assert parent.value("c") == 4 * per_thread
+        hist = parent.get("h")
+        assert hist.count == 4 * per_thread
+        assert sum(hist.counts) == 4 * per_thread
+
+
+class TestPromExposition:
+    def test_registry_families_render_and_validate(self):
+        from repro.obs import render_exposition, validate_exposition
+        reg = MetricsRegistry()
+        reg.counter("service.jobs_done").inc(42)
+        reg.gauge("service.queue_depth").set(3)
+        hist = reg.histogram("service.job_seconds", (1, 5))
+        for v in (0.5, 2, 20):
+            hist.observe(v)
+        page = render_exposition(registry=reg)
+        assert validate_exposition(page) == []
+        assert "# TYPE repro_service_jobs_done_total counter" in page
+        assert "repro_service_jobs_done_total 42" in page
+        assert "repro_service_queue_depth 3" in page
+        # cumulative buckets + mandatory +Inf terminal
+        assert 'repro_service_job_seconds_bucket{le="1"} 1' in page
+        assert 'repro_service_job_seconds_bucket{le="5"} 2' in page
+        assert 'repro_service_job_seconds_bucket{le="+Inf"} 3' in page
+        assert "repro_service_job_seconds_count 3" in page
+
+    def test_labeled_samples_group_into_families(self):
+        from repro.obs import (
+            Sample, render_exposition, validate_exposition,
+        )
+        page = render_exposition(samples=[
+            Sample("service.breaker_floor_info", 1,
+                   labels={"design": "a", "floor": "interp"}),
+            Sample("service.breaker_floor_info", 1,
+                   labels={"design": "b", "floor": "none"}),
+        ])
+        assert validate_exposition(page) == []
+        assert page.count("# TYPE repro_service_breaker_floor_info") == 1
+        assert ('repro_service_breaker_floor_info'
+                '{design="a",floor="interp"} 1') in page
+
+    def test_label_values_escaped(self):
+        from repro.obs import (
+            Sample, render_exposition, validate_exposition,
+        )
+        page = render_exposition(samples=[
+            Sample("weird", 1, labels={"x": 'a"b\\c\nd'})])
+        assert validate_exposition(page) == []
+        assert r'x="a\"b\\c\nd"' in page
+
+    def test_process_health_samples(self):
+        from repro.obs import (
+            process_health_samples, render_exposition,
+            validate_exposition,
+        )
+        samples = process_health_samples()
+        names = {s.name for s in samples}
+        assert "process.rss_bytes" in names
+        assert all(s.value > 0 for s in samples)
+        page = render_exposition(samples=samples)
+        assert validate_exposition(page) == []
+
+    def test_validator_catches_broken_pages(self):
+        from repro.obs import validate_exposition
+        assert validate_exposition("repro_x 1")          # no newline
+        assert validate_exposition("not a sample !!\n")
+        assert validate_exposition("# TYPE bad kind_of\n")
+        # TYPE after its samples
+        page = "repro_x 1\n# TYPE repro_x counter\n"
+        assert any("after its samples" in e
+                   for e in validate_exposition(page))
+        # histogram without +Inf
+        page = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\nh_sum 1\nh_count 1\n')
+        assert any("+Inf" in e for e in validate_exposition(page))
+        # non-cumulative buckets
+        page = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+                "h_sum 1\nh_count 3\n")
+        assert any("monotone" in e for e in validate_exposition(page))
+
+    def test_conflicting_sample_kinds_rejected(self):
+        from repro.obs import Sample, render_exposition
+        with pytest.raises(ValueError, match="conflicting kinds"):
+            render_exposition(samples=[
+                Sample("x", 1, kind="gauge"),
+                Sample("x", 2, kind="untyped")])

@@ -332,6 +332,84 @@ class TestAdmissionAndLifecycle:
                     "done"
         assert stub_runs["max_inflight"] == 1
 
+    def test_job_tracer_carries_job_id_correlation(self, tmp_path,
+                                                   stub_runs):
+        """Every attempt's tracer is born with the job id as its
+        correlation dict, so all spans (worker processes included, via
+        the supervisor payload) are joinable per job."""
+        with _harness(tmp_path) as harness:
+            with harness.client() as client:
+                job_id = client.submit(**SPEC)
+                assert client.wait(job_id,
+                                   timeout_s=60)["state"] == "done"
+        tracer = stub_runs["kwargs"][0]["tracer"]
+        assert tracer.correlation == {"job_id": job_id}
+
+    def test_metrics_command_and_http_scrape(self, tmp_path,
+                                             stub_runs):
+        import urllib.error
+        import urllib.request
+        from repro.obs import validate_exposition
+        with _harness(tmp_path, metrics_port=0) as harness:
+            with harness.client() as client:
+                client.wait(client.submit(**SPEC), timeout_s=60)
+                response = client.request("metrics")
+                assert response["content_type"].startswith("text/plain")
+                page = client.metrics()
+                assert validate_exposition(page) == []
+                assert "repro_service_jobs_done_total" in page
+                assert "repro_service_uptime_seconds" in page
+                assert "repro_service_queue_depth" in page
+                assert "repro_process_rss_bytes" in page
+                assert "repro_service_job_seconds_bucket" in page
+                count = [line for line in page.splitlines()
+                         if line.startswith(
+                             "repro_service_job_seconds_count ")]
+                assert count and float(count[0].split()[-1]) >= 1
+                # The HTTP listener serves the same exposition.
+                host, port = harness.service.metrics_address
+                url = f"http://{host}:{port}/metrics"
+                with urllib.request.urlopen(url, timeout=30) as resp:
+                    ctype = resp.headers.get("Content-Type", "")
+                    http_page = resp.read().decode()
+                assert ctype.startswith("text/plain")
+                assert "version=0.0.4" in ctype
+                assert validate_exposition(http_page) == []
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(
+                        f"http://{host}:{port}/else", timeout=30)
+                assert err.value.code == 404
+
+    def test_metrics_breaker_floor_labels(self, tmp_path, stub_runs,
+                                          monkeypatch):
+        monkeypatch.setattr(daemon_mod, "quarantine_compiled_kernel",
+                            lambda design: None)
+        # Threshold 3: two crashes accumulate as charges without
+        # demoting, so both the floor-info and the failure-count
+        # families render with their labels.
+        stub_runs["health"] = [SimpleNamespace(crashes=2, timeouts=0),
+                              SimpleNamespace(crashes=1, timeouts=0)]
+        with _harness(tmp_path, breaker_threshold=3) as harness:
+            with harness.client() as client:
+                job = client.wait(client.submit(gl_backend="c", **SPEC),
+                                  timeout_s=60)
+                charged = client.metrics()
+                job2 = client.wait(client.submit(gl_backend="c",
+                                                 **SPEC), timeout_s=60)
+                demoted = client.metrics()
+        assert job["state"] == job2["state"] == "done"
+        assert ('repro_service_breaker_floor_info'
+                '{design="rocket_mini",floor="none"} 1') in charged
+        assert ('repro_service_breaker_failures'
+                '{backend="c",design="rocket_mini"} 2') in charged
+        # The third crash tips the threshold: floor moves to compiled
+        # and the rung's charges reset.
+        assert ('repro_service_breaker_floor_info'
+                '{design="rocket_mini",floor="compiled"} 1') in demoted
+        from repro.obs import validate_exposition
+        assert validate_exposition(charged) == []
+        assert validate_exposition(demoted) == []
+
     def test_breaker_demotion_reported_in_job_status(
             self, tmp_path, stub_runs, monkeypatch):
         monkeypatch.setattr(daemon_mod, "quarantine_compiled_kernel",

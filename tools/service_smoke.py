@@ -10,7 +10,11 @@ over the socket API:
 3. one fault shot through the job API (a worker SIGKILL the replay
    supervisor must absorb: crash reported in the job status, result
    still produced),
-4. a clean drain: ``shutdown`` must finish the queue and exit 0.
+4. two HTTP scrapes of the ``/metrics`` exposition port: both pages
+   must satisfy the Prometheus text-format grammar, counters must be
+   monotone between scrapes, and the per-job latency histogram must
+   have observed every finished job,
+5. a clean drain: ``shutdown`` must finish the queue and exit 0.
 
 With ``--trace-dir`` passed to the daemon (as CI does), each job
 leaves a Chrome trace behind for the build artifact.
@@ -21,17 +25,67 @@ Usage: ``PYTHONPATH=src python tools/service_smoke.py [state_dir]``
 import json
 import subprocess
 import sys
+import urllib.request
+
+
+def scrape(address):
+    """One GET /metrics against the daemon's scrape port."""
+    url = (f"http://{address['metrics_host']}:"
+           f"{address['metrics_port']}/metrics")
+    with urllib.request.urlopen(url, timeout=30) as response:
+        ctype = response.headers.get("Content-Type", "")
+        body = response.read().decode()
+    assert ctype.startswith("text/plain"), ctype
+    assert "version=0.0.4" in ctype, ctype
+    return body
+
+
+def counter_values(page):
+    """{name: value} for every *_total sample line on the page."""
+    out = {}
+    for line in page.splitlines():
+        if line.startswith("#") or " " not in line:
+            continue
+        name, value = line.rsplit(" ", 1)
+        if name.endswith("_total") and "{" not in name:
+            out[name] = float(value)
+    return out
+
+
+def check_metrics(first_page, second_page):
+    from repro.obs import validate_exposition
+    for label, page in (("first", first_page), ("second", second_page)):
+        errors = validate_exposition(page)
+        assert not errors, f"{label} scrape is not valid Prometheus " \
+                           f"text format: {errors}"
+    before = counter_values(first_page)
+    after = counter_values(second_page)
+    assert before, "first scrape exposed no counters"
+    for name, value in before.items():
+        assert after.get(name, 0.0) >= value, \
+            f"counter {name} went backwards: {value} -> {after.get(name)}"
+    # The job-latency histogram must have observed every finished job.
+    for page, label in ((first_page, "first"), (second_page, "second")):
+        assert "repro_service_job_seconds_bucket" in page, \
+            f"{label} scrape is missing the job latency histogram"
+    count_line = [line for line in second_page.splitlines()
+                  if line.startswith("repro_service_job_seconds_count ")]
+    assert count_line, "job latency histogram has no _count row"
+    observed = float(count_line[0].split()[-1])
+    assert observed >= 4, \
+        f"job latency histogram saw {observed} job(s), expected >= 4"
 
 
 def main(argv):
     state_dir = argv[1] if len(argv) > 1 else "service-state"
     daemon = [sys.executable, "-m", "repro.service",
               "--state-dir", state_dir, "--max-running", "2",
-              "--trace-dir", "service-traces"]
+              "--trace-dir", "service-traces", "--metrics-port", "0"]
     proc = subprocess.Popen(daemon, stdout=subprocess.PIPE, text=True)
     try:
         address = json.loads(proc.stdout.readline())
         print("daemon listening on", address)
+        assert "metrics_port" in address, address
 
         from repro.service import ServiceClient
         spec = dict(design="rocket_mini", workload="towers",
@@ -41,6 +95,8 @@ def main(argv):
             assert first["state"] == "done", first["error"]
             print("cold job:", first["summary"]["wall_seconds"], "s,",
                   "digest", first["digest"])
+
+            first_page = scrape(address)
 
             warm_id = client.submit(**spec)
             cold_id = client.submit(**dict(spec, seed=11))
@@ -62,6 +118,16 @@ def main(argv):
             assert faulted["crashes"] >= 1, faulted
             print("faulted job survived a worker kill "
                   f"({faulted['crashes']} crash(es) absorbed)")
+
+            second_page = scrape(address)
+            check_metrics(first_page, second_page)
+            # The protocol command serves the identical exposition.
+            protocol_page = client.metrics()
+            from repro.obs import validate_exposition
+            assert not validate_exposition(protocol_page)
+            print("metrics scrapes OK "
+                  f"({len(second_page.splitlines())} line(s), "
+                  f"counters monotone, grammar valid)")
 
             status = client.status()
             assert status["jobs"].get("done") == 4, status["jobs"]
